@@ -1,0 +1,157 @@
+// Package asyncfilter is the public API of the AsyncFilter reproduction:
+// a server-side, dataset-free defense that detects and filters poisoned
+// model updates in asynchronous federated learning (Kang & Li, MIDDLEWARE
+// 2024), together with the full evaluation stack the paper builds on —
+// an event-driven AFL simulator, the GD/LIE/Min-Max/Min-Sum poisoning
+// attacks, baseline defenses, and a TCP transport for real deployments.
+//
+// The three entry points:
+//
+//   - NewFilter builds the AsyncFilter module itself, to be plugged into
+//     any aggregation server that can hand it batches of updates.
+//   - Simulate runs a complete asynchronous-FL experiment (the paper's
+//     evaluation harness) in one call.
+//   - NewServer / NewClient (serve.go) run real distributed AFL over TCP.
+package asyncfilter
+
+import (
+	"fmt"
+
+	"github.com/asyncfl/asyncfilter/internal/core"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+)
+
+// Decision is the filter's verdict for a single update.
+type Decision int
+
+// Decision values.
+const (
+	// Accept feeds the update into the current aggregation.
+	Accept Decision = iota + 1
+	// Defer re-queues the update for a later aggregation round.
+	Defer
+	// Reject drops the update permanently.
+	Reject
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Accept:
+		return "accept"
+	case Defer:
+		return "defer"
+	case Reject:
+		return "reject"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// Update is one client model update presented to the filter.
+type Update struct {
+	// ClientID identifies the reporting client.
+	ClientID int
+	// Staleness is the number of server rounds elapsed since the client
+	// received the model it trained from.
+	Staleness int
+	// Delta is the flat parameter delta (local model minus base model).
+	Delta []float64
+	// NumSamples is the client's local dataset size.
+	NumSamples int
+}
+
+// Result carries the filter's verdicts for one batch.
+type Result struct {
+	// Decisions holds one verdict per input update, positionally.
+	Decisions []Decision
+	// Scores holds the per-update suspicion scores (higher = more
+	// suspicious), when the filter computed them.
+	Scores []float64
+}
+
+// FilterConfig tunes the AsyncFilter module. The zero value selects the
+// paper's configuration (3-means, staleness grouping, moving-average
+// estimation, deferred middle cluster).
+type FilterConfig struct {
+	// K is the number of score clusters (paper: 3; 2 reproduces the
+	// Figure 7 ablation). 0 selects 3.
+	K int
+	// MiddlePolicy decides the fate of intermediate clusters. 0 selects
+	// Defer, the paper's "contribute at a later stage".
+	MiddlePolicy Decision
+	// DisableStalenessGrouping turns off step 1 (ablation).
+	DisableStalenessGrouping bool
+	// RejectThreshold is the separation guard: a cluster is rejectable
+	// only when its center sits this many standard deviations above the
+	// mean of the clusters below it. 0 selects 4.
+	RejectThreshold float64
+	// RejectCooldown exempts a client's next arrivals after a rejection,
+	// preventing starvation of honest outlier clients. 0 selects 1;
+	// negative disables.
+	RejectCooldown int
+	// Seed drives clustering initialization.
+	Seed int64
+}
+
+// Filter is the AsyncFilter module: group updates by staleness, score them
+// against per-group moving averages, and reject the high-score cluster of
+// a 3-means split. Not safe for concurrent use; aggregation servers
+// serialize rounds.
+type Filter struct {
+	inner *core.AsyncFilter
+}
+
+// NewFilter builds an AsyncFilter module.
+func NewFilter(cfg FilterConfig) (*Filter, error) {
+	inner := core.DefaultConfig()
+	if cfg.K != 0 {
+		inner.K = cfg.K
+	}
+	if cfg.MiddlePolicy != 0 {
+		inner.MiddlePolicy = fl.Decision(cfg.MiddlePolicy)
+	}
+	inner.GroupByStaleness = !cfg.DisableStalenessGrouping
+	if cfg.RejectThreshold != 0 {
+		inner.RejectThreshold = cfg.RejectThreshold
+	}
+	if cfg.RejectCooldown != 0 {
+		inner.RejectCooldown = cfg.RejectCooldown
+	}
+	if cfg.Seed != 0 {
+		inner.Seed = cfg.Seed
+	}
+	f, err := core.New(inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{inner: f}, nil
+}
+
+// Process filters one aggregation batch. round is the server's current
+// aggregation round index (monotonically increasing).
+func (f *Filter) Process(updates []Update, round int) (Result, error) {
+	converted := make([]*fl.Update, len(updates))
+	for i := range updates {
+		converted[i] = &fl.Update{
+			ClientID:   updates[i].ClientID,
+			Staleness:  updates[i].Staleness,
+			Delta:      updates[i].Delta,
+			NumSamples: updates[i].NumSamples,
+		}
+	}
+	res, err := f.inner.Filter(converted, round)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Scores: res.Scores}
+	out.Decisions = make([]Decision, len(res.Decisions))
+	for i, d := range res.Decisions {
+		out.Decisions[i] = Decision(d)
+	}
+	return out, nil
+}
+
+// Name returns the filter's identifier ("asyncfilter" or
+// "asyncfilter-<k>means").
+func (f *Filter) Name() string { return f.inner.Name() }

@@ -1,0 +1,312 @@
+package asyncfilter
+
+import (
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDecisionString(t *testing.T) {
+	if Accept.String() != "accept" || Defer.String() != "defer" || Reject.String() != "reject" {
+		t.Error("decision strings wrong")
+	}
+	if !strings.Contains(Decision(42).String(), "42") {
+		t.Error("unknown decision should include its value")
+	}
+}
+
+func TestNewFilterDefaults(t *testing.T) {
+	f, err := NewFilter(FilterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "asyncfilter" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	f2, err := NewFilter(FilterConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Name() != "asyncfilter-2means" {
+		t.Errorf("2-means Name = %q", f2.Name())
+	}
+	if _, err := NewFilter(FilterConfig{K: 1}); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := NewFilter(FilterConfig{MiddlePolicy: Decision(9)}); err == nil {
+		t.Error("bad middle policy accepted")
+	}
+}
+
+func TestFilterProcessRejectsPoison(t *testing.T) {
+	f, err := NewFilter(FilterConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 benign updates around a center, 6 reversed ones.
+	var updates []Update
+	center := []float64{3, -2, 1, 4, -1, 2, 0.5, -3}
+	for i := 0; i < 30; i++ {
+		delta := make([]float64, len(center))
+		for j := range delta {
+			delta[j] = center[j] + 0.1*float64(i%7-3)
+		}
+		updates = append(updates, Update{ClientID: i, Delta: delta, NumSamples: 10})
+	}
+	for i := 0; i < 6; i++ {
+		delta := make([]float64, len(center))
+		for j := range delta {
+			delta[j] = -2 * center[j]
+		}
+		updates = append(updates, Update{ClientID: 100 + i, Delta: delta, NumSamples: 10})
+	}
+	res, err := f.Process(updates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != len(updates) {
+		t.Fatalf("got %d decisions", len(res.Decisions))
+	}
+	rejectedPoison := 0
+	for i := 30; i < 36; i++ {
+		if res.Decisions[i] == Reject {
+			rejectedPoison++
+		}
+	}
+	if rejectedPoison < 4 {
+		t.Errorf("rejected %d/6 poisoned updates", rejectedPoison)
+	}
+	if len(res.Scores) != len(updates) {
+		t.Errorf("scores missing")
+	}
+}
+
+func TestSimulateQuick(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Dataset:         MNIST,
+		Defense:         DefenseAsyncFilter,
+		Attack:          AttackGD,
+		NumClients:      16,
+		NumMalicious:    3,
+		AggregationGoal: 8,
+		Rounds:          3,
+		EvalEvery:       1,
+		Seed:            2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy <= 0 || res.FinalAccuracy > 1 {
+		t.Errorf("accuracy = %v", res.FinalAccuracy)
+	}
+	if res.Defense != "asyncfilter" || res.Attack != AttackGD {
+		t.Errorf("echo: %q %q", res.Defense, res.Attack)
+	}
+	if len(res.History) == 0 {
+		t.Error("history empty despite EvalEvery")
+	}
+}
+
+func TestSimulateDefaults(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		NumClients:      12,
+		AggregationGoal: 6,
+		Rounds:          2,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No attack configured: the malicious count defaults to zero.
+	if res.Detection.TruePositives+res.Detection.FalseNegatives != 0 {
+		t.Error("no-attack run recorded malicious updates")
+	}
+	if res.Attack != AttackNone || res.Defense != DefenseFedBuff {
+		t.Errorf("defaults: %q %q", res.Attack, res.Defense)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(SimConfig{Dataset: "svhn"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := Simulate(SimConfig{Defense: "tinfoil"}); err == nil {
+		t.Error("unknown defense accepted")
+	}
+	if _, err := Simulate(SimConfig{Attack: "ransom"}); err == nil {
+		t.Error("unknown attack accepted")
+	}
+	if _, err := Simulate(SimConfig{NumClients: 4, NumMalicious: 9}); err == nil {
+		t.Error("malicious > clients accepted")
+	}
+}
+
+func TestDetectionStats(t *testing.T) {
+	d := DetectionStats{TruePositives: 3, FalsePositives: 1, FalseNegatives: 1}
+	if math.Abs(d.Precision()-0.75) > 1e-12 {
+		t.Errorf("precision = %v", d.Precision())
+	}
+	if math.Abs(d.Recall()-0.75) > 1e-12 {
+		t.Errorf("recall = %v", d.Recall())
+	}
+	var zero DetectionStats
+	if zero.Precision() != 0 || zero.Recall() != 0 {
+		t.Error("zero stats should report 0, not NaN")
+	}
+}
+
+func TestListings(t *testing.T) {
+	if len(Presets()) != 4 {
+		t.Errorf("presets: %v", Presets())
+	}
+	if len(Attacks()) != 4 {
+		t.Errorf("attacks: %v", Attacks())
+	}
+	if len(Defenses()) < 3 {
+		t.Errorf("defenses: %v", Defenses())
+	}
+	if len(ExperimentIDs()) != 13 {
+		t.Errorf("experiments: %v", ExperimentIDs())
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("table42", ExperimentScale{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestDataAndModelHelpers(t *testing.T) {
+	train, test, err := GenerateData(MNIST, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() == 0 || test.Len() == 0 || train.NumClasses() != 10 || train.Dim() != 32 {
+		t.Errorf("data shape: len=%d classes=%d dim=%d", train.Len(), train.NumClasses(), train.Dim())
+	}
+	parts, err := train.PartitionDirichlet(5, 40, 0.1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 5 || parts[0].Len() != 40 {
+		t.Errorf("partitions: %d shards of %d", len(parts), parts[0].Len())
+	}
+	iid, err := train.PartitionDirichlet(3, 20, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iid) != 3 {
+		t.Error("IID partitioning failed")
+	}
+
+	spec, err := ModelSpecFor(MNIST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := InitialParams(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, loss, err := EvaluateParams(params, spec, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 || loss <= 0 {
+		t.Errorf("eval: acc=%v loss=%v", acc, loss)
+	}
+	if _, _, err := EvaluateParams(params[:3], spec, test); err == nil {
+		t.Error("short params accepted")
+	}
+	if _, err := ModelSpecFor("svhn"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	ts, err := TrainSpecFor(CINIC10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Optimizer != "adam" {
+		t.Errorf("CINIC trainer optimizer = %q, want adam", ts.Optimizer)
+	}
+}
+
+func TestPublicDeployment(t *testing.T) {
+	spec, err := ModelSpecFor(MNIST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := InitialParams(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := NewFilter(FilterConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewServer(ServerConfig{
+		InitialParams:   params,
+		AggregationGoal: 4,
+		StalenessLimit:  10,
+		Rounds:          2,
+	}, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = server.Serve(lis) }()
+
+	train, _, err := GenerateData(MNIST, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := train.PartitionDirichlet(6, 40, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSpec, err := TrainSpecFor(MNIST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSpec.Epochs = 1
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		opts := ClientOptions{ID: i, Data: parts[i], Model: spec, Train: trainSpec, Seed: int64(i)}
+		if i == 5 {
+			opts.Attack = AttackGD
+		}
+		client, err := NewClient(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = client.Run(lis.Addr().String())
+		}()
+	}
+	select {
+	case <-server.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("deployment timed out")
+	}
+	_ = server.Close()
+	wg.Wait()
+	if server.Version() != 2 {
+		t.Errorf("version = %d, want 2", server.Version())
+	}
+	if len(server.FinalParams()) != len(params) {
+		t.Error("final params wrong length")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(ClientOptions{}); err == nil {
+		t.Error("client without data accepted")
+	}
+}

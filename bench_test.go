@@ -1,0 +1,327 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus ablation benches for the design choices called
+// out in DESIGN.md §5. Each benchmark iteration executes the complete
+// experiment at a reduced round budget (benchRounds) so the full suite
+// finishes in minutes; run `aflbench -exp all` for the paper-scale
+// numbers. The reported metrics include the headline accuracies as
+// custom benchmark outputs (acc_*), so `go test -bench=.` output doubles
+// as a compact reproduction record.
+package asyncfilter
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/core"
+	"github.com/asyncfl/asyncfilter/internal/defense"
+	"github.com/asyncfl/asyncfilter/internal/experiments"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/sim"
+)
+
+// benchRounds is the reduced aggregation budget for benchmark runs.
+const benchRounds = 10
+
+// benchScale shrinks each experiment for benchmarking.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Rounds: benchRounds, Repeats: 1, BaseSeed: 1}
+}
+
+// benchTable runs a paper table experiment once per iteration and reports
+// the AsyncFilter-vs-FedBuff accuracies under the first attack column.
+func benchTable(b *testing.B, id string) {
+	b.Helper()
+	spec, err := experiments.TableSpecByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var table *experiments.Table
+	for i := 0; i < b.N; i++ {
+		table, err = experiments.RunTable(spec, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	firstAttack := spec.Attacks[0]
+	if c, ok := table.Get(experiments.FilterFedBuff, firstAttack); ok {
+		b.ReportMetric(100*c.Accuracy, "acc_fedbuff_"+firstAttack)
+	}
+	if c, ok := table.Get(experiments.FilterAsyncFilter, firstAttack); ok {
+		b.ReportMetric(100*c.Accuracy, "acc_asyncfilter_"+firstAttack)
+	}
+}
+
+func BenchmarkTable2_MNIST(b *testing.B)                        { benchTable(b, "table2") }
+func BenchmarkTable3_FashionMNIST(b *testing.B)                 { benchTable(b, "table3") }
+func BenchmarkTable4_CIFAR10(b *testing.B)                      { benchTable(b, "table4") }
+func BenchmarkTable5_CINIC10(b *testing.B)                      { benchTable(b, "table5") }
+func BenchmarkTable6_HeterogeneityCINIC10(b *testing.B)         { benchTable(b, "table6") }
+func BenchmarkTable7_HeterogeneityFashionMNIST(b *testing.B)    { benchTable(b, "table7") }
+func BenchmarkTable8_DoubledAttackersCINIC10(b *testing.B)      { benchTable(b, "table8") }
+func BenchmarkTable9_DoubledAttackersFashionMNIST(b *testing.B) { benchTable(b, "table9") }
+func BenchmarkTable10_SpeedHeterogeneity(b *testing.B)          { benchTable(b, "table10") }
+
+func BenchmarkFigure3_TSNEIID(b *testing.B) {
+	var silhouette float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunEmbedding("fig3", 0, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		silhouette = res.SilhouetteByStaleness
+	}
+	b.ReportMetric(silhouette, "staleness_silhouette")
+}
+
+func BenchmarkFigure4_TSNENonIID(b *testing.B) {
+	var silhouette float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunEmbedding("fig4", 0.01, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		silhouette = res.SilhouetteByStaleness
+	}
+	b.ReportMetric(silhouette, "staleness_silhouette")
+}
+
+func BenchmarkFigure6_StalenessSweep(b *testing.B) {
+	scale := benchScale()
+	scale.Repeats = 2 // the paper uses 3 seeds; 2 keeps the bench fast
+	var res *experiments.SweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunStalenessSweep(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range res.Points {
+		if p.StalenessLimit == 20 && p.Attack == attack.GDName {
+			b.ReportMetric(100*p.Mean, "acc_limit20_gd")
+		}
+	}
+}
+
+func BenchmarkFigure7_KMeansAblation(b *testing.B) {
+	var res *experiments.AblationResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunKMeansAblation(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var acc3, acc2 float64
+	for _, bar := range res.Bars {
+		if bar.Attack == attack.GDName {
+			switch bar.Variant {
+			case experiments.FilterAsyncFilter:
+				acc3 = bar.Accuracy
+			case experiments.FilterAsyncFilter2:
+				acc2 = bar.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(100*acc3, "acc_3means_gd")
+	b.ReportMetric(100*acc2, "acc_2means_gd")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// benchSim runs one simulation per iteration and reports its accuracy.
+func benchSim(b *testing.B, preset string, atkName string, filter func() (fl.Filter, error), metric string) {
+	b.Helper()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		cfg, err := sim.Default(preset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Rounds = benchRounds
+		cfg.Attack = attack.Config{Name: atkName}
+		f, err := filter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := sim.New(cfg, f, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.FinalAccuracy
+	}
+	b.ReportMetric(100*acc, metric)
+}
+
+func BenchmarkAblation_MiddleClusterPolicy(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy fl.Decision
+	}{
+		{"accept", fl.Accept},
+		{"defer", fl.Defer},
+		{"reject", fl.Reject},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			benchSim(b, "fashionmnist", attack.GDName, func() (fl.Filter, error) {
+				cfg := core.DefaultConfig()
+				cfg.MiddlePolicy = tc.policy
+				return core.New(cfg)
+			}, "acc_"+tc.name)
+		})
+	}
+}
+
+func BenchmarkAblation_StalenessGrouping(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		grouping bool
+	}{
+		{"grouped", true},
+		{"ungrouped", false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			benchSim(b, "fashionmnist", attack.GDName, func() (fl.Filter, error) {
+				cfg := core.DefaultConfig()
+				cfg.GroupByStaleness = tc.grouping
+				return core.New(cfg)
+			}, "acc_"+tc.name)
+		})
+	}
+}
+
+func BenchmarkAblation_MovingAverage(b *testing.B) {
+	for _, tc := range []struct {
+		name      string
+		estimator string
+		alpha     float64
+	}{
+		{"cumulative_ma", core.EstimatorMA, 0},
+		{"batch_mean", core.EstimatorBatch, 0},
+		{"ewma", core.EstimatorEWMA, 0.4},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			benchSim(b, "fashionmnist", attack.GDName, func() (fl.Filter, error) {
+				cfg := core.DefaultConfig()
+				cfg.Estimator = tc.estimator
+				cfg.EWMAAlpha = tc.alpha
+				return core.New(cfg)
+			}, "acc_"+tc.name)
+		})
+	}
+}
+
+func BenchmarkAblation_SyncBaselines(b *testing.B) {
+	b.Run("krum", func(b *testing.B) {
+		benchSim(b, "fashionmnist", attack.GDName, func() (fl.Filter, error) {
+			return defense.NewKrum(8, 0)
+		}, "acc_krum")
+	})
+	b.Run("fldetector", func(b *testing.B) {
+		benchSim(b, "fashionmnist", attack.GDName, func() (fl.Filter, error) {
+			return defense.NewFLDetector(defense.DefaultFLDetectorConfig())
+		}, "acc_fldetector")
+	})
+	b.Run("trimmed_mean_combiner", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			cfg, err := sim.Default("fashionmnist")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Rounds = benchRounds
+			cfg.Attack = attack.Config{Name: attack.GDName}
+			tm, err := defense.NewTrimmedMean(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := sim.New(cfg, nil, tm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc = res.FinalAccuracy
+		}
+		b.ReportMetric(100*acc, "acc_trimmed_mean")
+	})
+	b.Run("median_combiner", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			cfg, err := sim.Default("fashionmnist")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Rounds = benchRounds
+			cfg.Attack = attack.Config{Name: attack.GDName}
+			s, err := sim.New(cfg, nil, defense.Median{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc = res.FinalAccuracy
+		}
+		b.ReportMetric(100*acc, "acc_median")
+	})
+}
+
+func BenchmarkAblation_CleanDatasetDefenses(b *testing.B) {
+	run := func(b *testing.B, build func(oracle defense.ServerOracle) (fl.Filter, error), metric string) {
+		b.Helper()
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			cfg, err := sim.Default("fashionmnist")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Rounds = benchRounds
+			cfg.Attack = attack.Config{Name: attack.GDName}
+			cfg.OracleShardFraction = 0.02
+
+			// Build the simulation first so its oracle (backed by the
+			// clean server shard the paper argues against assuming) can be
+			// handed to the filter; then rebuild with the filter in place.
+			probe, err := sim.New(cfg, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			oracle, err := probe.Oracle()
+			if err != nil {
+				b.Fatal(err)
+			}
+			filter, err := build(oracle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := sim.New(cfg, filter, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			acc = res.FinalAccuracy
+		}
+		b.ReportMetric(100*acc, metric)
+	}
+	b.Run("zeno++", func(b *testing.B) {
+		run(b, func(oracle defense.ServerOracle) (fl.Filter, error) {
+			return defense.NewZenoPP(oracle, 1, 0.001, 1)
+		}, "acc_zenopp")
+	})
+	b.Run("aflguard", func(b *testing.B) {
+		run(b, func(oracle defense.ServerOracle) (fl.Filter, error) {
+			return defense.NewAFLGuard(oracle, 2)
+		}, "acc_aflguard")
+	})
+}

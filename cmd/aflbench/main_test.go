@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunRequiresExperiment(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -exp accepted")
+	}
+	if err := run([]string{"-exp", "table42"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

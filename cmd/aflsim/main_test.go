@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSmallSimulation(t *testing.T) {
+	err := run([]string{
+		"-clients", "12", "-malicious", "2", "-goal", "6",
+		"-rounds", "2", "-eval-every", "1", "-seed", "3",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-dataset", "svhn", "-clients", "8", "-malicious", "1", "-goal", "4", "-rounds", "1"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run([]string{"-bogus-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,190 @@
+package asyncfilter
+
+import (
+	"fmt"
+
+	"github.com/asyncfl/asyncfilter/internal/dataset"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/model"
+	"github.com/asyncfl/asyncfilter/internal/optim"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+)
+
+// Data is a labelled dataset handle used by the distributed client API.
+type Data struct {
+	inner *dataset.Dataset
+}
+
+// Len returns the number of examples.
+func (d *Data) Len() int { return d.inner.Len() }
+
+// NumClasses returns the number of label classes.
+func (d *Data) NumClasses() int { return d.inner.NumClasses }
+
+// Dim returns the feature dimensionality.
+func (d *Data) Dim() int { return d.inner.Dim }
+
+// GenerateData builds the train and test splits of a dataset preset.
+func GenerateData(preset string, seed int64) (train, test *Data, err error) {
+	cfg, err := dataset.Preset(preset)
+	if err != nil {
+		return nil, nil, err
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	tr, te, err := dataset.GenerateSynthetic(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Data{inner: tr}, &Data{inner: te}, nil
+}
+
+// PartitionDirichlet splits the data into n client shards of exactly size
+// examples each, with label proportions drawn from a symmetric Dirichlet
+// with concentration alpha (small alpha = highly non-IID). alpha <= 0
+// selects IID shards.
+func (d *Data) PartitionDirichlet(n, size int, alpha float64, seed int64) ([]*Data, error) {
+	r := randx.New(seed)
+	var parts []*dataset.Dataset
+	var err error
+	if alpha > 0 {
+		parts, err = dataset.PartitionDirichletFixedSize(d.inner, n, size, alpha, r)
+	} else {
+		parts, err = dataset.PartitionIIDFixedSize(d.inner, n, size, r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Data, len(parts))
+	for i, p := range parts {
+		out[i] = &Data{inner: p}
+	}
+	return out, nil
+}
+
+// ModelSpec selects and sizes a classifier architecture.
+type ModelSpec struct {
+	// Arch is "linear" or "mlp".
+	Arch string
+	// InputDim and NumClasses size the model.
+	InputDim   int
+	NumClasses int
+	// Hidden lists MLP hidden-layer widths.
+	Hidden []int
+	// Seed drives weight initialization.
+	Seed int64
+}
+
+func (s ModelSpec) internal() model.Config {
+	return model.Config{
+		Arch:       s.Arch,
+		InputDim:   s.InputDim,
+		NumClasses: s.NumClasses,
+		Hidden:     s.Hidden,
+		Seed:       s.Seed,
+	}
+}
+
+// ModelSpecFor returns the architecture the evaluation assigns to a
+// dataset preset (linear softmax for the MNIST-class presets, a small MLP
+// for the CIFAR-class presets).
+func ModelSpecFor(preset string) (ModelSpec, error) {
+	data, err := dataset.Preset(preset)
+	if err != nil {
+		return ModelSpec{}, err
+	}
+	mc, _ := presetModelTrainer(preset, data)
+	return ModelSpec{
+		Arch:       mc.Arch,
+		InputDim:   mc.InputDim,
+		NumClasses: mc.NumClasses,
+		Hidden:     mc.Hidden,
+	}, nil
+}
+
+// TrainSpec configures a client's local optimization.
+type TrainSpec struct {
+	// Epochs is the number of local passes (default 2).
+	Epochs int
+	// BatchSize is the minibatch size (default 32).
+	BatchSize int
+	// Optimizer is "sgd" or "adam" (default "sgd").
+	Optimizer string
+	// LR is the learning rate (default 0.01).
+	LR float64
+	// Momentum applies to SGD (default 0.9).
+	Momentum float64
+}
+
+func (s TrainSpec) internal() fl.TrainerConfig {
+	cfg := fl.TrainerConfig{
+		Epochs:    s.Epochs,
+		BatchSize: s.BatchSize,
+		Optim: optim.Config{
+			Name:     s.Optimizer,
+			LR:       s.LR,
+			Momentum: s.Momentum,
+		},
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 2
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Optim.Name == "" {
+		cfg.Optim.Name = optim.SGDName
+	}
+	if cfg.Optim.LR == 0 {
+		cfg.Optim.LR = 0.01
+	}
+	if cfg.Optim.Name == optim.SGDName && cfg.Optim.Momentum == 0 {
+		cfg.Optim.Momentum = 0.9
+	}
+	return cfg
+}
+
+// TrainSpecFor returns the local-training configuration the evaluation
+// assigns to a dataset preset.
+func TrainSpecFor(preset string) (TrainSpec, error) {
+	data, err := dataset.Preset(preset)
+	if err != nil {
+		return TrainSpec{}, err
+	}
+	_, tc := presetModelTrainer(preset, data)
+	return TrainSpec{
+		Epochs:    tc.Epochs,
+		BatchSize: tc.BatchSize,
+		Optimizer: tc.Optim.Name,
+		LR:        tc.Optim.LR,
+		Momentum:  tc.Optim.Momentum,
+	}, nil
+}
+
+// InitialParams returns a freshly initialized flat parameter vector for
+// the model spec — the value a server should be seeded with.
+func InitialParams(spec ModelSpec) ([]float64, error) {
+	m, err := model.New(spec.internal())
+	if err != nil {
+		return nil, err
+	}
+	p := make([]float64, m.NumParams())
+	m.Params(p)
+	return p, nil
+}
+
+// EvaluateParams reports the test accuracy and mean loss of the given
+// parameters on data.
+func EvaluateParams(params []float64, spec ModelSpec, data *Data) (accuracy, loss float64, err error) {
+	m, err := model.New(spec.internal())
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(params) != m.NumParams() {
+		return 0, 0, fmt.Errorf("asyncfilter: %d params for a %d-parameter model", len(params), m.NumParams())
+	}
+	m.SetParams(params)
+	acc, l := model.Evaluate(m, data.inner)
+	return acc, l, nil
+}

@@ -1,0 +1,110 @@
+// Distributed deployment: run a real AsyncFilter-guarded aggregation
+// server and twelve federated clients (three of them malicious) as
+// separate goroutines talking gob-over-TCP across the loopback interface —
+// the same server code the aflserver command deploys across machines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	asyncfilter "github.com/asyncfl/asyncfilter"
+)
+
+const (
+	numClients   = 12
+	numMalicious = 3
+	rounds       = 6
+)
+
+func main() {
+	spec, err := asyncfilter.ModelSpecFor(asyncfilter.MNIST)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := asyncfilter.InitialParams(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filter, err := asyncfilter.NewFilter(asyncfilter.FilterConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := asyncfilter.NewServer(asyncfilter.ServerConfig{
+		InitialParams:   params,
+		AggregationGoal: 6,
+		StalenessLimit:  10,
+		Rounds:          rounds,
+	}, filter)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := server.Serve(lis); err != nil {
+			log.Println("serve:", err)
+		}
+	}()
+	fmt.Printf("server listening on %s (%d rounds, aggregation goal 6)\n", lis.Addr(), rounds)
+
+	train, test, err := asyncfilter.GenerateData(asyncfilter.MNIST, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := train.PartitionDirichlet(numClients, 150, 0.1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainSpec, err := asyncfilter.TrainSpecFor(asyncfilter.MNIST)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < numClients; i++ {
+		opts := asyncfilter.ClientOptions{
+			ID:    i,
+			Data:  parts[i],
+			Model: spec,
+			Train: trainSpec,
+			Seed:  int64(i),
+		}
+		if i < numMalicious {
+			opts.Attack = asyncfilter.AttackGD
+			fmt.Printf("client %2d: MALICIOUS (gd attack)\n", i)
+		} else {
+			fmt.Printf("client %2d: honest (%d local samples)\n", i, parts[i].Len())
+		}
+		client, err := asyncfilter.NewClient(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Connection errors at shutdown are expected: the server
+			// closes sockets once training completes.
+			_ = client.Run(lis.Addr().String())
+		}()
+	}
+
+	<-server.Done()
+	final := server.FinalParams()
+	if err := server.Close(); err != nil {
+		log.Println("close:", err)
+	}
+	wg.Wait()
+
+	acc, loss, err := asyncfilter.EvaluateParams(final, spec, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompleted %d rounds; final accuracy %.2f%% (test loss %.4f)\n",
+		server.Version(), 100*acc, loss)
+}

@@ -1,0 +1,43 @@
+// Poisoning-defense comparison: pit every built-in defense (FedBuff,
+// FLDetector, AsyncFilter, Krum) against every untargeted poisoning attack
+// from the paper (GD, LIE, Min-Max, Min-Sum) on the FashionMNIST stand-in
+// — a miniature of the paper's Table 3 extended with the Krum baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	asyncfilter "github.com/asyncfl/asyncfilter"
+)
+
+func main() {
+	attacks := append([]string{asyncfilter.AttackNone}, asyncfilter.Attacks()...)
+	defenses := asyncfilter.Defenses()
+
+	fmt.Print("defense     ")
+	for _, a := range attacks {
+		fmt.Printf("%10s", a)
+	}
+	fmt.Println()
+
+	for _, defense := range defenses {
+		fmt.Printf("%-12s", defense)
+		for _, atk := range attacks {
+			res, err := asyncfilter.Simulate(asyncfilter.SimConfig{
+				Dataset: asyncfilter.FashionMNIST,
+				Defense: defense,
+				Attack:  atk,
+				Rounds:  30,
+				Seed:    1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%9.1f%%", 100*res.FinalAccuracy)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nEach cell is the final global-model test accuracy after 30 rounds")
+	fmt.Println("with 20/100 malicious clients (paper Section 5.1 defaults).")
+}

@@ -1,0 +1,59 @@
+package asyncfilter
+
+import (
+	"fmt"
+
+	"github.com/asyncfl/asyncfilter/internal/experiments"
+)
+
+// Report is the rendered outcome of a paper experiment.
+type Report interface {
+	// Render prints the experiment's rows in the paper's layout.
+	Render() string
+}
+
+// ExperimentIDs lists every reproducible experiment of the paper's
+// evaluation section: "table2" … "table10" and "fig3", "fig4", "fig6",
+// "fig7". RunExperiment additionally accepts the extension experiment
+// "detection".
+func ExperimentIDs() []string {
+	return experiments.IDs()
+}
+
+// ExperimentScale shrinks or stretches an experiment relative to the
+// paper defaults.
+type ExperimentScale struct {
+	// Rounds overrides the number of aggregation rounds (0 keeps the
+	// default).
+	Rounds int
+	// Repeats averages accuracy cells over this many seeds (0 selects the
+	// experiment's default).
+	Repeats int
+	// Seed offsets all run seeds.
+	Seed int64
+}
+
+// RunExperiment reproduces one of the paper's tables or figures by id.
+func RunExperiment(id string, scale ExperimentScale) (Report, error) {
+	s := experiments.Scale{Rounds: scale.Rounds, Repeats: scale.Repeats, BaseSeed: scale.Seed}
+	switch id {
+	case "detection":
+		// Extension experiment (not a paper table): detection precision,
+		// recall and false-positive rate per attack.
+		return experiments.RunDetectionTable("fashionmnist", s)
+	case "fig3":
+		return experiments.RunEmbedding("fig3", 0, s)
+	case "fig4":
+		return experiments.RunEmbedding("fig4", 0.01, s)
+	case "fig6":
+		return experiments.RunStalenessSweep(s)
+	case "fig7":
+		return experiments.RunKMeansAblation(s)
+	default:
+		spec, err := experiments.TableSpecByID(id)
+		if err != nil {
+			return nil, fmt.Errorf("asyncfilter: unknown experiment %q (want one of %v)", id, ExperimentIDs())
+		}
+		return experiments.RunTable(spec, s)
+	}
+}

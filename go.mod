@@ -1,0 +1,3 @@
+module github.com/asyncfl/asyncfilter
+
+go 1.22

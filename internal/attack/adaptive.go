@@ -1,0 +1,86 @@
+package attack
+
+import (
+	"math/rand"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// GroupAware is implemented by attacks that exploit staleness information:
+// the simulator passes each colluding update's staleness level alongside
+// its honest delta, letting the attacker craft per staleness group. This
+// models the natural adaptive adversary against AsyncFilter — one that
+// knows the defense groups by staleness and hides inside each group's own
+// statistics instead of the cohort-wide ones.
+type GroupAware interface {
+	Attack
+	// CraftGrouped returns one poisoned delta per honest input, crafted
+	// per staleness group. len(staleness) == len(honest).
+	CraftGrouped(honest [][]float64, staleness []int, r *rand.Rand) ([][]float64, error)
+}
+
+// AdaptiveLIE name for Config.Name.
+const AdaptiveLIEName = "adaptive-lie"
+
+// AdaptiveLIE is a staleness-aware Little-Is-Enough attack: within each
+// staleness group the crafted delta is that group's mean shifted by z of
+// that group's per-coordinate standard deviations. Against a staleness-
+// grouping defense this is strictly harder to detect than plain LIE,
+// whose single cohort-wide crafted vector looks out of place in groups
+// whose honest updates have drifted.
+type AdaptiveLIE struct {
+	z float64
+}
+
+var _ GroupAware = (*AdaptiveLIE)(nil)
+
+// NewAdaptiveLIE builds the attack; z 0 selects 1.5 (as plain LIE).
+func NewAdaptiveLIE(z float64) *AdaptiveLIE {
+	if z == 0 {
+		z = 1.5
+	}
+	return &AdaptiveLIE{z: z}
+}
+
+// Name implements Attack.
+func (a *AdaptiveLIE) Name() string { return AdaptiveLIEName }
+
+// Craft implements Attack by falling back to plain LIE (no staleness
+// information available).
+func (a *AdaptiveLIE) Craft(honest [][]float64, r *rand.Rand) ([][]float64, error) {
+	return NewLIE(a.z).Craft(honest, r)
+}
+
+// CraftGrouped implements GroupAware.
+func (a *AdaptiveLIE) CraftGrouped(honest [][]float64, staleness []int, r *rand.Rand) ([][]float64, error) {
+	if len(honest) == 0 {
+		return nil, nil
+	}
+	if len(staleness) != len(honest) {
+		return a.Craft(honest, r)
+	}
+	groups := make(map[int][]int)
+	for i, s := range staleness {
+		groups[s] = append(groups[s], i)
+	}
+	dim := len(honest[0])
+	out := make([][]float64, len(honest))
+	for _, members := range groups {
+		vs := make([][]float64, len(members))
+		for j, idx := range members {
+			vs[j] = honest[idx]
+		}
+		mean := make([]float64, dim)
+		vecmath.MeanVector(mean, vs)
+		std := make([]float64, dim)
+		vecmath.StdVector(std, mean, vs)
+		crafted := make([]float64, dim)
+		for j := range crafted {
+			crafted[j] = mean[j] - a.z*std[j]
+		}
+		for _, idx := range members {
+			out[idx] = vecmath.Clone(crafted)
+		}
+	}
+	return out, nil
+}

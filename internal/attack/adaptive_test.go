@@ -1,0 +1,103 @@
+package attack
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+func TestAdaptiveLIERegistered(t *testing.T) {
+	a, err := New(Config{Name: AdaptiveLIEName, Z: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != AdaptiveLIEName {
+		t.Errorf("name = %q", a.Name())
+	}
+	if _, ok := a.(GroupAware); !ok {
+		t.Error("adaptive LIE must implement GroupAware")
+	}
+}
+
+func TestAdaptiveLIEFallsBackToPlainLIE(t *testing.T) {
+	honest := sampleHonest(20, 6, 8)
+	adaptive := NewAdaptiveLIE(1.3)
+	plain := NewLIE(1.3)
+	got, err := adaptive.Craft(honest, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Craft(honest, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !vecmath.EqualApprox(got[i], want[i], 1e-12) {
+			t.Fatal("Craft without staleness should equal plain LIE")
+		}
+	}
+	// Mismatched staleness length falls back too.
+	got2, err := adaptive.CraftGrouped(honest, []int{1}, randx.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.EqualApprox(got2[0], want[0], 1e-12) {
+		t.Error("mismatched staleness should fall back to plain LIE")
+	}
+}
+
+func TestAdaptiveLIECraftsPerGroup(t *testing.T) {
+	r := randx.New(2)
+	// Two staleness groups with very different centers.
+	centerA := randx.NormalVector(r, 6, 0, 1)
+	centerB := randx.NormalVector(r, 6, 50, 1)
+	var honest [][]float64
+	var staleness []int
+	for i := 0; i < 4; i++ {
+		v := vecmath.Clone(centerA)
+		vecmath.Add(v, v, randx.NormalVector(r, 6, 0, 0.1))
+		honest = append(honest, v)
+		staleness = append(staleness, 0)
+	}
+	for i := 0; i < 4; i++ {
+		v := vecmath.Clone(centerB)
+		vecmath.Add(v, v, randx.NormalVector(r, 6, 0, 0.1))
+		honest = append(honest, v)
+		staleness = append(staleness, 3)
+	}
+
+	out, err := NewAdaptiveLIE(1.5).CraftGrouped(honest, staleness, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Members of the same group share a crafted vector; members of
+	// different groups do not.
+	if !vecmath.EqualApprox(out[0], out[3], 0) {
+		t.Error("group 0 members differ")
+	}
+	if !vecmath.EqualApprox(out[4], out[7], 0) {
+		t.Error("group 3 members differ")
+	}
+	if vecmath.EqualApprox(out[0], out[4], 1e-6) {
+		t.Error("different groups share a crafted vector")
+	}
+	// Each group's crafted vector hides near its own group center, not the
+	// cohort-wide mean.
+	if vecmath.Distance(out[0], centerA) > vecmath.Distance(out[0], centerB) {
+		t.Error("group 0 poison not anchored at group 0's center")
+	}
+	if vecmath.Distance(out[4], centerB) > vecmath.Distance(out[4], centerA) {
+		t.Error("group 3 poison not anchored at group 3's center")
+	}
+}
+
+func TestAdaptiveLIEEmpty(t *testing.T) {
+	out, err := NewAdaptiveLIE(0).CraftGrouped(nil, nil, randx.New(3))
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty cohort: %v %v", out, err)
+	}
+	if NewAdaptiveLIE(0).z != 1.5 {
+		t.Error("default z wrong")
+	}
+}

@@ -1,0 +1,216 @@
+// Package attack implements the untargeted model-poisoning attacks the
+// paper evaluates against (Section 2.2): the Gradient Deviation (GD)
+// attack, Little-Is-Enough (LIE), and the Min-Max / Min-Sum optimized
+// attacks, plus a Gaussian-noise attack used as an extension baseline.
+//
+// Threat model (paper Section 3.1): the attacker controls the malicious
+// clients and knows their local data and honestly-trained model updates,
+// but not the benign clients' updates and not the server state. Each
+// attack therefore crafts poisoned deltas from the malicious cohort's own
+// honest deltas, which serve as the attacker's estimate of the benign
+// update distribution.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// Attack crafts poisoned update deltas.
+//
+// honest holds the honestly-trained deltas of the malicious clients that
+// are colluding in this crafting step (the attacker's knowledge). Craft
+// returns exactly one poisoned delta per honest input; implementations
+// must not mutate the inputs.
+type Attack interface {
+	Craft(honest [][]float64, r *rand.Rand) ([][]float64, error)
+	// Name identifies the attack in experiment reports.
+	Name() string
+}
+
+// Attack names accepted by New.
+const (
+	NoneName   = "none"
+	GDName     = "gd"
+	LIEName    = "lie"
+	MinMaxName = "minmax"
+	MinSumName = "minsum"
+	NoiseName  = "noise"
+)
+
+// Names lists the built-in attacks in the paper's evaluation order,
+// excluding "none".
+func Names() []string {
+	return []string{GDName, LIEName, MinMaxName, MinSumName}
+}
+
+// Config parameterizes an attack built by New. Zero values select the
+// defaults documented on each attack type.
+type Config struct {
+	// Name selects the attack.
+	Name string
+	// Scale is the GD reversal magnitude or the noise standard deviation.
+	Scale float64
+	// Z is the LIE deviation multiplier.
+	Z float64
+	// Direction selects the Min-Max/Min-Sum perturbation direction:
+	// "unit", "sign" or "std".
+	Direction string
+}
+
+// New builds an attack from its configuration.
+func New(cfg Config) (Attack, error) {
+	switch cfg.Name {
+	case NoneName, "":
+		return None{}, nil
+	case GDName:
+		return NewGD(cfg.Scale), nil
+	case LIEName:
+		return NewLIE(cfg.Z), nil
+	case MinMaxName:
+		return NewMinMax(cfg.Direction)
+	case MinSumName:
+		return NewMinSum(cfg.Direction)
+	case NoiseName:
+		return NewNoise(cfg.Scale), nil
+	case AdaptiveLIEName:
+		return NewAdaptiveLIE(cfg.Z), nil
+	default:
+		return nil, fmt.Errorf("attack: unknown attack %q", cfg.Name)
+	}
+}
+
+// None is the identity attack: malicious clients behave honestly. It is
+// the "No attack" column of the paper's tables.
+type None struct{}
+
+var _ Attack = None{}
+
+// Craft implements Attack by returning copies of the honest deltas.
+func (None) Craft(honest [][]float64, r *rand.Rand) ([][]float64, error) {
+	out := make([][]float64, len(honest))
+	for i, h := range honest {
+		out[i] = vecmath.Clone(h)
+	}
+	return out, nil
+}
+
+// Name implements Attack.
+func (None) Name() string { return NoneName }
+
+// GD is the Gradient Deviation attack (Fang et al., USENIX Security 2020):
+// each malicious client reverses its true update so the aggregate is pushed
+// opposite to the descent direction.
+type GD struct {
+	scale float64
+}
+
+var _ Attack = (*GD)(nil)
+
+// NewGD builds a GD attack; scale 0 selects 1 (pure reversal). Larger
+// scales push harder but are easier to detect.
+func NewGD(scale float64) *GD {
+	if scale == 0 {
+		scale = 1
+	}
+	return &GD{scale: scale}
+}
+
+// Craft implements Attack.
+func (g *GD) Craft(honest [][]float64, r *rand.Rand) ([][]float64, error) {
+	if len(honest) == 0 {
+		return nil, nil
+	}
+	out := make([][]float64, len(honest))
+	for i, h := range honest {
+		out[i] = vecmath.Scaled(-g.scale, h)
+	}
+	return out, nil
+}
+
+// Name implements Attack.
+func (g *GD) Name() string { return GDName }
+
+// LIE is the Little-Is-Enough attack (Baruch et al., NeurIPS 2019): the
+// crafted delta is the benign per-coordinate mean shifted by z standard
+// deviations, small enough to hide inside benign variance yet consistently
+// biased.
+type LIE struct {
+	z float64
+}
+
+var _ Attack = (*LIE)(nil)
+
+// NewLIE builds a LIE attack; z 0 selects 1.5, within the range the
+// original paper derives for ~100-client populations.
+func NewLIE(z float64) *LIE {
+	if z == 0 {
+		z = 1.5
+	}
+	return &LIE{z: z}
+}
+
+// Craft implements Attack.
+func (l *LIE) Craft(honest [][]float64, r *rand.Rand) ([][]float64, error) {
+	if len(honest) == 0 {
+		return nil, nil
+	}
+	dim := len(honest[0])
+	mean := make([]float64, dim)
+	vecmath.MeanVector(mean, honest)
+	std := make([]float64, dim)
+	vecmath.StdVector(std, mean, honest)
+
+	crafted := make([]float64, dim)
+	for i := range crafted {
+		crafted[i] = mean[i] - l.z*std[i]
+	}
+	out := make([][]float64, len(honest))
+	for i := range out {
+		out[i] = vecmath.Clone(crafted)
+	}
+	return out, nil
+}
+
+// Name implements Attack.
+func (l *LIE) Name() string { return LIEName }
+
+// Noise sends the benign mean plus isotropic Gaussian noise — a crude
+// attack used as an extension baseline for filter calibration.
+type Noise struct {
+	std float64
+}
+
+var _ Attack = (*Noise)(nil)
+
+// NewNoise builds a noise attack; std 0 selects 1.
+func NewNoise(std float64) *Noise {
+	if std == 0 {
+		std = 1
+	}
+	return &Noise{std: std}
+}
+
+// Craft implements Attack.
+func (n *Noise) Craft(honest [][]float64, r *rand.Rand) ([][]float64, error) {
+	if len(honest) == 0 {
+		return nil, nil
+	}
+	dim := len(honest[0])
+	mean := make([]float64, dim)
+	vecmath.MeanVector(mean, honest)
+	out := make([][]float64, len(honest))
+	for i := range out {
+		v := vecmath.Clone(mean)
+		for j := range v {
+			v[j] += n.std * r.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Name implements Attack.
+func (n *Noise) Name() string { return NoiseName }

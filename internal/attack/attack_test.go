@@ -1,0 +1,339 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// sampleHonest draws k plausible benign deltas scattered around a common
+// direction, the structure real local updates have.
+func sampleHonest(seed int64, k, dim int) [][]float64 {
+	r := randx.New(seed)
+	center := randx.NormalVector(r, dim, 0, 1)
+	out := make([][]float64, k)
+	for i := range out {
+		v := vecmath.Clone(center)
+		noise := randx.NormalVector(r, dim, 0, 0.3)
+		vecmath.Add(v, v, noise)
+		out[i] = v
+	}
+	return out
+}
+
+func TestNewDispatch(t *testing.T) {
+	for _, name := range []string{NoneName, GDName, LIEName, MinMaxName, MinSumName, NoiseName, ""} {
+		a, err := New(Config{Name: name})
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		wantName := name
+		if name == "" {
+			wantName = NoneName
+		}
+		if a.Name() != wantName {
+			t.Errorf("New(%q).Name() = %q", name, a.Name())
+		}
+	}
+	if _, err := New(Config{Name: "backdoor"}); err == nil {
+		t.Error("unknown attack accepted")
+	}
+	if _, err := New(Config{Name: MinMaxName, Direction: "diagonal"}); err == nil {
+		t.Error("unknown direction accepted")
+	}
+}
+
+func TestNamesListsPaperAttacks(t *testing.T) {
+	want := map[string]bool{GDName: true, LIEName: true, MinMaxName: true, MinSumName: true}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Errorf("unexpected attack %q", n)
+		}
+	}
+}
+
+func TestNonePreservesHonest(t *testing.T) {
+	honest := sampleHonest(1, 3, 8)
+	out, err := (None{}).Craft(honest, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range honest {
+		if !vecmath.EqualApprox(out[i], honest[i], 0) {
+			t.Errorf("None modified delta %d", i)
+		}
+		out[i][0] = 999
+		if honest[i][0] == 999 {
+			t.Errorf("None aliased input %d", i)
+		}
+	}
+}
+
+func TestGDReversesDirection(t *testing.T) {
+	honest := sampleHonest(3, 4, 8)
+	out, err := NewGD(0).Craft(honest, randx.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range honest {
+		cos := vecmath.Cosine(out[i], honest[i])
+		if math.Abs(cos+1) > 1e-9 {
+			t.Errorf("GD delta %d cosine = %v, want -1", i, cos)
+		}
+		if math.Abs(vecmath.Norm2(out[i])-vecmath.Norm2(honest[i])) > 1e-9 {
+			t.Errorf("GD scale=1 changed magnitude of delta %d", i)
+		}
+	}
+}
+
+func TestGDScale(t *testing.T) {
+	honest := [][]float64{{1, 2}}
+	out, err := NewGD(3).Craft(honest, randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.EqualApprox(out[0], []float64{-3, -6}, 1e-12) {
+		t.Errorf("GD scale 3 = %v", out[0])
+	}
+}
+
+func TestLIEStaysWithinZStds(t *testing.T) {
+	honest := sampleHonest(6, 10, 16)
+	z := 1.2
+	out, err := NewLIE(z).Craft(honest, randx.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := len(honest[0])
+	mean := make([]float64, dim)
+	vecmath.MeanVector(mean, honest)
+	std := make([]float64, dim)
+	vecmath.StdVector(std, mean, honest)
+	for j := 0; j < dim; j++ {
+		want := mean[j] - z*std[j]
+		if math.Abs(out[0][j]-want) > 1e-9 {
+			t.Errorf("LIE coord %d = %v, want %v", j, out[0][j], want)
+		}
+	}
+	// All malicious clients send the same crafted delta.
+	for i := 1; i < len(out); i++ {
+		if !vecmath.EqualApprox(out[i], out[0], 0) {
+			t.Errorf("LIE outputs differ across clients")
+		}
+	}
+}
+
+func TestLIEDefaultZ(t *testing.T) {
+	if NewLIE(0).z != 1.5 {
+		t.Errorf("default z = %v, want 1.5", NewLIE(0).z)
+	}
+}
+
+func TestMinMaxRespectsBudget(t *testing.T) {
+	honest := sampleHonest(8, 12, 16)
+	a, err := NewMinMax("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.Craft(honest, randx.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budget float64
+	for i := range honest {
+		for j := i + 1; j < len(honest); j++ {
+			if d := vecmath.SquaredDistance(honest[i], honest[j]); d > budget {
+				budget = d
+			}
+		}
+	}
+	var worst float64
+	for _, h := range honest {
+		if d := vecmath.SquaredDistance(out[0], h); d > worst {
+			worst = d
+		}
+	}
+	if worst > budget*(1+1e-6) {
+		t.Errorf("MinMax exceeded budget: worst %v > budget %v", worst, budget)
+	}
+	// The attack should actually use most of the budget.
+	if worst < budget*0.5 {
+		t.Errorf("MinMax too timid: worst %v << budget %v", worst, budget)
+	}
+}
+
+func TestMinSumRespectsBudget(t *testing.T) {
+	honest := sampleHonest(10, 12, 16)
+	a, err := NewMinSum("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := a.Craft(honest, randx.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budget float64
+	for i := range honest {
+		var sum float64
+		for j := range honest {
+			if i != j {
+				sum += vecmath.SquaredDistance(honest[i], honest[j])
+			}
+		}
+		if sum > budget {
+			budget = sum
+		}
+	}
+	var got float64
+	for _, h := range honest {
+		got += vecmath.SquaredDistance(out[0], h)
+	}
+	if got > budget*(1+1e-6) {
+		t.Errorf("MinSum exceeded budget: %v > %v", got, budget)
+	}
+}
+
+func TestMinSumTighterThanMinMax(t *testing.T) {
+	honest := sampleHonest(12, 12, 16)
+	mm, _ := NewMinMax("")
+	ms, _ := NewMinSum("")
+	outMM, err := mm.Craft(honest, randx.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outMS, err := ms.Craft(honest, randx.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := len(honest[0])
+	mean := make([]float64, dim)
+	vecmath.MeanVector(mean, honest)
+	dMM := vecmath.Distance(outMM[0], mean)
+	dMS := vecmath.Distance(outMS[0], mean)
+	if dMS > dMM*(1+1e-6) {
+		t.Errorf("MinSum deviation %v should not exceed MinMax deviation %v", dMS, dMM)
+	}
+}
+
+func TestOptimizedAttackDirections(t *testing.T) {
+	honest := sampleHonest(14, 8, 10)
+	for _, dir := range []string{DirectionUnit, DirectionSign, DirectionStd} {
+		a, err := NewMinMax(dir)
+		if err != nil {
+			t.Fatalf("direction %q: %v", dir, err)
+		}
+		out, err := a.Craft(honest, randx.New(15))
+		if err != nil {
+			t.Fatalf("direction %q: %v", dir, err)
+		}
+		if len(out) != len(honest) {
+			t.Errorf("direction %q: %d outputs for %d inputs", dir, len(out), len(honest))
+		}
+		if !vecmath.AllFinite(out[0]) {
+			t.Errorf("direction %q produced non-finite delta", dir)
+		}
+	}
+}
+
+func TestAttacksHandleSingleHonestDelta(t *testing.T) {
+	honest := sampleHonest(16, 1, 6)
+	for _, cfg := range []Config{{Name: GDName}, {Name: LIEName}, {Name: MinMaxName}, {Name: MinSumName}, {Name: NoiseName}} {
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := a.Craft(honest, randx.New(17))
+		if err != nil {
+			t.Errorf("%s: %v", a.Name(), err)
+			continue
+		}
+		if len(out) != 1 || !vecmath.AllFinite(out[0]) {
+			t.Errorf("%s: bad output for single honest delta", a.Name())
+		}
+	}
+}
+
+func TestAttacksHandleEmptyCohort(t *testing.T) {
+	for _, cfg := range []Config{{Name: GDName}, {Name: LIEName}, {Name: MinMaxName}, {Name: MinSumName}, {Name: NoiseName}, {Name: NoneName}} {
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := a.Craft(nil, randx.New(18))
+		if err != nil {
+			t.Errorf("%s: %v", a.Name(), err)
+		}
+		if len(out) != 0 {
+			t.Errorf("%s: produced output from empty cohort", a.Name())
+		}
+	}
+}
+
+func TestNoiseAttackPerturbsMean(t *testing.T) {
+	honest := sampleHonest(19, 6, 8)
+	out, err := NewNoise(0.5).Craft(honest, randx.New(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := make([]float64, 8)
+	vecmath.MeanVector(mean, honest)
+	// Each output differs from the mean but not wildly.
+	for i, o := range out {
+		d := vecmath.Distance(o, mean)
+		if d == 0 {
+			t.Errorf("output %d identical to mean", i)
+		}
+		if d > 10 {
+			t.Errorf("output %d unreasonably far: %v", i, d)
+		}
+	}
+}
+
+func TestSearchGammaMonotone(t *testing.T) {
+	// ok(g) = g <= 7.25
+	got := searchGamma(func(g float64) bool { return g <= 7.25 })
+	if math.Abs(got-7.25) > 1e-6 {
+		t.Errorf("searchGamma = %v, want ~7.25", got)
+	}
+	if got := searchGamma(func(g float64) bool { return false }); got != 0 {
+		t.Errorf("searchGamma(never ok) = %v, want 0", got)
+	}
+	if got := searchGamma(func(g float64) bool { return true }); got < 1e5 {
+		t.Errorf("searchGamma(always ok) = %v, want large", got)
+	}
+}
+
+func TestPropertyAttacksPreserveShape(t *testing.T) {
+	attacks := []Attack{NewGD(0), NewLIE(0)}
+	mm, _ := NewMinMax("")
+	ms, _ := NewMinSum("")
+	attacks = append(attacks, mm, ms)
+	f := func(seed int64, kRaw, dRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		dim := int(dRaw%16) + 2
+		honest := sampleHonest(seed, k, dim)
+		for _, a := range attacks {
+			out, err := a.Craft(honest, randx.New(seed+1))
+			if err != nil || len(out) != k {
+				return false
+			}
+			for _, o := range out {
+				if len(o) != dim || !vecmath.AllFinite(o) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// Perturbation directions for the optimized attacks (Shejwalkar &
+// Houmansadr, NDSS 2021). "unit" is the inverse unit vector of the benign
+// mean, "sign" its inverse sign vector, "std" the inverse per-coordinate
+// standard deviation.
+const (
+	DirectionUnit = "unit"
+	DirectionSign = "sign"
+	DirectionStd  = "std"
+)
+
+// perturbation computes the chosen direction vector from the benign mean
+// and standard deviation.
+func perturbation(direction string, mean, std []float64) ([]float64, error) {
+	p := make([]float64, len(mean))
+	switch direction {
+	case DirectionUnit, "":
+		copy(p, mean)
+		vecmath.Normalize(p, p)
+		vecmath.Scale(p, -1, p)
+	case DirectionSign:
+		for i, m := range mean {
+			switch {
+			case m > 0:
+				p[i] = -1
+			case m < 0:
+				p[i] = 1
+			}
+		}
+	case DirectionStd:
+		vecmath.Scale(p, -1, std)
+	default:
+		return nil, fmt.Errorf("attack: unknown perturbation direction %q", direction)
+	}
+	return p, nil
+}
+
+// searchGamma finds the largest gamma in [0, ~1e6] such that
+// ok(mean + gamma*p) holds, by exponential growth followed by bisection.
+// ok must be monotone (true for small gamma, false beyond a threshold).
+func searchGamma(ok func(gamma float64) bool) float64 {
+	if !ok(0) {
+		return 0
+	}
+	lo, hi := 0.0, 1.0
+	for ok(hi) && hi < 1e6 {
+		lo = hi
+		hi *= 2
+	}
+	if hi >= 1e6 {
+		return lo
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if ok(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// craftOptimized computes the shared crafted delta mean + gamma*p with the
+// largest gamma admitted by the bound check.
+func craftOptimized(honest [][]float64, direction string, bound func(crafted []float64) bool) ([][]float64, error) {
+	if len(honest) == 0 {
+		return nil, nil
+	}
+	dim := len(honest[0])
+	mean := make([]float64, dim)
+	vecmath.MeanVector(mean, honest)
+	std := make([]float64, dim)
+	vecmath.StdVector(std, mean, honest)
+
+	p, err := perturbation(direction, mean, std)
+	if err != nil {
+		return nil, err
+	}
+
+	crafted := make([]float64, dim)
+	gamma := searchGamma(func(g float64) bool {
+		copy(crafted, mean)
+		vecmath.AXPY(crafted, g, p)
+		return bound(crafted)
+	})
+	copy(crafted, mean)
+	vecmath.AXPY(crafted, gamma, p)
+
+	out := make([][]float64, len(honest))
+	for i := range out {
+		out[i] = vecmath.Clone(crafted)
+	}
+	return out, nil
+}
+
+// MinMax crafts a poisoned delta whose maximum distance to any benign
+// delta stays within the maximum pairwise distance between benign deltas —
+// the strongest perturbation that still looks like an extreme-but-plausible
+// benign update.
+type MinMax struct {
+	direction string
+}
+
+var _ Attack = (*MinMax)(nil)
+
+// NewMinMax builds a Min-Max attack with the given perturbation direction
+// ("" selects "unit").
+func NewMinMax(direction string) (*MinMax, error) {
+	if _, err := perturbation(direction, []float64{1}, []float64{1}); err != nil {
+		return nil, err
+	}
+	return &MinMax{direction: direction}, nil
+}
+
+// Craft implements Attack.
+func (m *MinMax) Craft(honest [][]float64, r *rand.Rand) ([][]float64, error) {
+	// Budget: max pairwise squared distance among benign deltas.
+	var budget float64
+	for i := range honest {
+		for j := i + 1; j < len(honest); j++ {
+			if d := vecmath.SquaredDistance(honest[i], honest[j]); d > budget {
+				budget = d
+			}
+		}
+	}
+	return craftOptimized(honest, m.direction, func(crafted []float64) bool {
+		var worst float64
+		for _, h := range honest {
+			if d := vecmath.SquaredDistance(crafted, h); d > worst {
+				worst = d
+			}
+		}
+		return worst <= budget
+	})
+}
+
+// Name implements Attack.
+func (m *MinMax) Name() string { return MinMaxName }
+
+// MinSum crafts a poisoned delta whose sum of squared distances to the
+// benign deltas stays within the largest such sum attained by any benign
+// delta — a tighter budget than Min-Max, yielding subtler poison.
+type MinSum struct {
+	direction string
+}
+
+var _ Attack = (*MinSum)(nil)
+
+// NewMinSum builds a Min-Sum attack with the given perturbation direction
+// ("" selects "unit").
+func NewMinSum(direction string) (*MinSum, error) {
+	if _, err := perturbation(direction, []float64{1}, []float64{1}); err != nil {
+		return nil, err
+	}
+	return &MinSum{direction: direction}, nil
+}
+
+// Craft implements Attack.
+func (m *MinSum) Craft(honest [][]float64, r *rand.Rand) ([][]float64, error) {
+	// Budget: max over benign deltas of the sum of squared distances to
+	// the other benign deltas.
+	var budget float64
+	for i := range honest {
+		var sum float64
+		for j := range honest {
+			if i != j {
+				sum += vecmath.SquaredDistance(honest[i], honest[j])
+			}
+		}
+		if sum > budget {
+			budget = sum
+		}
+	}
+	return craftOptimized(honest, m.direction, func(crafted []float64) bool {
+		var sum float64
+		for _, h := range honest {
+			sum += vecmath.SquaredDistance(crafted, h)
+		}
+		return sum <= budget
+	})
+}
+
+// Name implements Attack.
+func (m *MinSum) Name() string { return MinSumName }

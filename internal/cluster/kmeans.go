@@ -1,0 +1,319 @@
+// Package cluster implements the k-means clustering machinery AsyncFilter's
+// attacker-identification stage depends on (3-means over 1-D suspicion
+// scores) along with the general d-dimensional variant used by the
+// FLDetector baseline and the analysis tooling.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Result describes a k-means clustering.
+type Result struct {
+	// Assignments maps each input point to its cluster index in [0, K).
+	Assignments []int
+	// Centers holds the final cluster centroids.
+	Centers [][]float64
+	// Sizes holds the number of points per cluster.
+	Sizes []int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Options tunes the algorithm.
+type Options struct {
+	// MaxIterations bounds Lloyd iterations; 0 selects 100.
+	MaxIterations int
+	// Tolerance stops iteration when the total center movement falls below
+	// it; 0 selects 1e-9.
+	Tolerance float64
+	// Restarts runs k-means++ this many times and keeps the lowest-inertia
+	// run; 0 selects 1.
+	Restarts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-9
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 1
+	}
+	return o
+}
+
+// KMeans clusters d-dimensional points into k groups using k-means++
+// seeding and Lloyd iterations. When fewer distinct points than k exist,
+// the effective k shrinks to the number of distinct points and the extra
+// clusters come back empty (Sizes[i] == 0).
+func KMeans(points [][]float64, k int, r *rand.Rand, opts Options) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: KMeans: k = %d, need >= 1", k)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("cluster: KMeans: no points")
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: KMeans: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	opts = opts.withDefaults()
+
+	var best *Result
+	for restart := 0; restart < opts.Restarts; restart++ {
+		res := kmeansOnce(points, k, r, opts)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(points [][]float64, k int, r *rand.Rand, opts Options) *Result {
+	dim := len(points[0])
+	centers := seedPlusPlus(points, k, r)
+
+	assign := make([]int, len(points))
+	sizes := make([]int, k)
+	newCenters := make([][]float64, k)
+	for i := range newCenters {
+		newCenters[i] = make([]float64, dim)
+	}
+
+	var inertia float64
+	iter := 0
+	for ; iter < opts.MaxIterations; iter++ {
+		// Assignment step.
+		inertia = 0
+		for i := range sizes {
+			sizes[i] = 0
+			for j := range newCenters[i] {
+				newCenters[i][j] = 0
+			}
+		}
+		for i, p := range points {
+			bestC, bestD := 0, math.Inf(1)
+			for c, center := range centers {
+				if center == nil {
+					continue
+				}
+				d := sqDist(p, center)
+				if d < bestD {
+					bestC, bestD = c, d
+				}
+			}
+			assign[i] = bestC
+			inertia += bestD
+			sizes[bestC]++
+			for j, x := range p {
+				newCenters[bestC][j] += x
+			}
+		}
+		// Update step.
+		var moved float64
+		for c := range centers {
+			if sizes[c] == 0 {
+				// Empty cluster: keep its previous center (it may capture
+				// points in later iterations) — or mark nil if never used.
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			for j := range newCenters[c] {
+				newCenters[c][j] *= inv
+			}
+			if centers[c] != nil {
+				moved += math.Sqrt(sqDist(centers[c], newCenters[c]))
+			}
+			if centers[c] == nil {
+				centers[c] = make([]float64, dim)
+			}
+			copy(centers[c], newCenters[c])
+		}
+		if moved < opts.Tolerance {
+			iter++
+			break
+		}
+	}
+
+	// Replace nil centers (never seeded due to < k distinct points) with
+	// empty zero-vectors for a stable API.
+	for c := range centers {
+		if centers[c] == nil {
+			centers[c] = make([]float64, dim)
+		}
+	}
+	return &Result{
+		Assignments: assign,
+		Centers:     centers,
+		Sizes:       sizes,
+		Inertia:     inertia,
+		Iterations:  iter,
+	}
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ scheme. When the
+// data has fewer than k distinct points some center slots stay nil.
+func seedPlusPlus(points [][]float64, k int, r *rand.Rand) [][]float64 {
+	centers := make([][]float64, k)
+	first := points[r.Intn(len(points))]
+	centers[0] = append([]float64(nil), first...)
+
+	dists := make([]float64, len(points))
+	for c := 1; c < k; c++ {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, center := range centers[:c] {
+				if center == nil {
+					continue
+				}
+				if d := sqDist(p, center); d < best {
+					best = d
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points coincide with existing centers; remaining slots
+			// stay nil and their clusters stay empty.
+			break
+		}
+		u := r.Float64() * total
+		var acc float64
+		idx := len(points) - 1
+		for i, d := range dists {
+			acc += d
+			if u < acc {
+				idx = i
+				break
+			}
+		}
+		centers[c] = append([]float64(nil), points[idx]...)
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans1D clusters scalar values into k groups. For the small inputs the
+// filter sees (tens of suspicion scores) it runs k-means++ with restarts
+// and deterministic ordering: returned clusters are sorted by ascending
+// center so cluster 0 is always the lowest-score group.
+func KMeans1D(values []float64, k int, r *rand.Rand, opts Options) (*Result, error) {
+	points := make([][]float64, len(values))
+	for i, v := range values {
+		points[i] = []float64{v}
+	}
+	if opts.Restarts == 0 {
+		opts.Restarts = 5 // cheap in 1-D, avoids bad local minima
+	}
+	res, err := KMeans(points, k, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	sortClustersByCenter(res)
+	return res, nil
+}
+
+// sortClustersByCenter relabels clusters so centers ascend by their first
+// coordinate. Empty clusters sort last.
+func sortClustersByCenter(res *Result) {
+	k := len(res.Centers)
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := order[a], order[b]
+		if res.Sizes[ca] == 0 && res.Sizes[cb] == 0 {
+			return ca < cb
+		}
+		if res.Sizes[ca] == 0 {
+			return false
+		}
+		if res.Sizes[cb] == 0 {
+			return true
+		}
+		return res.Centers[ca][0] < res.Centers[cb][0]
+	})
+	relabel := make([]int, k)
+	for newIdx, oldIdx := range order {
+		relabel[oldIdx] = newIdx
+	}
+	newCenters := make([][]float64, k)
+	newSizes := make([]int, k)
+	for oldIdx, newIdx := range relabel {
+		newCenters[newIdx] = res.Centers[oldIdx]
+		newSizes[newIdx] = res.Sizes[oldIdx]
+	}
+	for i, a := range res.Assignments {
+		res.Assignments[i] = relabel[a]
+	}
+	res.Centers = newCenters
+	res.Sizes = newSizes
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering, a
+// quality measure in [-1, 1]. Points in singleton clusters contribute 0.
+func Silhouette(points [][]float64, assignments []int, k int) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	var total float64
+	for i, p := range points {
+		a, b := 0.0, math.Inf(1)
+		ownCount := 0
+		otherSums := make([]float64, k)
+		otherCounts := make([]int, k)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			d := math.Sqrt(sqDist(p, q))
+			if assignments[j] == assignments[i] {
+				a += d
+				ownCount++
+			} else {
+				otherSums[assignments[j]] += d
+				otherCounts[assignments[j]]++
+			}
+		}
+		if ownCount == 0 {
+			continue // singleton: contributes 0
+		}
+		a /= float64(ownCount)
+		for c := 0; c < k; c++ {
+			if otherCounts[c] > 0 {
+				if m := otherSums[c] / float64(otherCounts[c]); m < b {
+					b = m
+				}
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // single cluster overall
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(len(points))
+}

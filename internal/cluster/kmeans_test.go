@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/asyncfl/asyncfilter/internal/randx"
+)
+
+func TestKMeansValidation(t *testing.T) {
+	r := randx.New(1)
+	if _, err := KMeans(nil, 2, r, Options{}); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, r, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, r, Options{}); err == nil {
+		t.Error("ragged points accepted")
+	}
+}
+
+func TestKMeansTwoObviousClusters(t *testing.T) {
+	r := randx.New(2)
+	var points [][]float64
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{r.NormFloat64() * 0.1, r.NormFloat64() * 0.1})
+	}
+	for i := 0; i < 20; i++ {
+		points = append(points, []float64{10 + r.NormFloat64()*0.1, 10 + r.NormFloat64()*0.1})
+	}
+	res, err := KMeans(points, 2, r, Options{Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points in the first half must share a label distinct from the
+	// second half.
+	first := res.Assignments[0]
+	for i := 1; i < 20; i++ {
+		if res.Assignments[i] != first {
+			t.Fatalf("point %d not in first cluster", i)
+		}
+	}
+	second := res.Assignments[20]
+	if second == first {
+		t.Fatal("both blobs in one cluster")
+	}
+	for i := 21; i < 40; i++ {
+		if res.Assignments[i] != second {
+			t.Fatalf("point %d not in second cluster", i)
+		}
+	}
+	if res.Sizes[first] != 20 || res.Sizes[second] != 20 {
+		t.Errorf("sizes = %v", res.Sizes)
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	r := randx.New(3)
+	points := make([][]float64, 60)
+	for i := range points {
+		points[i] = []float64{r.NormFloat64() * 5, r.NormFloat64() * 5}
+	}
+	res1, _ := KMeans(points, 1, r, Options{Restarts: 3})
+	res3, _ := KMeans(points, 3, r, Options{Restarts: 3})
+	if res3.Inertia >= res1.Inertia {
+		t.Errorf("k=3 inertia %v >= k=1 inertia %v", res3.Inertia, res1.Inertia)
+	}
+}
+
+func TestKMeansKLargerThanDistinctPoints(t *testing.T) {
+	points := [][]float64{{1}, {1}, {1}}
+	res, err := KMeans(points, 3, randx.New(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, s := range res.Sizes {
+		if s > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Errorf("identical points produced %d non-empty clusters, want 1", nonEmpty)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("inertia = %v, want 0", res.Inertia)
+	}
+}
+
+func TestKMeans1DOrderedCenters(t *testing.T) {
+	values := []float64{0.9, 0.05, 0.5, 0.1, 0.95, 0.55, 0.08, 0.52}
+	res, err := KMeans1D(values, 3, randx.New(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster 0 must be the low-score group, cluster 2 the high-score one.
+	for c := 0; c+1 < 3; c++ {
+		if res.Sizes[c] > 0 && res.Sizes[c+1] > 0 && res.Centers[c][0] > res.Centers[c+1][0] {
+			t.Errorf("centers not ascending: %v", res.Centers)
+		}
+	}
+	// Spot-check membership.
+	low := res.Assignments[1]  // 0.05
+	mid := res.Assignments[2]  // 0.5
+	high := res.Assignments[0] // 0.9
+	if low != 0 || mid != 1 || high != 2 {
+		t.Errorf("assignments: low=%d mid=%d high=%d, want 0,1,2", low, mid, high)
+	}
+}
+
+func TestKMeans1DSingleValue(t *testing.T) {
+	res, err := KMeans1D([]float64{0.5}, 3, randx.New(6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sizes[0] != 1 {
+		t.Errorf("single point must land in cluster 0 after ordering, sizes = %v", res.Sizes)
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	points := make([][]float64, 30)
+	r := randx.New(7)
+	for i := range points {
+		points[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+	}
+	a, _ := KMeans(points, 3, randx.New(42), Options{Restarts: 2})
+	b, _ := KMeans(points, 3, randx.New(42), Options{Restarts: 2})
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestSilhouetteSeparatedVsRandom(t *testing.T) {
+	r := randx.New(8)
+	var sep [][]float64
+	var sepAssign []int
+	for i := 0; i < 15; i++ {
+		sep = append(sep, []float64{r.NormFloat64() * 0.1})
+		sepAssign = append(sepAssign, 0)
+	}
+	for i := 0; i < 15; i++ {
+		sep = append(sep, []float64{100 + r.NormFloat64()*0.1})
+		sepAssign = append(sepAssign, 1)
+	}
+	sGood := Silhouette(sep, sepAssign, 2)
+	if sGood < 0.9 {
+		t.Errorf("well-separated silhouette = %v, want > 0.9", sGood)
+	}
+	// Random labels on one blob should score poorly.
+	var blob [][]float64
+	var randAssign []int
+	for i := 0; i < 30; i++ {
+		blob = append(blob, []float64{r.NormFloat64()})
+		randAssign = append(randAssign, i%2)
+	}
+	sBad := Silhouette(blob, randAssign, 2)
+	if sBad > 0.3 {
+		t.Errorf("random-label silhouette = %v, want small", sBad)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if got := Silhouette([][]float64{{1}}, []int{0}, 1); got != 0 {
+		t.Errorf("single point silhouette = %v, want 0", got)
+	}
+}
+
+func TestPropertyKMeansPartition(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		k := int(kRaw%5) + 1
+		r := randx.New(seed)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+		}
+		res, err := KMeans(points, k, r, Options{})
+		if err != nil {
+			return false
+		}
+		if len(res.Assignments) != n {
+			return false
+		}
+		total := 0
+		for _, s := range res.Sizes {
+			total += s
+		}
+		if total != n {
+			return false
+		}
+		for _, a := range res.Assignments {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return res.Inertia >= 0 && !math.IsNaN(res.Inertia)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyKMeans1DOrderedByValue(t *testing.T) {
+	// In 1-D the clusters must form contiguous intervals: if x <= y then
+	// cluster(x) <= cluster(y) after center ordering.
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%30) + 3
+		r := randx.New(seed)
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = r.Float64()
+		}
+		res, err := KMeans1D(values, 3, r, Options{})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if values[i] < values[j] && res.Assignments[i] > res.Assignments[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/stats"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// TestTheorem1ExpectedScoreOrdering is a Monte-Carlo validation of the
+// paper's Theorem 1: under the intra-cluster similarity and bounded
+// variance assumptions, with malicious clients mounting a GD attack
+// (sending the reversed update), the EXPECTED suspicious score of a benign
+// client is smaller than that of a malicious client.
+//
+// The sampling model follows the assumptions: every client's honest update
+// is a shared descent direction plus bounded client-level (global
+// variance) and sample-level (local variance) noise; malicious clients
+// reverse theirs. Scores are computed by the actual filter implementation
+// and averaged over many independent rounds.
+func TestTheorem1ExpectedScoreOrdering(t *testing.T) {
+	const (
+		dim     = 24
+		benign  = 30
+		mal     = 8
+		trials  = 60
+		sigmaG  = 0.6 // global (client-level) std, bounded as assumed
+		sigmaL  = 0.3 // local (sample-level) std
+		descent = 2.0 // shared gradient magnitude
+	)
+	r := randx.New(400)
+
+	var benignScores, maliciousScores stats.Welford
+	for trial := 0; trial < trials; trial++ {
+		direction := randx.UnitVector(r, dim)
+		grad := vecmath.Scaled(descent, direction)
+
+		cfg := DefaultConfig()
+		cfg.Seed = int64(trial + 1)
+		cfg.RejectCooldown = -1
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		build := func() []*fl.Update {
+			var updates []*fl.Update
+			for i := 0; i < benign+mal; i++ {
+				u := vecmath.Clone(grad)
+				vecmath.AXPY(u, 1, randx.NormalVector(r, dim, 0, sigmaG))
+				vecmath.AXPY(u, 1, randx.NormalVector(r, dim, 0, sigmaL))
+				if i >= benign {
+					vecmath.Scale(u, -1, u) // GD attack: reversed update
+				}
+				updates = append(updates, &fl.Update{ClientID: i, Delta: u, NumSamples: 1})
+			}
+			return updates
+		}
+
+		// Prime the group estimator with one clean round, then score.
+		if _, err := f.Filter(build(), 1); err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Filter(build(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range res.Scores {
+			if i >= benign {
+				maliciousScores.Add(s)
+			} else {
+				benignScores.Add(s)
+			}
+		}
+	}
+
+	if maliciousScores.Mean() <= benignScores.Mean() {
+		t.Errorf("Theorem 1 violated empirically: E[malicious score] = %v <= E[benign score] = %v",
+			maliciousScores.Mean(), benignScores.Mean())
+	}
+	// The separation should be decisive, not marginal. (Group-median
+	// normalization centers benign scores near 1, so the gap shows up as
+	// a ratio above 1 rather than the raw squared-gradient gap of the
+	// paper's proof sketch.)
+	if maliciousScores.Mean() < 1.2*benignScores.Mean() {
+		t.Errorf("expected a decisive score separation, got malicious %v vs benign %v",
+			maliciousScores.Mean(), benignScores.Mean())
+	}
+}
+
+// TestTheorem1HoldsPerStalenessGroup repeats the ordering check when the
+// cohort spans two staleness groups with drifted centers — the setting
+// that motivates staleness grouping in the first place.
+func TestTheorem1HoldsPerStalenessGroup(t *testing.T) {
+	const dim = 16
+	r := randx.New(401)
+	gradFresh := vecmath.Scaled(2, randx.UnitVector(r, dim))
+	gradStale := vecmath.Scaled(-1.5, gradFresh) // drifted old-version gradient
+
+	cfg := DefaultConfig()
+	cfg.RejectCooldown = -1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func() ([]*fl.Update, []bool) {
+		var updates []*fl.Update
+		var truth []bool
+		add := func(center []float64, staleness int, malicious bool, id int) {
+			u := vecmath.Clone(center)
+			vecmath.AXPY(u, 1, randx.NormalVector(r, dim, 0, 0.4))
+			if malicious {
+				vecmath.Scale(u, -1, u)
+			}
+			updates = append(updates, &fl.Update{ClientID: id, Staleness: staleness, Delta: u, NumSamples: 1})
+			truth = append(truth, malicious)
+		}
+		id := 0
+		for i := 0; i < 14; i++ {
+			add(gradFresh, 0, false, id)
+			id++
+		}
+		for i := 0; i < 14; i++ {
+			add(gradStale, 2, false, id)
+			id++
+		}
+		for i := 0; i < 4; i++ {
+			add(gradFresh, 0, true, id)
+			id++
+		}
+		for i := 0; i < 4; i++ {
+			add(gradStale, 2, true, id)
+			id++
+		}
+		return updates, truth
+	}
+
+	prime, _ := build()
+	if _, err := f.Filter(prime, 1); err != nil {
+		t.Fatal(err)
+	}
+	updates, truth := build()
+	res, err := f.Filter(updates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benignScores, maliciousScores stats.Welford
+	for i, s := range res.Scores {
+		if truth[i] {
+			maliciousScores.Add(s)
+		} else {
+			benignScores.Add(s)
+		}
+	}
+	if maliciousScores.Mean() <= benignScores.Mean() {
+		t.Errorf("per-group ordering violated: malicious %v <= benign %v",
+			maliciousScores.Mean(), benignScores.Mean())
+	}
+}

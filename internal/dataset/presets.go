@@ -1,0 +1,90 @@
+package dataset
+
+import "fmt"
+
+// Preset names mirror the four real-world datasets used in the paper's
+// evaluation. Each maps to a synthetic Gaussian-mixture configuration
+// calibrated so the presets reproduce the paper's relative difficulty
+// ordering (no-attack accuracy roughly 97 / 86 / 84 / 56 percent).
+const (
+	MNIST        = "mnist"
+	FashionMNIST = "fashionmnist"
+	CIFAR10      = "cifar10"
+	CINIC10      = "cinic10"
+)
+
+// PresetNames lists all built-in presets in evaluation order.
+func PresetNames() []string {
+	return []string{MNIST, FashionMNIST, CIFAR10, CINIC10}
+}
+
+// Preset returns the synthetic configuration standing in for the named
+// dataset. The returned config can be modified (e.g. reseeded) before
+// generation.
+//
+// Calibration notes:
+//   - mnist: high separation, clean labels — LeNet-5 reaches ~97%.
+//   - fashionmnist: moderate separation plus within-class spread and a
+//     little label noise — ~86%.
+//   - cifar10: higher dimension, lower separation — ~84% for VGG-16 after
+//     long training; our budget-scaled stand-in converges to a similar
+//     band.
+//   - cinic10: heavy label noise models CINIC-10's ImageNet distribution
+//     shift; accuracy saturates near ~56%.
+func Preset(name string) (SyntheticConfig, error) {
+	switch name {
+	case MNIST:
+		return SyntheticConfig{
+			Name:       MNIST,
+			NumClasses: 10,
+			Dim:        32,
+			TrainSize:  20000,
+			TestSize:   2000,
+			Separation: 4.0,
+			Noise:      1.0,
+			LabelNoise: 0,
+			Seed:       1,
+		}, nil
+	case FashionMNIST:
+		return SyntheticConfig{
+			Name:              FashionMNIST,
+			NumClasses:        10,
+			Dim:               32,
+			TrainSize:         20000,
+			TestSize:          2000,
+			Separation:        3.7,
+			Noise:             1.25,
+			LabelNoise:        0.04,
+			WithinClassSpread: 0.8,
+			Seed:              2,
+		}, nil
+	case CIFAR10:
+		return SyntheticConfig{
+			Name:              CIFAR10,
+			NumClasses:        10,
+			Dim:               64,
+			TrainSize:         20000,
+			TestSize:          2000,
+			Separation:        4.5,
+			Noise:             1.35,
+			LabelNoise:        0.05,
+			WithinClassSpread: 1.0,
+			Seed:              3,
+		}, nil
+	case CINIC10:
+		return SyntheticConfig{
+			Name:              CINIC10,
+			NumClasses:        10,
+			Dim:               64,
+			TrainSize:         24000,
+			TestSize:          2400,
+			Separation:        4.0,
+			Noise:             1.5,
+			LabelNoise:        0.35,
+			WithinClassSpread: 1.2,
+			Seed:              4,
+		}, nil
+	default:
+		return SyntheticConfig{}, fmt.Errorf("dataset: unknown preset %q (want one of %v)", name, PresetNames())
+	}
+}

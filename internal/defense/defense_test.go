@@ -1,0 +1,422 @@
+package defense
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// blobUpdates builds count benign updates around center plus poisoned
+// ones scaled by poisonScale times the center, returning updates and
+// ground-truth malicious flags.
+func blobUpdates(seed int64, count, poisoned, dim int, poisonScale float64) ([]*fl.Update, []bool) {
+	r := randx.New(seed)
+	center := randx.NormalVector(r, dim, 0, 2)
+	var updates []*fl.Update
+	var truth []bool
+	for i := 0; i < count; i++ {
+		d := vecmath.Clone(center)
+		vecmath.Add(d, d, randx.NormalVector(r, dim, 0, 0.2))
+		updates = append(updates, &fl.Update{ClientID: i, Delta: d, NumSamples: 1})
+		truth = append(truth, false)
+	}
+	for i := 0; i < poisoned; i++ {
+		d := vecmath.Scaled(poisonScale, center)
+		vecmath.Add(d, d, randx.NormalVector(r, dim, 0, 0.2))
+		updates = append(updates, &fl.Update{ClientID: 1000 + i, Delta: d, NumSamples: 1})
+		truth = append(truth, true)
+	}
+	return updates, truth
+}
+
+func TestKrumValidation(t *testing.T) {
+	if _, err := NewKrum(-1, 0); err == nil {
+		t.Error("negative NumMalicious accepted")
+	}
+	if _, err := NewKrum(0, -1); err == nil {
+		t.Error("negative NumSelect accepted")
+	}
+}
+
+func TestKrumRejectsOutliers(t *testing.T) {
+	k, err := NewKrum(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, truth := blobUpdates(1, 16, 4, 10, -3)
+	res, err := k.Filter(updates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.Decisions {
+		if truth[i] && d != fl.Reject {
+			t.Errorf("malicious update %d not rejected", i)
+		}
+		if !truth[i] && d != fl.Accept {
+			t.Errorf("benign update %d rejected", i)
+		}
+	}
+	if k.Name() != "krum" {
+		t.Error("name")
+	}
+}
+
+func TestKrumSmallBatchPassthrough(t *testing.T) {
+	k, _ := NewKrum(5, 0)
+	updates, _ := blobUpdates(2, 4, 1, 6, -3) // n=5 <= f+2
+	res, err := k.Filter(updates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Decisions {
+		if d != fl.Accept {
+			t.Error("small batch should pass through")
+		}
+	}
+}
+
+func TestKrumEmpty(t *testing.T) {
+	k, _ := NewKrum(2, 0)
+	res, err := k.Filter(nil, 0)
+	if err != nil || len(res.Decisions) != 0 {
+		t.Errorf("empty batch: %v %v", res, err)
+	}
+}
+
+func TestKrumSelectOne(t *testing.T) {
+	k, _ := NewKrum(2, 1)
+	updates, _ := blobUpdates(3, 8, 2, 6, -3)
+	res, err := k.Filter(updates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for _, d := range res.Decisions {
+		if d == fl.Accept {
+			accepted++
+		}
+	}
+	if accepted != 1 {
+		t.Errorf("classic Krum accepted %d, want 1", accepted)
+	}
+}
+
+func TestTrimmedMeanValidation(t *testing.T) {
+	if _, err := NewTrimmedMean(-1); err == nil {
+		t.Error("negative trim accepted")
+	}
+	tm, _ := NewTrimmedMean(2)
+	if _, err := tm.Combine([]*fl.Update{{Delta: []float64{1}}}, fl.AggregatorConfig{}); err == nil {
+		t.Error("over-trimming accepted")
+	}
+	if _, err := tm.Combine(nil, fl.AggregatorConfig{}); err == nil {
+		t.Error("empty combine accepted")
+	}
+}
+
+func TestTrimmedMeanDropsExtremes(t *testing.T) {
+	tm, _ := NewTrimmedMean(1)
+	updates := []*fl.Update{
+		{Delta: []float64{-100, 1}},
+		{Delta: []float64{1, 1}},
+		{Delta: []float64{2, 1}},
+		{Delta: []float64{3, 1}},
+		{Delta: []float64{100, 1}},
+	}
+	out, err := tm.Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-2) > 1e-12 || math.Abs(out[1]-1) > 1e-12 {
+		t.Errorf("trimmed mean = %v, want [2 1]", out)
+	}
+	if tm.Name() != "trimmed-mean" {
+		t.Error("name")
+	}
+}
+
+func TestMedianCombiner(t *testing.T) {
+	m := Median{}
+	updates := []*fl.Update{
+		{Delta: []float64{1, 10}},
+		{Delta: []float64{2, 20}},
+		{Delta: []float64{300, 30}},
+	}
+	out, err := m.Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != 20 {
+		t.Errorf("median = %v, want [2 20]", out)
+	}
+	// Even count: midpoint.
+	updates = append(updates, &fl.Update{Delta: []float64{4, 40}})
+	out, err = m.Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 3 || out[1] != 25 {
+		t.Errorf("even median = %v, want [3 25]", out)
+	}
+	if _, err := m.Combine(nil, fl.AggregatorConfig{}); err == nil {
+		t.Error("empty combine accepted")
+	}
+	if m.Name() != "median" {
+		t.Error("name")
+	}
+}
+
+func TestMedianResistsPoison(t *testing.T) {
+	// The median of 7 values with 3 poisoned extremes stays benign.
+	updates := []*fl.Update{
+		{Delta: []float64{1}}, {Delta: []float64{1.1}}, {Delta: []float64{0.9}}, {Delta: []float64{1.05}},
+		{Delta: []float64{-50}}, {Delta: []float64{-60}}, {Delta: []float64{-70}},
+	}
+	out, err := Median{}.Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] < 0.8 || out[0] > 1.2 {
+		t.Errorf("median under poison = %v, want ~1", out[0])
+	}
+}
+
+// --- FLDetector ---
+
+func TestFLDetectorValidation(t *testing.T) {
+	bad := []FLDetectorConfig{
+		{WindowSize: 0, ScoreWindow: 1, GapReferenceDraws: 1},
+		{WindowSize: 1, ScoreWindow: 0, GapReferenceDraws: 1},
+		{WindowSize: 1, ScoreWindow: 1, GapReferenceDraws: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewFLDetector(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestFLDetectorAcceptsWithoutHistory(t *testing.T) {
+	d, err := NewFLDetector(DefaultFLDetectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, _ := blobUpdates(4, 10, 3, 8, -3)
+	res, err := d.Filter(updates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dec := range res.Decisions {
+		if dec != fl.Accept {
+			t.Error("first round without history should pass through")
+		}
+	}
+	if d.Name() != "fldetector" {
+		t.Error("name")
+	}
+}
+
+// runFLDetectorRounds simulates a synchronous sequence of rounds with
+// quadratic-loss dynamics: each benign client's update is a step toward a
+// shared target (so updates evolve with the model and the L-BFGS history
+// captures real curvature), and malicious clients send reversed updates.
+func runFLDetectorRounds(t *testing.T, d *FLDetector, rounds int) ([]*fl.Update, []bool, fl.FilterResult) {
+	t.Helper()
+	const dim = 8
+	r := randx.New(99)
+	target := randx.NormalVector(r, dim, 0, 5)
+	global := make([]float64, dim)
+
+	var updates []*fl.Update
+	var truth []bool
+	var res fl.FilterResult
+	for round := 0; round < rounds; round++ {
+		updates = nil
+		truth = nil
+		for c := 0; c < 12; c++ {
+			step := vecmath.Subbed(target, global)
+			vecmath.Scale(step, 0.3, step)
+			vecmath.Add(step, step, randx.NormalVector(r, dim, 0, 0.02))
+			malicious := c >= 9
+			if malicious {
+				vecmath.Scale(step, -1, step)
+			}
+			updates = append(updates, &fl.Update{ClientID: c, BaseVersion: round, Delta: step, NumSamples: 1})
+			truth = append(truth, malicious)
+		}
+		var err error
+		res, err = d.Filter(updates, round)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted, _, _ := res.Split(updates)
+		// Apply a plain mean aggregation of everything accepted.
+		if len(accepted) > 0 {
+			delta, err := (fl.MeanCombiner{}).Combine(accepted, fl.AggregatorConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vecmath.Add(global, global, delta)
+		}
+		d.ObserveRound(round, global, updates) // detector sees all reports
+	}
+	return updates, truth, res
+}
+
+func TestFLDetectorCatchesReversersInSyncSetting(t *testing.T) {
+	d, err := NewFLDetector(FLDetectorConfig{WindowSize: 5, ScoreWindow: 3, GapReferenceDraws: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, truth, res := runFLDetectorRounds(t, d, 12)
+	caught, benignHit := 0, 0
+	for i, dec := range res.Decisions {
+		if dec == fl.Reject {
+			if truth[i] {
+				caught++
+			} else {
+				benignHit++
+			}
+		}
+	}
+	_ = updates
+	if caught < 2 {
+		t.Errorf("FLDetector caught %d/3 reversers in a synchronous setting, want >= 2", caught)
+	}
+	if benignHit > 2 {
+		t.Errorf("FLDetector rejected %d benign clients", benignHit)
+	}
+}
+
+func TestFLDetectorScoresHigherForMalicious(t *testing.T) {
+	d, err := NewFLDetector(FLDetectorConfig{WindowSize: 5, ScoreWindow: 3, GapReferenceDraws: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, truth, res := runFLDetectorRounds(t, d, 8)
+	if len(res.Scores) == 0 {
+		t.Fatal("no scores recorded")
+	}
+	var benignMean, maliciousMean float64
+	var nb, nm int
+	for i, s := range res.Scores {
+		if truth[i] {
+			maliciousMean += s
+			nm++
+		} else {
+			benignMean += s
+			nb++
+		}
+	}
+	benignMean /= float64(nb)
+	maliciousMean /= float64(nm)
+	if maliciousMean <= benignMean {
+		t.Errorf("malicious mean score %v <= benign %v", maliciousMean, benignMean)
+	}
+}
+
+// --- Oracle defenses ---
+
+type fixedOracle struct {
+	delta []float64
+	err   error
+}
+
+func (f fixedOracle) ReferenceDelta(int) ([]float64, error) { return f.delta, f.err }
+
+func TestZenoPPValidation(t *testing.T) {
+	if _, err := NewZenoPP(nil, 0, 0, 0); err == nil {
+		t.Error("nil oracle accepted")
+	}
+	if _, err := NewZenoPP(fixedOracle{}, -1, 0, 0); err == nil {
+		t.Error("negative gamma accepted")
+	}
+}
+
+func TestZenoPPAcceptsAlignedRejectsReversed(t *testing.T) {
+	ref := []float64{1, 1, 1, 1}
+	z, err := NewZenoPP(fixedOracle{delta: ref}, 1, 0.001, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := []*fl.Update{
+		{ClientID: 0, Delta: []float64{0.9, 1.1, 1, 0.95}},  // aligned
+		{ClientID: 1, Delta: []float64{-1, -1, -1, -1}},     // reversed
+		{ClientID: 2, Delta: []float64{0.5, 0.4, 0.6, 0.5}}, // aligned, smaller
+	}
+	res, err := z.Filter(updates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions[0] != fl.Accept || res.Decisions[2] != fl.Accept {
+		t.Errorf("aligned updates rejected: %v", res.Decisions)
+	}
+	if res.Decisions[1] != fl.Reject {
+		t.Errorf("reversed update accepted")
+	}
+	if z.Name() != "zeno++" {
+		t.Error("name")
+	}
+}
+
+func TestZenoPPOracleError(t *testing.T) {
+	z, _ := NewZenoPP(fixedOracle{err: errors.New("no data")}, 1, 0.001, 0)
+	if _, err := z.Filter([]*fl.Update{{Delta: []float64{1}}}, 0); err == nil {
+		t.Error("oracle error swallowed")
+	}
+}
+
+func TestAFLGuardBounds(t *testing.T) {
+	if _, err := NewAFLGuard(nil, 0); err == nil {
+		t.Error("nil oracle accepted")
+	}
+	if _, err := NewAFLGuard(fixedOracle{}, -0.5); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	ref := []float64{2, 0}
+	a, err := NewAFLGuard(fixedOracle{delta: ref}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := []*fl.Update{
+		{ClientID: 0, Delta: []float64{2.5, 0.5}}, // within ||u - ref|| <= ||ref||
+		{ClientID: 1, Delta: []float64{-2, 0}},    // deviation 4 > 2
+	}
+	res, err := a.Filter(updates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions[0] != fl.Accept {
+		t.Error("near update rejected")
+	}
+	if res.Decisions[1] != fl.Reject {
+		t.Error("far update accepted")
+	}
+	if a.Name() != "aflguard" {
+		t.Error("name")
+	}
+}
+
+func TestAFLGuardEmpty(t *testing.T) {
+	a, _ := NewAFLGuard(fixedOracle{delta: []float64{1}}, 0)
+	res, err := a.Filter(nil, 0)
+	if err != nil || len(res.Decisions) != 0 {
+		t.Errorf("empty: %v %v", res, err)
+	}
+}
+
+func TestMedianOfHelper(t *testing.T) {
+	if got := medianOf([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("medianOf odd = %v", got)
+	}
+	if got := medianOf([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("medianOf even = %v", got)
+	}
+	if got := medianOf(nil); got != 0 {
+		t.Errorf("medianOf empty = %v", got)
+	}
+}

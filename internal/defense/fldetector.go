@@ -1,0 +1,329 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/asyncfl/asyncfilter/internal/cluster"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// FLDetector re-implements the synchronous state-of-the-art detector
+// (Zhang et al., KDD 2022) the paper uses as its main baseline. The server
+// predicts each client's next update from the client's previous update and
+// an L-BFGS approximation of the integrated Hessian built from global
+// model/update history; clients whose actual updates consistently deviate
+// from the prediction are flagged via 2-means clustering with a gap
+// statistic.
+//
+// FLDetector assumes synchronous participation: a client's "previous"
+// update is expected to be exactly one round old. In asynchronous FL that
+// assumption breaks — precisely the failure mode the paper demonstrates —
+// and this implementation faithfully inherits it by predicting across
+// however many rounds actually elapsed.
+type FLDetectorConfig struct {
+	// WindowSize bounds the L-BFGS history (paper default 10).
+	WindowSize int
+	// ScoreWindow is the number of per-client deviations averaged into the
+	// suspicious score.
+	ScoreWindow int
+	// GapReferenceDraws is the number of Monte-Carlo reference sets for
+	// the gap statistic.
+	GapReferenceDraws int
+	// Seed drives clustering and the gap statistic.
+	Seed int64
+}
+
+// DefaultFLDetectorConfig mirrors the FLDetector paper's settings.
+func DefaultFLDetectorConfig() FLDetectorConfig {
+	return FLDetectorConfig{WindowSize: 10, ScoreWindow: 10, GapReferenceDraws: 10, Seed: 1}
+}
+
+// FLDetector is stateful across rounds and not safe for concurrent use.
+type FLDetector struct {
+	cfg FLDetectorConfig
+	rng *rand.Rand
+
+	// L-BFGS curvature history: sHist[k] = w_k - w_{k-1},
+	// yHist[k] = gbar_k - gbar_{k-1}.
+	sHist [][]float64
+	yHist [][]float64
+
+	prevGlobal []float64
+	prevGbar   []float64
+
+	clients map[int]*clientHistory
+}
+
+type clientHistory struct {
+	// lastDelta is the client's most recent accepted update and lastGlobal
+	// the global model it is assumed to have trained from. FLDetector's
+	// synchronous assumption is baked in here: the recorded base is the
+	// model that was current when the update arrived, not the (possibly
+	// much older) model a stale asynchronous client actually started from.
+	lastDelta  []float64
+	lastGlobal []float64
+	devWindow  []float64
+}
+
+var _ fl.Filter = (*FLDetector)(nil)
+var _ fl.RoundObserver = (*FLDetector)(nil)
+
+// NewFLDetector builds an FLDetector baseline.
+func NewFLDetector(cfg FLDetectorConfig) (*FLDetector, error) {
+	if cfg.WindowSize < 1 {
+		return nil, fmt.Errorf("defense: NewFLDetector: WindowSize = %d, need >= 1", cfg.WindowSize)
+	}
+	if cfg.ScoreWindow < 1 {
+		return nil, fmt.Errorf("defense: NewFLDetector: ScoreWindow = %d, need >= 1", cfg.ScoreWindow)
+	}
+	if cfg.GapReferenceDraws < 1 {
+		return nil, fmt.Errorf("defense: NewFLDetector: GapReferenceDraws = %d, need >= 1", cfg.GapReferenceDraws)
+	}
+	return &FLDetector{
+		cfg:     cfg,
+		rng:     randx.New(cfg.Seed),
+		clients: make(map[int]*clientHistory),
+	}, nil
+}
+
+// Name implements fl.Filter.
+func (d *FLDetector) Name() string { return "fldetector" }
+
+// ObserveRound implements fl.RoundObserver: after each aggregation the
+// server feeds back the new global parameters and the accepted updates so
+// the detector can extend its curvature history.
+func (d *FLDetector) ObserveRound(round int, global []float64, accepted []*fl.Update) {
+	snapshot := vecmath.Clone(global)
+	// The model the just-aggregated updates are assumed (synchronously) to
+	// have trained from is the previous snapshot.
+	base := d.prevGlobal
+
+	var gbar []float64
+	if len(accepted) > 0 {
+		gbar = make([]float64, len(global))
+		vs := make([][]float64, len(accepted))
+		for i, u := range accepted {
+			vs[i] = u.Delta
+		}
+		vecmath.MeanVector(gbar, vs)
+	}
+
+	if d.prevGlobal != nil && gbar != nil && d.prevGbar != nil {
+		s := vecmath.Subbed(snapshot, d.prevGlobal)
+		// Updates are negative-gradient steps, so the gradient difference
+		// that pairs with s for a positive-curvature (s, y) secant is the
+		// NEGATED update difference.
+		y := vecmath.Subbed(d.prevGbar, gbar)
+		// Skip degenerate curvature pairs.
+		if vecmath.Dot(s, y) > 1e-12 {
+			d.sHist = append(d.sHist, s)
+			d.yHist = append(d.yHist, y)
+			if len(d.sHist) > d.cfg.WindowSize {
+				d.sHist = d.sHist[1:]
+				d.yHist = d.yHist[1:]
+			}
+		}
+	}
+	d.prevGlobal = snapshot
+	if gbar != nil {
+		d.prevGbar = gbar
+	}
+
+	// Record the accepted updates as each client's latest contribution.
+	for _, u := range accepted {
+		d.rememberClient(u, base)
+	}
+}
+
+func (d *FLDetector) rememberClient(u *fl.Update, base []float64) {
+	h, ok := d.clients[u.ClientID]
+	if !ok {
+		h = &clientHistory{}
+		d.clients[u.ClientID] = h
+	}
+	h.lastDelta = vecmath.Clone(u.Delta)
+	h.lastGlobal = base
+}
+
+// hessianVector approximates H*v from the (s, y) history using the L-BFGS
+// two-loop recursion with the roles of s and y exchanged (y_k ~ H s_k, so
+// the standard inverse-Hessian recursion on swapped pairs yields the
+// forward action).
+func (d *FLDetector) hessianVector(v []float64) []float64 {
+	m := len(d.sHist)
+	if m == 0 {
+		return make([]float64, len(v))
+	}
+	q := vecmath.Clone(v)
+	alpha := make([]float64, m)
+	rho := make([]float64, m)
+	for k := m - 1; k >= 0; k-- {
+		rho[k] = 1 / vecmath.Dot(d.yHist[k], d.sHist[k])
+		alpha[k] = rho[k] * vecmath.Dot(d.yHist[k], q)
+		vecmath.AXPY(q, -alpha[k], d.sHist[k])
+	}
+	// Initial scaling: gamma = (y.s)/(s.s) approximates the dominant
+	// curvature.
+	last := m - 1
+	gamma := vecmath.Dot(d.yHist[last], d.sHist[last]) / vecmath.Dot(d.sHist[last], d.sHist[last])
+	vecmath.Scale(q, gamma, q)
+	for k := 0; k < m; k++ {
+		beta := rho[k] * vecmath.Dot(d.sHist[k], q)
+		vecmath.AXPY(q, alpha[k]-beta, d.yHist[k])
+	}
+	return q
+}
+
+// Filter implements fl.Filter.
+func (d *FLDetector) Filter(updates []*fl.Update, round int) (fl.FilterResult, error) {
+	n := len(updates)
+	if n == 0 {
+		return fl.FilterResult{}, nil
+	}
+
+	deviations := make([]float64, n)
+	havePrediction := false
+	for i, u := range updates {
+		h, ok := d.clients[u.ClientID]
+		if !ok || h.lastDelta == nil || h.lastGlobal == nil || d.prevGlobal == nil {
+			deviations[i] = -1 // unknown: no usable prior contribution
+			continue
+		}
+		diff := vecmath.Subbed(d.prevGlobal, h.lastGlobal)
+		// Predicted gradient: g_prev + H*diff; in delta space (delta =
+		// -gradient step) the Hessian term enters with a minus sign.
+		pred := vecmath.Subbed(h.lastDelta, d.hessianVector(diff))
+		deviations[i] = vecmath.Distance(pred, u.Delta)
+		havePrediction = true
+	}
+	if !havePrediction {
+		return fl.AcceptAll(n), nil
+	}
+
+	// Unknown clients inherit the median deviation of the known ones.
+	known := make([]float64, 0, n)
+	for _, dev := range deviations {
+		if dev >= 0 {
+			known = append(known, dev)
+		}
+	}
+	med := medianOf(known)
+	for i, dev := range deviations {
+		if dev < 0 {
+			deviations[i] = med
+		}
+	}
+
+	// Normalize deviations into scores and fold into per-client rolling
+	// windows (FLDetector averages the last ScoreWindow normalized
+	// deviations).
+	var total float64
+	for _, dev := range deviations {
+		total += dev
+	}
+	scores := make([]float64, n)
+	for i, u := range updates {
+		norm := 0.0
+		if total > 0 {
+			norm = deviations[i] / total
+		}
+		h, ok := d.clients[u.ClientID]
+		if !ok {
+			h = &clientHistory{}
+			d.clients[u.ClientID] = h
+		}
+		h.devWindow = append(h.devWindow, norm)
+		if len(h.devWindow) > d.cfg.ScoreWindow {
+			h.devWindow = h.devWindow[1:]
+		}
+		var sum float64
+		for _, v := range h.devWindow {
+			sum += v
+		}
+		scores[i] = sum / float64(len(h.devWindow))
+	}
+
+	// Decide whether the score distribution is better explained by two
+	// clusters (attack present) than one, via the gap statistic; if so,
+	// reject the higher cluster.
+	if !d.twoClustersPreferred(scores) {
+		res := fl.AcceptAll(n)
+		res.Scores = scores
+		return res, nil
+	}
+	km, err := cluster.KMeans1D(scores, 2, d.rng, cluster.Options{})
+	if err != nil {
+		return fl.FilterResult{}, fmt.Errorf("defense: FLDetector: %w", err)
+	}
+	decisions := make([]fl.Decision, n)
+	for i := range updates {
+		if km.Assignments[i] == 1 && km.Sizes[0] > 0 {
+			decisions[i] = fl.Reject
+		} else {
+			decisions[i] = fl.Accept
+		}
+	}
+	return fl.FilterResult{Decisions: decisions, Scores: scores}, nil
+}
+
+// twoClustersPreferred computes a 1-D gap statistic comparing k=1 vs k=2.
+func (d *FLDetector) twoClustersPreferred(scores []float64) bool {
+	if len(scores) < 4 {
+		return false
+	}
+	lo, hi := scores[0], scores[0]
+	for _, s := range scores {
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if hi-lo < 1e-15 {
+		return false
+	}
+	gap1 := d.gapFor(scores, 1, lo, hi)
+	gap2 := d.gapFor(scores, 2, lo, hi)
+	return gap2 > gap1
+}
+
+// gapFor returns E[log W_k(reference)] - log W_k(scores).
+func (d *FLDetector) gapFor(scores []float64, k int, lo, hi float64) float64 {
+	w := inertia1D(scores, k, d.rng)
+	var ref float64
+	draws := d.cfg.GapReferenceDraws
+	sample := make([]float64, len(scores))
+	for b := 0; b < draws; b++ {
+		for i := range sample {
+			sample[i] = lo + d.rng.Float64()*(hi-lo)
+		}
+		ref += math.Log(inertia1D(sample, k, d.rng) + 1e-12)
+	}
+	ref /= float64(draws)
+	return ref - math.Log(w+1e-12)
+}
+
+func inertia1D(values []float64, k int, r *rand.Rand) float64 {
+	res, err := cluster.KMeans1D(values, k, r, cluster.Options{})
+	if err != nil {
+		return 0
+	}
+	return res.Inertia
+}
+
+func medianOf(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	if len(sorted)%2 == 1 {
+		return sorted[len(sorted)/2]
+	}
+	return (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+}

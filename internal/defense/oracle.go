@@ -1,0 +1,150 @@
+package defense
+
+import (
+	"fmt"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// ServerOracle supplies the trusted reference update that Zeno++ and
+// AFLGuard assume the server can compute from a clean root dataset — the
+// very assumption AsyncFilter exists to remove. The simulator implements
+// it by training the current global model on a held-out clean shard.
+type ServerOracle interface {
+	// ReferenceDelta returns a trusted parameter delta computed from the
+	// global model as of the given version.
+	ReferenceDelta(baseVersion int) ([]float64, error)
+}
+
+// ZenoPP re-implements Zeno++ (Xie et al., ICML 2020) as a filter: an
+// update is accepted when its estimated descent score
+//
+//	gamma*<g_s, u> - rho*||u||^2 >= -gamma*epsilon
+//
+// is non-degrading, where g_s is the server's trusted update. Accepted
+// updates are those whose projection onto the trusted direction is
+// sufficiently positive.
+type ZenoPP struct {
+	oracle ServerOracle
+	// Gamma scales the inner-product term (server learning rate in the
+	// original formulation).
+	Gamma float64
+	// Rho penalizes update magnitude.
+	Rho float64
+	// Epsilon relaxes the acceptance bound.
+	Epsilon float64
+}
+
+var _ fl.Filter = (*ZenoPP)(nil)
+
+// NewZenoPP builds a Zeno++ filter backed by the oracle. Zero-valued
+// parameters select gamma=1, rho=0.001, epsilon=0.
+func NewZenoPP(oracle ServerOracle, gamma, rho, epsilon float64) (*ZenoPP, error) {
+	if oracle == nil {
+		return nil, fmt.Errorf("defense: NewZenoPP: nil oracle")
+	}
+	if gamma == 0 {
+		gamma = 1
+	}
+	if rho == 0 {
+		rho = 0.001
+	}
+	if gamma < 0 || rho < 0 {
+		return nil, fmt.Errorf("defense: NewZenoPP: gamma and rho must be non-negative")
+	}
+	return &ZenoPP{oracle: oracle, Gamma: gamma, Rho: rho, Epsilon: epsilon}, nil
+}
+
+// Name implements fl.Filter.
+func (z *ZenoPP) Name() string { return "zeno++" }
+
+// Filter implements fl.Filter.
+func (z *ZenoPP) Filter(updates []*fl.Update, round int) (fl.FilterResult, error) {
+	n := len(updates)
+	if n == 0 {
+		return fl.FilterResult{}, nil
+	}
+	decisions := make([]fl.Decision, n)
+	scores := make([]float64, n)
+	refCache := make(map[int][]float64)
+	for i, u := range updates {
+		ref, ok := refCache[u.BaseVersion]
+		if !ok {
+			var err error
+			ref, err = z.oracle.ReferenceDelta(u.BaseVersion)
+			if err != nil {
+				return fl.FilterResult{}, fmt.Errorf("defense: ZenoPP: oracle: %w", err)
+			}
+			refCache[u.BaseVersion] = ref
+		}
+		score := z.Gamma*vecmath.Dot(ref, u.Delta) - z.Rho*vecmath.SquaredNorm2(u.Delta)
+		scores[i] = -score // suspicion: higher = worse
+		if score >= -z.Gamma*z.Epsilon {
+			decisions[i] = fl.Accept
+		} else {
+			decisions[i] = fl.Reject
+		}
+	}
+	return fl.FilterResult{Decisions: decisions, Scores: scores}, nil
+}
+
+// AFLGuard re-implements AFLGuard (Fang et al., ACSAC 2022): an update is
+// accepted only when it does not deviate too much from the server's
+// trusted update in both magnitude and direction, captured by the single
+// condition ||u - u_s|| <= lambda * ||u_s||.
+type AFLGuard struct {
+	oracle ServerOracle
+	// Lambda is the relative deviation bound.
+	Lambda float64
+}
+
+var _ fl.Filter = (*AFLGuard)(nil)
+
+// NewAFLGuard builds an AFLGuard filter; lambda 0 selects 1.5.
+func NewAFLGuard(oracle ServerOracle, lambda float64) (*AFLGuard, error) {
+	if oracle == nil {
+		return nil, fmt.Errorf("defense: NewAFLGuard: nil oracle")
+	}
+	if lambda == 0 {
+		lambda = 1.5
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("defense: NewAFLGuard: lambda = %v, need > 0", lambda)
+	}
+	return &AFLGuard{oracle: oracle, Lambda: lambda}, nil
+}
+
+// Name implements fl.Filter.
+func (a *AFLGuard) Name() string { return "aflguard" }
+
+// Filter implements fl.Filter.
+func (a *AFLGuard) Filter(updates []*fl.Update, round int) (fl.FilterResult, error) {
+	n := len(updates)
+	if n == 0 {
+		return fl.FilterResult{}, nil
+	}
+	decisions := make([]fl.Decision, n)
+	scores := make([]float64, n)
+	refCache := make(map[int][]float64)
+	for i, u := range updates {
+		ref, ok := refCache[u.BaseVersion]
+		if !ok {
+			var err error
+			ref, err = a.oracle.ReferenceDelta(u.BaseVersion)
+			if err != nil {
+				return fl.FilterResult{}, fmt.Errorf("defense: AFLGuard: oracle: %w", err)
+			}
+			refCache[u.BaseVersion] = ref
+		}
+		dev := vecmath.Distance(u.Delta, ref)
+		bound := a.Lambda * vecmath.Norm2(ref)
+		scores[i] = dev
+		if dev <= bound {
+			decisions[i] = fl.Accept
+		} else {
+			decisions[i] = fl.Reject
+		}
+	}
+	return fl.FilterResult{Decisions: decisions, Scores: scores}, nil
+}

@@ -1,0 +1,156 @@
+package defense
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// Bucketing is the pre-aggregation scheme of Karimireddy et al. (ICLR
+// 2022), cited by the paper as a heterogeneity-reduction baseline: updates
+// are randomly shuffled into buckets of BucketSize, each bucket is
+// averaged, and the bucket means are combined by the inner combiner. With
+// a robust inner combiner this provably reduces the heterogeneity the
+// robust rule must tolerate.
+type Bucketing struct {
+	// BucketSize is the number of updates averaged per bucket (>= 1).
+	BucketSize int
+	// Inner combines the bucket means; nil selects the plain mean.
+	Inner fl.Combiner
+	rng   *rand.Rand
+}
+
+var _ fl.Combiner = (*Bucketing)(nil)
+
+// NewBucketing builds a bucketing pre-aggregator.
+func NewBucketing(bucketSize int, inner fl.Combiner, seed int64) (*Bucketing, error) {
+	if bucketSize < 1 {
+		return nil, fmt.Errorf("defense: NewBucketing: BucketSize = %d, need >= 1", bucketSize)
+	}
+	if inner == nil {
+		inner = fl.MeanCombiner{}
+	}
+	return &Bucketing{BucketSize: bucketSize, Inner: inner, rng: randx.New(seed)}, nil
+}
+
+// Name implements fl.Combiner.
+func (b *Bucketing) Name() string {
+	return fmt.Sprintf("bucketing(%d)+%s", b.BucketSize, b.Inner.Name())
+}
+
+// Combine implements fl.Combiner.
+func (b *Bucketing) Combine(updates []*fl.Update, cfg fl.AggregatorConfig) ([]float64, error) {
+	n := len(updates)
+	if n == 0 {
+		return nil, fmt.Errorf("defense: Bucketing: no updates")
+	}
+	perm := b.rng.Perm(n)
+	var bucketed []*fl.Update
+	for lo := 0; lo < n; lo += b.BucketSize {
+		hi := lo + b.BucketSize
+		if hi > n {
+			hi = n
+		}
+		mean := make([]float64, len(updates[0].Delta))
+		samples := 0
+		maxStale := 0
+		for _, idx := range perm[lo:hi] {
+			u := updates[idx]
+			if len(u.Delta) != len(mean) {
+				return nil, fmt.Errorf("defense: Bucketing: mixed update dimensions")
+			}
+			vecmath.AXPY(mean, 1/float64(hi-lo), u.Delta)
+			samples += u.NumSamples
+			if u.Staleness > maxStale {
+				maxStale = u.Staleness
+			}
+		}
+		bucketed = append(bucketed, &fl.Update{
+			Delta:      mean,
+			NumSamples: samples,
+			Staleness:  maxStale,
+		})
+	}
+	return b.Inner.Combine(bucketed, cfg)
+}
+
+// NNM is Nearest Neighbor Mixing (Allouah et al., AISTATS 2023), cited by
+// the paper as a dataset-free robustness baseline: each update is replaced
+// by the average of itself and its Neighbors nearest neighbours before the
+// inner combiner runs, shrinking the leverage of isolated poisoned
+// updates.
+type NNM struct {
+	// Neighbors is the number of nearest neighbours mixed into each
+	// update (excluding the update itself).
+	Neighbors int
+	// Inner combines the mixed updates; nil selects the plain mean.
+	Inner fl.Combiner
+}
+
+var _ fl.Combiner = (*NNM)(nil)
+
+// NewNNM builds a nearest-neighbour-mixing pre-aggregator.
+func NewNNM(neighbors int, inner fl.Combiner) (*NNM, error) {
+	if neighbors < 1 {
+		return nil, fmt.Errorf("defense: NewNNM: Neighbors = %d, need >= 1", neighbors)
+	}
+	if inner == nil {
+		inner = fl.MeanCombiner{}
+	}
+	return &NNM{Neighbors: neighbors, Inner: inner}, nil
+}
+
+// Name implements fl.Combiner.
+func (m *NNM) Name() string {
+	return fmt.Sprintf("nnm(%d)+%s", m.Neighbors, m.Inner.Name())
+}
+
+// Combine implements fl.Combiner.
+func (m *NNM) Combine(updates []*fl.Update, cfg fl.AggregatorConfig) ([]float64, error) {
+	n := len(updates)
+	if n == 0 {
+		return nil, fmt.Errorf("defense: NNM: no updates")
+	}
+	k := m.Neighbors
+	if k > n-1 {
+		k = n - 1
+	}
+	dim := len(updates[0].Delta)
+	mixed := make([]*fl.Update, n)
+
+	type pair struct {
+		idx  int
+		dist float64
+	}
+	for i, u := range updates {
+		if len(u.Delta) != dim {
+			return nil, fmt.Errorf("defense: NNM: mixed update dimensions")
+		}
+		neighbors := make([]pair, 0, n-1)
+		for j, v := range updates {
+			if i == j {
+				continue
+			}
+			neighbors = append(neighbors, pair{idx: j, dist: vecmath.SquaredDistance(u.Delta, v.Delta)})
+		}
+		sort.Slice(neighbors, func(a, b int) bool {
+			if neighbors[a].dist != neighbors[b].dist {
+				return neighbors[a].dist < neighbors[b].dist
+			}
+			return neighbors[a].idx < neighbors[b].idx
+		})
+		mean := vecmath.Clone(u.Delta)
+		for _, nb := range neighbors[:k] {
+			vecmath.Add(mean, mean, updates[nb.idx].Delta)
+		}
+		vecmath.Scale(mean, 1/float64(k+1), mean)
+		clone := *u
+		clone.Delta = mean
+		mixed[i] = &clone
+	}
+	return m.Inner.Combine(mixed, cfg)
+}

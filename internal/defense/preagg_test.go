@@ -1,0 +1,175 @@
+package defense
+
+import (
+	"math"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+func TestBucketingValidation(t *testing.T) {
+	if _, err := NewBucketing(0, nil, 1); err == nil {
+		t.Error("bucket size 0 accepted")
+	}
+	b, err := NewBucketing(2, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Combine(nil, fl.AggregatorConfig{}); err == nil {
+		t.Error("empty combine accepted")
+	}
+	if b.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBucketingPreservesMean(t *testing.T) {
+	// With a mean inner combiner and uniform weights, bucketing must keep
+	// the overall mean (up to bucket-size weighting effects with equal
+	// NumSamples and full buckets).
+	updates := []*fl.Update{
+		{Delta: []float64{0, 0}, NumSamples: 1},
+		{Delta: []float64{2, 4}, NumSamples: 1},
+		{Delta: []float64{4, 8}, NumSamples: 1},
+		{Delta: []float64{6, 12}, NumSamples: 1},
+	}
+	b, _ := NewBucketing(2, nil, 3)
+	out, err := b.Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-3) > 1e-9 || math.Abs(out[1]-6) > 1e-9 {
+		t.Errorf("bucketed mean = %v, want [3 6]", out)
+	}
+}
+
+func TestBucketingReducesPoisonLeverage(t *testing.T) {
+	// One extreme poison among 8: bucketing into pairs then taking the
+	// coordinate-wise median must land near the benign value, while a
+	// plain median over mixed buckets is still robust. Compare against the
+	// plain mean which the poison drags far away.
+	updates := make([]*fl.Update, 8)
+	for i := range updates {
+		updates[i] = &fl.Update{Delta: []float64{1}, NumSamples: 1}
+	}
+	updates[7] = &fl.Update{Delta: []float64{-1000}, NumSamples: 1}
+
+	mean, err := (fl.MeanCombiner{}).Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewBucketing(2, Median{}, 5)
+	robust, err := b.Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(robust[0]-1) > 501 {
+		t.Errorf("bucketed median = %v, want near benign 1", robust[0])
+	}
+	if math.Abs(robust[0]-1) >= math.Abs(mean[0]-1) {
+		t.Errorf("bucketing+median (%v) should beat plain mean (%v)", robust[0], mean[0])
+	}
+}
+
+func TestBucketingRejectsMixedDimensions(t *testing.T) {
+	b, _ := NewBucketing(2, nil, 1)
+	_, err := b.Combine([]*fl.Update{
+		{Delta: []float64{1, 2}, NumSamples: 1},
+		{Delta: []float64{1}, NumSamples: 1},
+	}, fl.AggregatorConfig{})
+	if err == nil {
+		t.Error("mixed dimensions accepted")
+	}
+}
+
+func TestNNMValidation(t *testing.T) {
+	if _, err := NewNNM(0, nil); err == nil {
+		t.Error("neighbors 0 accepted")
+	}
+	m, err := NewNNM(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Combine(nil, fl.AggregatorConfig{}); err == nil {
+		t.Error("empty combine accepted")
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestNNMMixesTowardNeighbors(t *testing.T) {
+	// Three tight benign updates and one far poison. After mixing with one
+	// nearest neighbour, the poison's influence on the final mean shrinks:
+	// its mixed vector is pulled toward the benign cluster.
+	updates := []*fl.Update{
+		{ClientID: 0, Delta: []float64{1, 0}, NumSamples: 1},
+		{ClientID: 1, Delta: []float64{1.1, 0}, NumSamples: 1},
+		{ClientID: 2, Delta: []float64{0.9, 0}, NumSamples: 1},
+		{ClientID: 3, Delta: []float64{100, 0}, NumSamples: 1},
+	}
+	plain, err := (fl.MeanCombiner{}).Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewNNM(1, nil)
+	mixed, err := m.Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	benignMean := 1.0
+	if math.Abs(mixed[0]-benignMean) >= math.Abs(plain[0]-benignMean) {
+		t.Errorf("NNM result %v not closer to benign mean than plain mean %v", mixed[0], plain[0])
+	}
+}
+
+func TestNNMNeighborsClamped(t *testing.T) {
+	// Neighbors larger than n-1 must not panic; it becomes full averaging.
+	updates := []*fl.Update{
+		{Delta: []float64{0}, NumSamples: 1},
+		{Delta: []float64{2}, NumSamples: 1},
+	}
+	m, _ := NewNNM(10, nil)
+	out, err := m.Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1) > 1e-9 {
+		t.Errorf("clamped NNM = %v, want 1", out[0])
+	}
+}
+
+func TestNNMDeterministic(t *testing.T) {
+	updates := []*fl.Update{
+		{Delta: []float64{1, 2}, NumSamples: 1},
+		{Delta: []float64{2, 1}, NumSamples: 1},
+		{Delta: []float64{3, 3}, NumSamples: 1},
+	}
+	m, _ := NewNNM(1, nil)
+	a, err := m.Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Combine(updates, fl.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.EqualApprox(a, b, 0) {
+		t.Error("NNM not deterministic")
+	}
+}
+
+func TestNNMDoesNotMutateInputs(t *testing.T) {
+	updates := []*fl.Update{
+		{Delta: []float64{1, 2}, NumSamples: 1},
+		{Delta: []float64{5, 6}, NumSamples: 1},
+	}
+	m, _ := NewNNM(1, nil)
+	if _, err := m.Combine(updates, fl.AggregatorConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if updates[0].Delta[0] != 1 || updates[1].Delta[0] != 5 {
+		t.Error("NNM mutated input deltas")
+	}
+}

@@ -1,0 +1,188 @@
+// Package defense implements the baseline defenses AsyncFilter is compared
+// against: the FLDetector malicious-client detector (the paper's main
+// detection baseline), the classic synchronous Byzantine-robust
+// aggregation rules (Krum / Multi-Krum, coordinate-wise trimmed mean and
+// median), and the clean-dataset asynchronous defenses Zeno++ and AFLGuard
+// that the paper argues against assuming.
+package defense
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// Krum is the Krum/Multi-Krum selection rule (Blanchard et al., NeurIPS
+// 2017) expressed as a filter: each update is scored by the sum of squared
+// distances to its n-f-2 nearest neighbours and only the NumSelect
+// lowest-scoring updates are accepted.
+type Krum struct {
+	// NumMalicious is the assumed number of malicious updates per batch
+	// (f in the Krum paper).
+	NumMalicious int
+	// NumSelect is the number of updates to accept (1 = classic Krum,
+	// larger = Multi-Krum). Zero selects n - NumMalicious at filter time.
+	NumSelect int
+}
+
+var _ fl.Filter = (*Krum)(nil)
+
+// NewKrum builds a Multi-Krum filter.
+func NewKrum(numMalicious, numSelect int) (*Krum, error) {
+	if numMalicious < 0 {
+		return nil, fmt.Errorf("defense: NewKrum: NumMalicious = %d, need >= 0", numMalicious)
+	}
+	if numSelect < 0 {
+		return nil, fmt.Errorf("defense: NewKrum: NumSelect = %d, need >= 0", numSelect)
+	}
+	return &Krum{NumMalicious: numMalicious, NumSelect: numSelect}, nil
+}
+
+// Name implements fl.Filter.
+func (k *Krum) Name() string { return "krum" }
+
+// Filter implements fl.Filter.
+func (k *Krum) Filter(updates []*fl.Update, round int) (fl.FilterResult, error) {
+	n := len(updates)
+	if n == 0 {
+		return fl.FilterResult{}, nil
+	}
+	// Krum needs n >= f + 3 for the neighbourhood to be defined; smaller
+	// batches pass through.
+	neighbors := n - k.NumMalicious - 2
+	if neighbors < 1 {
+		return fl.AcceptAll(n), nil
+	}
+
+	// Pairwise squared distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := vecmath.SquaredDistance(updates[i].Delta, updates[j].Delta)
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ds := make([]float64, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				ds = append(ds, dist[i][j])
+			}
+		}
+		sort.Float64s(ds)
+		var s float64
+		for _, d := range ds[:neighbors] {
+			s += d
+		}
+		scores[i] = s
+	}
+
+	sel := k.NumSelect
+	if sel == 0 {
+		sel = n - k.NumMalicious
+	}
+	if sel > n {
+		sel = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+
+	decisions := make([]fl.Decision, n)
+	for i := range decisions {
+		decisions[i] = fl.Reject
+	}
+	for _, idx := range order[:sel] {
+		decisions[idx] = fl.Accept
+	}
+	return fl.FilterResult{Decisions: decisions, Scores: scores}, nil
+}
+
+// TrimmedMean is the coordinate-wise trimmed-mean combiner (Yin et al.,
+// ICML 2018): for each coordinate the Trim largest and Trim smallest
+// values are removed before averaging.
+type TrimmedMean struct {
+	// Trim is the number of values trimmed from each end per coordinate.
+	Trim int
+}
+
+var _ fl.Combiner = (*TrimmedMean)(nil)
+
+// NewTrimmedMean builds a trimmed-mean combiner.
+func NewTrimmedMean(trim int) (*TrimmedMean, error) {
+	if trim < 0 {
+		return nil, fmt.Errorf("defense: NewTrimmedMean: Trim = %d, need >= 0", trim)
+	}
+	return &TrimmedMean{Trim: trim}, nil
+}
+
+// Name implements fl.Combiner.
+func (t *TrimmedMean) Name() string { return "trimmed-mean" }
+
+// Combine implements fl.Combiner.
+func (t *TrimmedMean) Combine(updates []*fl.Update, cfg fl.AggregatorConfig) ([]float64, error) {
+	n := len(updates)
+	if n == 0 {
+		return nil, fmt.Errorf("defense: TrimmedMean: no updates")
+	}
+	if 2*t.Trim >= n {
+		return nil, fmt.Errorf("defense: TrimmedMean: trimming 2*%d values from %d updates leaves nothing", t.Trim, n)
+	}
+	dim := len(updates[0].Delta)
+	out := make([]float64, dim)
+	column := make([]float64, n)
+	for j := 0; j < dim; j++ {
+		for i, u := range updates {
+			column[i] = u.Delta[j]
+		}
+		sort.Float64s(column)
+		var s float64
+		kept := column[t.Trim : n-t.Trim]
+		for _, v := range kept {
+			s += v
+		}
+		out[j] = s / float64(len(kept))
+	}
+	return out, nil
+}
+
+// Median is the coordinate-wise median combiner (Yin et al., ICML 2018).
+type Median struct{}
+
+var _ fl.Combiner = Median{}
+
+// Name implements fl.Combiner.
+func (Median) Name() string { return "median" }
+
+// Combine implements fl.Combiner.
+func (Median) Combine(updates []*fl.Update, cfg fl.AggregatorConfig) ([]float64, error) {
+	n := len(updates)
+	if n == 0 {
+		return nil, fmt.Errorf("defense: Median: no updates")
+	}
+	dim := len(updates[0].Delta)
+	out := make([]float64, dim)
+	column := make([]float64, n)
+	for j := 0; j < dim; j++ {
+		for i, u := range updates {
+			column[i] = u.Delta[j]
+		}
+		sort.Float64s(column)
+		if n%2 == 1 {
+			out[j] = column[n/2]
+		} else {
+			out[j] = (column[n/2-1] + column[n/2]) / 2
+		}
+	}
+	return out, nil
+}

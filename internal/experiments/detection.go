@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/sim"
+	"github.com/asyncfl/asyncfilter/internal/stats"
+)
+
+// DetectionRow is one (filter, attack) detection-quality measurement.
+type DetectionRow struct {
+	// Filter and Attack identify the configuration.
+	Filter string
+	Attack string
+	// Confusion is the aggregated decision matrix (reject = flagged).
+	Confusion stats.Confusion
+	// Accuracy is the final model accuracy for context.
+	Accuracy float64
+}
+
+// DetectionResult is an extension experiment (not in the paper): the
+// filters' detection quality — precision, recall, false-positive rate —
+// per attack, information the paper's accuracy tables only show
+// indirectly.
+type DetectionResult struct {
+	ID    string
+	Title string
+	Rows  []DetectionRow
+}
+
+// Render prints the detection table.
+func (d *DetectionResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n\n", d.ID, d.Title)
+	b.WriteString("| Filter | Attack | Precision | Recall | FPR | Accuracy |\n|---|---|---|---|---|---|\n")
+	for _, row := range d.Rows {
+		fmt.Fprintf(&b, "| %s | %s | %.2f | %.2f | %.3f | %.1f%% |\n",
+			row.Filter, attackLabel(row.Attack),
+			row.Confusion.Precision(), row.Confusion.Recall(), row.Confusion.FPR(),
+			100*row.Accuracy)
+	}
+	return b.String()
+}
+
+// RunDetectionTable measures detection quality on the given preset for
+// AsyncFilter and FLDetector under each of the paper's four attacks.
+func RunDetectionTable(preset string, scale Scale) (*DetectionResult, error) {
+	scale = scale.withDefaults()
+	res := &DetectionResult{
+		ID:    "detection",
+		Title: fmt.Sprintf("Detection quality on %s (extension experiment)", preset),
+	}
+	for _, atkName := range robustnessAttacks() {
+		for _, filterName := range []string{FilterAsyncFilter, FilterFLDetector} {
+			cfg, err := sim.Default(preset)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Seed = scale.BaseSeed
+			cfg.Attack = attack.Config{Name: atkName}
+			if scale.Rounds > 0 {
+				cfg.Rounds = scale.Rounds
+			}
+			filter, err := NewFilter(filterName, scale.BaseSeed)
+			if err != nil {
+				return nil, err
+			}
+			s, err := sim.New(cfg, filter, nil)
+			if err != nil {
+				return nil, err
+			}
+			r, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, DetectionRow{
+				Filter:    filterName,
+				Attack:    atkName,
+				Confusion: r.Detection,
+				Accuracy:  r.FinalAccuracy,
+			})
+		}
+	}
+	return res, nil
+}

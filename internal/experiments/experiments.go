@@ -1,0 +1,361 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5). Each experiment has an identifier ("table2" ...
+// "table10", "fig3", "fig4", "fig6", "fig7"), a runner that executes the
+// required simulations, and a renderer that prints rows shaped like the
+// paper's. See DESIGN.md §4 for the experiment index.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/core"
+	"github.com/asyncfl/asyncfilter/internal/defense"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/sim"
+	"github.com/asyncfl/asyncfilter/internal/stats"
+)
+
+// Filter identifiers used across experiments.
+const (
+	FilterFedBuff          = "fedbuff"
+	FilterFLDetector       = "fldetector"
+	FilterAsyncFilter      = "asyncfilter"
+	FilterAsyncFilter2     = "asyncfilter-2means"
+	FilterKrum             = "krum"
+	FilterAsyncFilterNoGrp = "asyncfilter-nogroup"
+	FilterAsyncFilterBatch = "asyncfilter-batchest"
+)
+
+// NewFilter builds a fresh filter instance by identifier. FedBuff returns
+// nil (the simulator's pass-through default). Each experiment run must use
+// a fresh instance because filters are stateful.
+func NewFilter(name string, seed int64) (fl.Filter, error) {
+	switch name {
+	case FilterFedBuff:
+		return nil, nil
+	case FilterFLDetector:
+		cfg := defense.DefaultFLDetectorConfig()
+		cfg.Seed = seed
+		return defense.NewFLDetector(cfg)
+	case FilterAsyncFilter:
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		return core.New(cfg)
+	case FilterAsyncFilter2:
+		cfg := core.DefaultConfig()
+		cfg.K = 2
+		cfg.Seed = seed
+		return core.New(cfg)
+	case FilterAsyncFilterNoGrp:
+		cfg := core.DefaultConfig()
+		cfg.GroupByStaleness = false
+		cfg.Seed = seed
+		return core.New(cfg)
+	case FilterAsyncFilterBatch:
+		cfg := core.DefaultConfig()
+		cfg.Estimator = core.EstimatorBatch
+		cfg.Seed = seed
+		return core.New(cfg)
+	case FilterKrum:
+		return defense.NewKrum(8, 0) // expected malicious per 40-update batch
+	default:
+		return nil, fmt.Errorf("experiments: unknown filter %q", name)
+	}
+}
+
+// Scale shrinks or stretches an experiment relative to the defaults.
+type Scale struct {
+	// Rounds overrides the number of aggregation rounds (0 keeps the
+	// preset default).
+	Rounds int
+	// Repeats averages each cell over this many seeds (0 selects 1).
+	Repeats int
+	// BaseSeed offsets all run seeds.
+	BaseSeed int64
+}
+
+func (s Scale) withDefaults() Scale {
+	if s.Repeats == 0 {
+		s.Repeats = 1
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 1
+	}
+	return s
+}
+
+// Cell is one (filter, attack) measurement.
+type Cell struct {
+	// Filter and Attack identify the configuration.
+	Filter string
+	Attack string
+	// Accuracy is the mean final test accuracy across repeats, Std its
+	// standard deviation.
+	Accuracy float64
+	Std      float64
+	// Detection aggregates the filter's confusion matrix across repeats.
+	Detection stats.Confusion
+}
+
+// Table is a rendered experiment: rows are filters, columns attacks —
+// exactly the paper's table layout.
+type Table struct {
+	// ID is the experiment identifier ("table2", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Attacks lists the column order.
+	Attacks []string
+	// Filters lists the row order.
+	Filters []string
+	// Cells holds one entry per (filter, attack).
+	Cells map[string]map[string]Cell
+}
+
+// Get returns the cell for (filter, attack).
+func (t *Table) Get(filter, atk string) (Cell, bool) {
+	row, ok := t.Cells[filter]
+	if !ok {
+		return Cell{}, false
+	}
+	c, ok := row[atk]
+	return c, ok
+}
+
+// Render prints the table as GitHub-flavored markdown with the paper's
+// layout (one row per method, one column per attack).
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| Method |")
+	for _, a := range t.Attacks {
+		fmt.Fprintf(&b, " %s |", attackLabel(a))
+	}
+	b.WriteString("\n|---|")
+	b.WriteString(strings.Repeat("---|", len(t.Attacks)))
+	b.WriteString("\n")
+	for _, f := range t.Filters {
+		fmt.Fprintf(&b, "| %s |", f)
+		for _, a := range t.Attacks {
+			c, ok := t.Get(f, a)
+			if !ok {
+				b.WriteString(" — |")
+				continue
+			}
+			if c.Std > 0 {
+				fmt.Fprintf(&b, " %.1f%% ± %.1f |", 100*c.Accuracy, 100*c.Std)
+			} else {
+				fmt.Fprintf(&b, " %.1f%% |", 100*c.Accuracy)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated rows (header + one row per
+// filter/attack pair) for downstream plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,filter,attack,accuracy,std,precision,recall\n")
+	for _, f := range t.Filters {
+		for _, a := range t.Attacks {
+			c, ok := t.Get(f, a)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%s,%s,%.4f,%.4f,%.4f,%.4f\n",
+				t.ID, f, a, c.Accuracy, c.Std, c.Detection.Precision(), c.Detection.Recall())
+		}
+	}
+	return b.String()
+}
+
+func attackLabel(a string) string {
+	switch a {
+	case attack.GDName:
+		return "GD"
+	case attack.LIEName:
+		return "LIE"
+	case attack.MinMaxName:
+		return "Min-Max"
+	case attack.MinSumName:
+		return "Min-Sum"
+	case attack.NoneName:
+		return "No attack"
+	default:
+		return a
+	}
+}
+
+// TableSpec describes one accuracy-table experiment.
+type TableSpec struct {
+	// ID and Title label the experiment.
+	ID    string
+	Title string
+	// Preset selects the dataset stand-in.
+	Preset string
+	// Attacks are the columns, Filters the rows.
+	Attacks []string
+	Filters []string
+	// Mutate applies experiment-specific deviations from the preset
+	// defaults (Dirichlet alpha, attacker count, Zipf exponent, ...).
+	Mutate func(*sim.Config)
+}
+
+// RunTable executes a table experiment at the given scale.
+func RunTable(spec TableSpec, scale Scale) (*Table, error) {
+	scale = scale.withDefaults()
+	table := &Table{
+		ID:      spec.ID,
+		Title:   spec.Title,
+		Attacks: spec.Attacks,
+		Filters: spec.Filters,
+		Cells:   make(map[string]map[string]Cell),
+	}
+	for _, filterName := range spec.Filters {
+		table.Cells[filterName] = make(map[string]Cell)
+		for _, attackName := range spec.Attacks {
+			cell, err := runCell(spec, filterName, attackName, scale)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s (%s/%s): %w", spec.ID, filterName, attackName, err)
+			}
+			table.Cells[filterName][attackName] = cell
+		}
+	}
+	return table, nil
+}
+
+func runCell(spec TableSpec, filterName, attackName string, scale Scale) (Cell, error) {
+	accs := make([]float64, 0, scale.Repeats)
+	cell := Cell{Filter: filterName, Attack: attackName}
+	for rep := 0; rep < scale.Repeats; rep++ {
+		seed := scale.BaseSeed + int64(rep)
+		cfg, err := sim.Default(spec.Preset)
+		if err != nil {
+			return Cell{}, err
+		}
+		cfg.Seed = seed
+		cfg.Attack = attack.Config{Name: attackName}
+		if scale.Rounds > 0 {
+			cfg.Rounds = scale.Rounds
+		}
+		if spec.Mutate != nil {
+			spec.Mutate(&cfg)
+		}
+		filter, err := NewFilter(filterName, seed)
+		if err != nil {
+			return Cell{}, err
+		}
+		s, err := sim.New(cfg, filter, nil)
+		if err != nil {
+			return Cell{}, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return Cell{}, err
+		}
+		accs = append(accs, res.FinalAccuracy)
+		cell.Detection.Merge(res.Detection)
+	}
+	cell.Accuracy, cell.Std = stats.MeanStd(accs)
+	if scale.Repeats == 1 {
+		cell.Std = 0
+	}
+	return cell, nil
+}
+
+// IDs lists every reproducible experiment in paper order.
+func IDs() []string {
+	return []string{
+		"table2", "table3", "table4", "table5",
+		"table6", "table7", "table8", "table9", "table10",
+		"fig3", "fig4", "fig6", "fig7",
+	}
+}
+
+// paperFilters is the method lineup of Tables 2-10.
+func paperFilters() []string {
+	return []string{FilterFedBuff, FilterFLDetector, FilterAsyncFilter}
+}
+
+// fullAttacks is the attack lineup of Tables 2-5 (robustness tables 6-10
+// omit the no-attack column, as in the paper).
+func fullAttacks() []string {
+	return []string{attack.GDName, attack.LIEName, attack.MinMaxName, attack.MinSumName, attack.NoneName}
+}
+
+func robustnessAttacks() []string {
+	return []string{attack.GDName, attack.LIEName, attack.MinMaxName, attack.MinSumName}
+}
+
+// TableSpecByID returns the specification for a table experiment.
+func TableSpecByID(id string) (TableSpec, error) {
+	switch id {
+	case "table2":
+		return TableSpec{
+			ID: id, Title: "AsyncFilter defends against attacks on MNIST (paper Table 2)",
+			Preset: "mnist", Attacks: fullAttacks(), Filters: paperFilters(),
+		}, nil
+	case "table3":
+		return TableSpec{
+			ID: id, Title: "AsyncFilter defends against attacks on FashionMNIST (paper Table 3)",
+			Preset: "fashionmnist", Attacks: fullAttacks(), Filters: paperFilters(),
+		}, nil
+	case "table4":
+		return TableSpec{
+			ID: id, Title: "AsyncFilter defends against attacks on CIFAR-10 (paper Table 4)",
+			Preset: "cifar10", Attacks: fullAttacks(), Filters: paperFilters(),
+		}, nil
+	case "table5":
+		return TableSpec{
+			ID: id, Title: "AsyncFilter defends against attacks on CINIC-10 (paper Table 5)",
+			Preset: "cinic10", Attacks: fullAttacks(), Filters: paperFilters(),
+		}, nil
+	case "table6":
+		return TableSpec{
+			ID: id, Title: "Robustness to data heterogeneity on CINIC-10, Dirichlet alpha 0.05 (paper Table 6)",
+			Preset: "cinic10", Attacks: robustnessAttacks(), Filters: paperFilters(),
+			Mutate: func(c *sim.Config) { c.PartitionAlpha = 0.05 },
+		}, nil
+	case "table7":
+		return TableSpec{
+			ID: id, Title: "Robustness to data heterogeneity on FashionMNIST, Dirichlet alpha 0.01 (paper Table 7)",
+			Preset: "fashionmnist", Attacks: robustnessAttacks(), Filters: paperFilters(),
+			Mutate: func(c *sim.Config) { c.PartitionAlpha = 0.01 },
+		}, nil
+	case "table8":
+		return TableSpec{
+			ID: id, Title: "Robustness to doubled attackers (40/100) on CINIC-10 (paper Table 8)",
+			Preset: "cinic10", Attacks: robustnessAttacks(), Filters: paperFilters(),
+			Mutate: func(c *sim.Config) { c.NumMalicious = 40 },
+		}, nil
+	case "table9":
+		return TableSpec{
+			ID: id, Title: "Robustness to doubled attackers (40/100) on FashionMNIST (paper Table 9)",
+			Preset: "fashionmnist", Attacks: robustnessAttacks(), Filters: paperFilters(),
+			Mutate: func(c *sim.Config) { c.NumMalicious = 40 },
+		}, nil
+	case "table10":
+		return TableSpec{
+			ID: id, Title: "Robustness to speed heterogeneity on FashionMNIST, Zipf s 2.5 (paper Table 10)",
+			Preset: "fashionmnist", Attacks: robustnessAttacks(), Filters: paperFilters(),
+			Mutate: func(c *sim.Config) { c.ZipfS = 2.5 },
+		}, nil
+	default:
+		return TableSpec{}, fmt.Errorf("experiments: %q is not a table experiment", id)
+	}
+}
+
+// SortedFilterNames lists the filter identifiers NewFilter accepts.
+func SortedFilterNames() []string {
+	names := []string{
+		FilterFedBuff, FilterFLDetector, FilterAsyncFilter,
+		FilterAsyncFilter2, FilterKrum, FilterAsyncFilterNoGrp, FilterAsyncFilterBatch,
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/sim"
+)
+
+// shrink rescales a simulation config so experiment tests run in
+// milliseconds while preserving structure.
+func shrink(c *sim.Config) {
+	c.NumClients = 16
+	c.NumMalicious = 3
+	c.AggregationGoal = 8
+	c.Rounds = 3
+	c.Data.TrainSize = 1500
+	c.Data.TestSize = 200
+	c.PartitionSize = 40
+	c.Trainer.Epochs = 1
+}
+
+func TestNewFilterKnownNames(t *testing.T) {
+	for _, name := range SortedFilterNames() {
+		f, err := NewFilter(name, 1)
+		if err != nil {
+			t.Errorf("NewFilter(%q): %v", name, err)
+			continue
+		}
+		if name == FilterFedBuff {
+			if f != nil {
+				t.Error("fedbuff should map to nil (pass-through)")
+			}
+			continue
+		}
+		if f == nil {
+			t.Errorf("NewFilter(%q) returned nil", name)
+		}
+	}
+	if _, err := NewFilter("unknown", 1); err == nil {
+		t.Error("unknown filter accepted")
+	}
+}
+
+func TestTableSpecsCoverPaper(t *testing.T) {
+	for _, id := range []string{"table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9", "table10"} {
+		spec, err := TableSpecByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if spec.ID != id || spec.Preset == "" || len(spec.Attacks) == 0 || len(spec.Filters) == 0 {
+			t.Errorf("%s: incomplete spec %+v", id, spec)
+		}
+	}
+	if _, err := TableSpecByID("table99"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := TableSpecByID("fig6"); err == nil {
+		t.Error("figure id accepted as table")
+	}
+}
+
+func TestIDsListAllExperiments(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 13 {
+		t.Fatalf("IDs() has %d entries, want 13 (9 tables + 4 figures)", len(ids))
+	}
+}
+
+func TestRunTableShrunken(t *testing.T) {
+	spec := TableSpec{
+		ID: "test-table", Title: "shrunken",
+		Preset:  "mnist",
+		Attacks: []string{attack.NoneName, attack.GDName},
+		Filters: []string{FilterFedBuff, FilterAsyncFilter},
+		Mutate:  shrink,
+	}
+	table, err := RunTable(spec, Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range spec.Filters {
+		for _, a := range spec.Attacks {
+			c, ok := table.Get(f, a)
+			if !ok {
+				t.Fatalf("missing cell %s/%s", f, a)
+			}
+			if c.Accuracy <= 0 || c.Accuracy > 1 {
+				t.Errorf("cell %s/%s accuracy = %v", f, a, c.Accuracy)
+			}
+		}
+	}
+	out := table.Render()
+	if !strings.Contains(out, "| Method |") || !strings.Contains(out, "GD") {
+		t.Errorf("render missing structure:\n%s", out)
+	}
+	csv := table.CSV()
+	if !strings.Contains(csv, "test-table,fedbuff,none,") {
+		t.Errorf("CSV missing rows:\n%s", csv)
+	}
+}
+
+func TestRunTableRepeatsProduceStd(t *testing.T) {
+	spec := TableSpec{
+		ID: "t", Title: "t", Preset: "mnist",
+		Attacks: []string{attack.NoneName},
+		Filters: []string{FilterFedBuff},
+		Mutate:  shrink,
+	}
+	table, err := RunTable(spec, Scale{Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := table.Get(FilterFedBuff, attack.NoneName)
+	if c.Std == 0 {
+		t.Log("std across 2 seeds is exactly 0; unusual but not impossible")
+	}
+}
+
+func TestRunEmbeddingShrunken(t *testing.T) {
+	// RunEmbedding uses the MNIST preset internally; shrink via Scale only.
+	res, err := RunEmbedding("fig3-test", 0, Scale{Rounds: 2, BaseSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no embedded points")
+	}
+	for _, p := range res.Points {
+		if p.Staleness < 0 {
+			t.Errorf("negative staleness %d", p.Staleness)
+		}
+	}
+	if !strings.Contains(res.Render(), "x,y,staleness,client") {
+		t.Error("render missing CSV header")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	table := &Table{Cells: map[string]map[string]Cell{}}
+	if _, ok := table.Get("nope", "nada"); ok {
+		t.Error("Get on empty table returned ok")
+	}
+}
+
+func TestAttackLabels(t *testing.T) {
+	for name, want := range map[string]string{
+		attack.GDName:     "GD",
+		attack.LIEName:    "LIE",
+		attack.MinMaxName: "Min-Max",
+		attack.MinSumName: "Min-Sum",
+		attack.NoneName:   "No attack",
+		"custom":          "custom",
+	} {
+		if got := attackLabel(name); got != want {
+			t.Errorf("attackLabel(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestSweepAndAblationRenderers(t *testing.T) {
+	sweep := &SweepResult{ID: "fig6", Title: "t", Points: []SweepPoint{{StalenessLimit: 5, Attack: attack.GDName, Mean: 0.8, Std: 0.01}}}
+	if !strings.Contains(sweep.Render(), "| 5 | GD | 80.0%") {
+		t.Errorf("sweep render:\n%s", sweep.Render())
+	}
+	abl := &AblationResult{ID: "fig7", Title: "t", Bars: []AblationBar{{Attack: attack.LIEName, Variant: "asyncfilter", Accuracy: 0.9, RejectedBenign: 3}}}
+	if !strings.Contains(abl.Render(), "| LIE | asyncfilter | 90.0% | 3 |") {
+		t.Errorf("ablation render:\n%s", abl.Render())
+	}
+}
+
+func TestRunDetectionTableShrunken(t *testing.T) {
+	// The detection table runs at the preset's population; shrink rounds
+	// only and accept the cost (~seconds).
+	res, err := RunDetectionTable("mnist", Scale{Rounds: 2, BaseSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 attacks x 2 filters)", len(res.Rows))
+	}
+	out := res.Render()
+	if !strings.Contains(out, "| Filter | Attack | Precision |") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Scatter renders the embedding as an ASCII scatter plot (width x height
+// character cells), each point drawn as its staleness level's digit
+// (levels above 9 wrap to letters). It lets the Figures 3-4 claim —
+// same-staleness updates cluster together — be eyeballed in a terminal.
+func (e *EmbeddingResult) Scatter(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(e.Points) == 0 {
+		return "(no points)\n"
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range e.Points {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	spanX := maxX - minX
+	spanY := maxY - minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range e.Points {
+		col := int((p.X - minX) / spanX * float64(width-1))
+		row := int((p.Y - minY) / spanY * float64(height-1))
+		row = height - 1 - row // origin at bottom-left
+		grid[row][col] = staleGlyph(p.Staleness)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (glyph = staleness level)\n", e.Title)
+	border := "+" + strings.Repeat("-", width) + "+\n"
+	b.WriteString(border)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString(border)
+	return b.String()
+}
+
+func staleGlyph(staleness int) byte {
+	switch {
+	case staleness < 0:
+		return '?'
+	case staleness < 10:
+		return byte('0' + staleness)
+	case staleness < 36:
+		return byte('a' + staleness - 10)
+	default:
+		return '+'
+	}
+}
+
+// CSV renders the embedding's points as comma-separated rows.
+func (e *EmbeddingResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,x,y,staleness,client\n")
+	for _, p := range e.Points {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%d,%d\n", e.ID, p.X, p.Y, p.Staleness, p.ClientID)
+	}
+	return b.String()
+}
+
+// CSV renders the staleness sweep as comma-separated rows.
+func (s *SweepResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,staleness_limit,attack,mean,std\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%s,%d,%s,%.4f,%.4f\n", s.ID, p.StalenessLimit, p.Attack, p.Mean, p.Std)
+	}
+	return b.String()
+}
+
+// CSV renders the k-means ablation as comma-separated rows.
+func (a *AblationResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,attack,variant,accuracy,rejected_benign\n")
+	for _, bar := range a.Bars {
+		fmt.Fprintf(&b, "%s,%s,%s,%.4f,%d\n", a.ID, bar.Attack, bar.Variant, bar.Accuracy, bar.RejectedBenign)
+	}
+	return b.String()
+}
+
+// CSV renders the detection table as comma-separated rows.
+func (d *DetectionResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,filter,attack,precision,recall,fpr,accuracy\n")
+	for _, row := range d.Rows {
+		fmt.Fprintf(&b, "%s,%s,%s,%.4f,%.4f,%.4f,%.4f\n",
+			d.ID, row.Filter, row.Attack,
+			row.Confusion.Precision(), row.Confusion.Recall(), row.Confusion.FPR(), row.Accuracy)
+	}
+	return b.String()
+}

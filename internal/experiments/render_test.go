@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/stats"
+)
+
+func sampleEmbedding() *EmbeddingResult {
+	return &EmbeddingResult{
+		ID:    "fig3",
+		Title: "test embedding",
+		Points: []EmbeddingPoint{
+			{X: -10, Y: -10, Staleness: 0, ClientID: 1},
+			{X: 10, Y: 10, Staleness: 1, ClientID: 2},
+			{X: 0, Y: 0, Staleness: 12, ClientID: 3},
+			{X: 5, Y: -5, Staleness: 40, ClientID: 4},
+		},
+	}
+}
+
+func TestScatterLayout(t *testing.T) {
+	out := sampleEmbedding().Scatter(20, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + top border + 10 rows + bottom border.
+	if len(lines) != 13 {
+		t.Fatalf("scatter has %d lines, want 13:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Errorf("staleness glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "c") { // staleness 12 -> 'c'
+		t.Errorf("wrapped glyph for staleness 12 missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+") && !strings.Contains(out, "-") {
+		t.Error("border missing")
+	}
+	// Over-36 staleness wraps to '+' inside the grid; the border also uses
+	// '+', so check the glyph function directly.
+	if staleGlyph(40) != '+' || staleGlyph(-1) != '?' || staleGlyph(9) != '9' || staleGlyph(10) != 'a' {
+		t.Error("staleGlyph mapping wrong")
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	empty := &EmbeddingResult{ID: "e", Title: "t"}
+	if !strings.Contains(empty.Scatter(10, 5), "no points") {
+		t.Error("empty embedding scatter wrong")
+	}
+	single := &EmbeddingResult{ID: "s", Title: "t", Points: []EmbeddingPoint{{X: 3, Y: 3, Staleness: 2}}}
+	out := single.Scatter(2, 2) // clamped up to minimums
+	if !strings.Contains(out, "2") {
+		t.Errorf("single-point scatter missing glyph:\n%s", out)
+	}
+}
+
+func TestEmbeddingCSV(t *testing.T) {
+	csv := sampleEmbedding().CSV()
+	if !strings.HasPrefix(csv, "experiment,x,y,staleness,client\n") {
+		t.Errorf("csv header:\n%s", csv)
+	}
+	if !strings.Contains(csv, "fig3,-10.0000,-10.0000,0,1") {
+		t.Errorf("csv row missing:\n%s", csv)
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	s := &SweepResult{ID: "fig6", Points: []SweepPoint{{StalenessLimit: 5, Attack: attack.GDName, Mean: 0.83, Std: 0.03}}}
+	csv := s.CSV()
+	if !strings.Contains(csv, "fig6,5,gd,0.8300,0.0300") {
+		t.Errorf("sweep csv:\n%s", csv)
+	}
+}
+
+func TestAblationCSV(t *testing.T) {
+	a := &AblationResult{ID: "fig7", Bars: []AblationBar{{Attack: attack.LIEName, Variant: "asyncfilter", Accuracy: 0.86, RejectedBenign: 2}}}
+	if !strings.Contains(a.CSV(), "fig7,lie,asyncfilter,0.8600,2") {
+		t.Errorf("ablation csv:\n%s", a.CSV())
+	}
+}
+
+func TestDetectionCSV(t *testing.T) {
+	d := &DetectionResult{ID: "detection", Rows: []DetectionRow{{
+		Filter: "asyncfilter", Attack: attack.GDName,
+		Confusion: stats.Confusion{TP: 3, FP: 1, TN: 10, FN: 1},
+		Accuracy:  0.9,
+	}}}
+	csv := d.CSV()
+	if !strings.Contains(csv, "detection,asyncfilter,gd,0.7500,0.7500") {
+		t.Errorf("detection csv:\n%s", csv)
+	}
+}

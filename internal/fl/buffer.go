@@ -1,0 +1,79 @@
+package fl
+
+import "fmt"
+
+// Buffer is the FedBuff server-side update buffer: arriving client updates
+// accumulate until the aggregation goal is reached, and updates staler than
+// the server's staleness limit are discarded on arrival.
+//
+// Buffer is not safe for concurrent use; the simulator and the transport
+// server serialize access.
+type Buffer struct {
+	goal           int
+	stalenessLimit int
+	updates        []*Update
+	droppedStale   int
+	received       int
+}
+
+// NewBuffer builds a buffer that signals readiness once goal updates are
+// held and rejects updates with staleness above limit (limit <= 0 disables
+// the staleness check).
+func NewBuffer(goal, limit int) (*Buffer, error) {
+	if goal < 1 {
+		return nil, fmt.Errorf("fl: NewBuffer: goal = %d, need >= 1", goal)
+	}
+	return &Buffer{goal: goal, stalenessLimit: limit}, nil
+}
+
+// Add offers an update to the buffer. It returns false when the update was
+// discarded for exceeding the staleness limit.
+func (b *Buffer) Add(u *Update) bool {
+	b.received++
+	if b.stalenessLimit > 0 && u.Staleness > b.stalenessLimit {
+		b.droppedStale++
+		return false
+	}
+	b.updates = append(b.updates, u)
+	return true
+}
+
+// Ready reports whether the aggregation goal has been reached.
+func (b *Buffer) Ready() bool { return len(b.updates) >= b.goal }
+
+// Len returns the number of buffered updates.
+func (b *Buffer) Len() int { return len(b.updates) }
+
+// Goal returns the aggregation goal.
+func (b *Buffer) Goal() int { return b.goal }
+
+// StalenessLimit returns the configured limit (<= 0 means disabled).
+func (b *Buffer) StalenessLimit() int { return b.stalenessLimit }
+
+// Drain removes and returns all buffered updates.
+func (b *Buffer) Drain() []*Update {
+	out := b.updates
+	b.updates = nil
+	return out
+}
+
+// Requeue returns deferred updates to the buffer so they participate in the
+// next aggregation round. Their staleness is incremented to reflect the
+// extra round they waited; updates pushed past the staleness limit are
+// dropped and counted.
+func (b *Buffer) Requeue(updates []*Update) {
+	for _, u := range updates {
+		u.Staleness++
+		if b.stalenessLimit > 0 && u.Staleness > b.stalenessLimit {
+			b.droppedStale++
+			continue
+		}
+		b.updates = append(b.updates, u)
+	}
+}
+
+// Stats reports lifetime counters: total updates offered and updates
+// dropped for staleness.
+func (b *Buffer) Stats() (received, droppedStale int) {
+	return b.received, b.droppedStale
+}

@@ -1,0 +1,35 @@
+package fl
+
+import "fmt"
+
+// Combiner turns a batch of accepted updates into a single delta to apply
+// to the global model. The default combiner is the weighted mean used by
+// Aggregate; Byzantine-robust aggregation rules (trimmed mean, median,
+// Krum) provide alternatives.
+type Combiner interface {
+	// Combine returns the delta to add to the global model.
+	Combine(updates []*Update, cfg AggregatorConfig) ([]float64, error)
+	// Name identifies the combiner.
+	Name() string
+}
+
+// MeanCombiner is the FedAvg/FedBuff weighted-mean combiner, equivalent to
+// Aggregate with a zero starting point.
+type MeanCombiner struct{}
+
+var _ Combiner = MeanCombiner{}
+
+// Combine implements Combiner.
+func (MeanCombiner) Combine(updates []*Update, cfg AggregatorConfig) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("fl: MeanCombiner: no updates")
+	}
+	delta := make([]float64, len(updates[0].Delta))
+	if _, err := Aggregate(delta, updates, cfg); err != nil {
+		return nil, err
+	}
+	return delta, nil
+}
+
+// Name implements Combiner.
+func (MeanCombiner) Name() string { return "mean" }

@@ -1,0 +1,338 @@
+package fl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/asyncfl/asyncfilter/internal/dataset"
+	"github.com/asyncfl/asyncfilter/internal/model"
+	"github.com/asyncfl/asyncfilter/internal/optim"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+func testData(t *testing.T) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	train, test, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		Name: "t", NumClasses: 3, Dim: 8,
+		TrainSize: 300, TestSize: 90,
+		Separation: 4, Noise: 0.8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func testTrainerConfig() TrainerConfig {
+	return TrainerConfig{
+		Epochs:    3,
+		BatchSize: 16,
+		Optim:     optim.Config{Name: optim.SGDName, LR: 0.05, Momentum: 0.9},
+	}
+}
+
+func TestLocalTrainImprovesModel(t *testing.T) {
+	train, test := testData(t)
+	m, err := model.New(model.Config{Arch: model.ArchLinear, InputDim: 8, NumClasses: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBefore, _ := model.Evaluate(m, test)
+	delta, err := LocalTrain(m, train, testTrainerConfig(), randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accAfter, _ := model.Evaluate(m, test)
+	if accAfter <= accBefore {
+		t.Errorf("accuracy did not improve: %v -> %v", accBefore, accAfter)
+	}
+	if accAfter < 0.9 {
+		t.Errorf("accuracy after training = %v, want >= 0.9", accAfter)
+	}
+	if vecmath.Norm2(delta) == 0 {
+		t.Error("training produced zero delta")
+	}
+}
+
+func TestLocalTrainDeltaConsistency(t *testing.T) {
+	train, _ := testData(t)
+	m, _ := model.New(model.Config{Arch: model.ArchLinear, InputDim: 8, NumClasses: 3, Seed: 2})
+	start := make([]float64, m.NumParams())
+	m.Params(start)
+	delta, err := LocalTrain(m, train, testTrainerConfig(), randx.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := make([]float64, m.NumParams())
+	m.Params(end)
+	if !vecmath.EqualApprox(vecmath.Added(start, delta), end, 1e-12) {
+		t.Error("delta != trained params - start params")
+	}
+}
+
+func TestLocalTrainDeterminism(t *testing.T) {
+	train, _ := testData(t)
+	run := func() []float64 {
+		m, _ := model.New(model.Config{Arch: model.ArchLinear, InputDim: 8, NumClasses: 3, Seed: 3})
+		delta, err := LocalTrain(m, train, testTrainerConfig(), randx.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return delta
+	}
+	if !vecmath.EqualApprox(run(), run(), 0) {
+		t.Error("identical seeds produced different deltas")
+	}
+}
+
+func TestLocalTrainValidation(t *testing.T) {
+	train, _ := testData(t)
+	m, _ := model.New(model.Config{Arch: model.ArchLinear, InputDim: 8, NumClasses: 3, Seed: 4})
+	if _, err := LocalTrain(m, train, TrainerConfig{Epochs: 0, BatchSize: 8, Optim: optim.Config{Name: optim.SGDName, LR: 0.1}}, randx.New(1)); err == nil {
+		t.Error("Epochs=0 accepted")
+	}
+	if _, err := LocalTrain(m, train, TrainerConfig{Epochs: 1, BatchSize: 0, Optim: optim.Config{Name: optim.SGDName, LR: 0.1}}, randx.New(1)); err == nil {
+		t.Error("BatchSize=0 accepted")
+	}
+	empty := &dataset.Dataset{NumClasses: 3, Dim: 8}
+	if _, err := LocalTrain(m, empty, testTrainerConfig(), randx.New(1)); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestStalenessWeight(t *testing.T) {
+	if got := StalenessWeight(0, 0.5); got != 1 {
+		t.Errorf("StalenessWeight(0) = %v, want 1", got)
+	}
+	if got := StalenessWeight(3, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("StalenessWeight(3, 0.5) = %v, want 0.5", got)
+	}
+	if got := StalenessWeight(5, 0); got != 1 {
+		t.Errorf("disabled discount = %v, want 1", got)
+	}
+	if got := StalenessWeight(-2, 0.5); got != 1 {
+		t.Errorf("negative staleness = %v, want 1", got)
+	}
+	if StalenessWeight(10, 0.5) >= StalenessWeight(1, 0.5) {
+		t.Error("weight should decrease with staleness")
+	}
+}
+
+func TestAggregateUniform(t *testing.T) {
+	global := []float64{0, 0}
+	updates := []*Update{
+		{ClientID: 1, Delta: []float64{2, 0}, NumSamples: 10},
+		{ClientID: 2, Delta: []float64{0, 4}, NumSamples: 10},
+	}
+	weights, err := Aggregate(global, updates, AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecmath.EqualApprox(global, []float64{1, 2}, 1e-12) {
+		t.Errorf("global = %v, want [1 2]", global)
+	}
+	if !vecmath.EqualApprox(weights, []float64{0.5, 0.5}, 1e-12) {
+		t.Errorf("weights = %v", weights)
+	}
+}
+
+func TestAggregateSampleWeighted(t *testing.T) {
+	global := []float64{0}
+	updates := []*Update{
+		{Delta: []float64{1}, NumSamples: 30},
+		{Delta: []float64{5}, NumSamples: 10},
+	}
+	if _, err := Aggregate(global, updates, AggregatorConfig{SampleWeighted: true}); err != nil {
+		t.Fatal(err)
+	}
+	// (30*1 + 10*5)/40 = 2
+	if math.Abs(global[0]-2) > 1e-12 {
+		t.Errorf("global = %v, want 2", global[0])
+	}
+}
+
+func TestAggregateStalenessDiscount(t *testing.T) {
+	global := []float64{0}
+	updates := []*Update{
+		{Delta: []float64{1}, Staleness: 0, NumSamples: 1},
+		{Delta: []float64{1}, Staleness: 8, NumSamples: 1},
+	}
+	weights, err := Aggregate(global, updates, AggregatorConfig{StalenessExponent: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weights[1] >= weights[0] {
+		t.Errorf("stale update weight %v >= fresh weight %v", weights[1], weights[0])
+	}
+}
+
+func TestAggregateServerLR(t *testing.T) {
+	global := []float64{0}
+	updates := []*Update{{Delta: []float64{2}, NumSamples: 1}}
+	if _, err := Aggregate(global, updates, AggregatorConfig{ServerLR: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(global[0]-1) > 1e-12 {
+		t.Errorf("global = %v, want 1", global[0])
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	global := []float64{0, 0}
+	if _, err := Aggregate(global, []*Update{{Delta: []float64{1}}}, AggregatorConfig{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	got, err := Aggregate(global, nil, AggregatorConfig{})
+	if err != nil || got != nil {
+		t.Errorf("empty aggregation: weights=%v err=%v", got, err)
+	}
+}
+
+func TestPropertyAggregateConvexHull(t *testing.T) {
+	// With uniform weights and no discount, the applied step equals the
+	// mean delta, which must lie inside the per-coordinate hull.
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%6) + 1
+		r := randx.New(seed)
+		updates := make([]*Update, k)
+		for i := range updates {
+			updates[i] = &Update{Delta: randx.NormalVector(r, 4, 0, 5), NumSamples: 1}
+		}
+		global := make([]float64, 4)
+		if _, err := Aggregate(global, updates, AggregatorConfig{}); err != nil {
+			return false
+		}
+		for j := 0; j < 4; j++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, u := range updates {
+				lo = math.Min(lo, u.Delta[j])
+				hi = math.Max(hi, u.Delta[j])
+			}
+			if global[j] < lo-1e-9 || global[j] > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneUpdate(t *testing.T) {
+	u := &Update{ClientID: 3, Delta: []float64{1, 2}, Staleness: 4}
+	c := CloneUpdate(u)
+	c.Delta[0] = 99
+	if u.Delta[0] != 1 {
+		t.Error("CloneUpdate shares delta storage")
+	}
+	if c.ClientID != 3 || c.Staleness != 4 {
+		t.Error("CloneUpdate dropped fields")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Accept.String() != "accept" || Defer.String() != "defer" || Reject.String() != "reject" {
+		t.Error("Decision strings wrong")
+	}
+	if Decision(0).String() == "accept" {
+		t.Error("zero Decision should not stringify as accept")
+	}
+}
+
+func TestFilterResultSplit(t *testing.T) {
+	updates := []*Update{{ClientID: 1}, {ClientID: 2}, {ClientID: 3}}
+	res := FilterResult{Decisions: []Decision{Accept, Reject, Defer}}
+	acc, def, rej := res.Split(updates)
+	if len(acc) != 1 || acc[0].ClientID != 1 {
+		t.Errorf("accepted = %v", acc)
+	}
+	if len(def) != 1 || def[0].ClientID != 3 {
+		t.Errorf("deferred = %v", def)
+	}
+	if len(rej) != 1 || rej[0].ClientID != 2 {
+		t.Errorf("rejected = %v", rej)
+	}
+}
+
+func TestPassthroughAcceptsAll(t *testing.T) {
+	updates := []*Update{{ClientID: 1}, {ClientID: 2}}
+	res, err := Passthrough{}.Filter(updates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.Decisions {
+		if d != Accept {
+			t.Errorf("decision[%d] = %v, want accept", i, d)
+		}
+	}
+	if (Passthrough{}).Name() != "fedbuff" {
+		t.Error("Passthrough name should be fedbuff")
+	}
+}
+
+func TestBufferBasics(t *testing.T) {
+	b, err := NewBuffer(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Ready() {
+		t.Error("empty buffer reports ready")
+	}
+	if !b.Add(&Update{Staleness: 0}) {
+		t.Error("fresh update rejected")
+	}
+	if b.Add(&Update{Staleness: 6}) {
+		t.Error("over-limit staleness accepted")
+	}
+	b.Add(&Update{Staleness: 5}) // at the limit: accepted
+	if !b.Ready() {
+		t.Error("buffer at goal not ready")
+	}
+	got := b.Drain()
+	if len(got) != 2 || b.Len() != 0 {
+		t.Errorf("drain returned %d, buffer len %d", len(got), b.Len())
+	}
+	received, dropped := b.Stats()
+	if received != 3 || dropped != 1 {
+		t.Errorf("stats = %d received, %d dropped", received, dropped)
+	}
+}
+
+func TestBufferValidation(t *testing.T) {
+	if _, err := NewBuffer(0, 5); err == nil {
+		t.Error("goal=0 accepted")
+	}
+}
+
+func TestBufferNoLimit(t *testing.T) {
+	b, _ := NewBuffer(1, 0)
+	if !b.Add(&Update{Staleness: 1000}) {
+		t.Error("limit disabled but stale update rejected")
+	}
+}
+
+func TestBufferRequeue(t *testing.T) {
+	b, _ := NewBuffer(3, 4)
+	b.Requeue([]*Update{{Staleness: 2}, {Staleness: 4}})
+	if b.Len() != 1 {
+		t.Fatalf("requeue kept %d updates, want 1 (the other crossed the limit)", b.Len())
+	}
+	u := b.Drain()[0]
+	if u.Staleness != 3 {
+		t.Errorf("requeued staleness = %d, want 3", u.Staleness)
+	}
+	_, dropped := b.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestBufferAccessors(t *testing.T) {
+	b, _ := NewBuffer(7, 9)
+	if b.Goal() != 7 || b.StalenessLimit() != 9 {
+		t.Errorf("accessors: goal=%d limit=%d", b.Goal(), b.StalenessLimit())
+	}
+}

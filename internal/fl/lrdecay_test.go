@@ -1,0 +1,54 @@
+package fl
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/model"
+	"github.com/asyncfl/asyncfilter/internal/optim"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+func TestLRDecayValidation(t *testing.T) {
+	train, _ := testData(t)
+	m, _ := model.New(model.Config{Arch: model.ArchLinear, InputDim: 8, NumClasses: 3, Seed: 1})
+	cfg := testTrainerConfig()
+	cfg.LRDecayPerEpoch = -0.5
+	if _, err := LocalTrain(m, train, cfg, randx.New(1)); err == nil {
+		t.Error("negative decay accepted")
+	}
+	cfg.LRDecayPerEpoch = 1.5
+	if _, err := LocalTrain(m, train, cfg, randx.New(1)); err == nil {
+		t.Error("decay > 1 accepted")
+	}
+}
+
+func TestLRDecayShrinksLaterEpochs(t *testing.T) {
+	train, _ := testData(t)
+	run := func(decay float64) []float64 {
+		m, _ := model.New(model.Config{Arch: model.ArchLinear, InputDim: 8, NumClasses: 3, Seed: 2})
+		cfg := TrainerConfig{
+			Epochs:          4,
+			BatchSize:       16,
+			Optim:           optim.Config{Name: optim.SGDName, LR: 0.05},
+			LRDecayPerEpoch: decay,
+		}
+		delta, err := LocalTrain(m, train, cfg, randx.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return delta
+	}
+	noDecay := run(0)
+	strongDecay := run(0.1)
+	// With lr shrinking 10x per epoch, the total parameter movement must
+	// be smaller than with a constant rate.
+	if vecmath.Norm2(strongDecay) >= vecmath.Norm2(noDecay) {
+		t.Errorf("decayed run moved %v >= undecayed %v", vecmath.Norm2(strongDecay), vecmath.Norm2(noDecay))
+	}
+	// Decay factor 1 must behave exactly like no decay.
+	decayOne := run(1)
+	if !vecmath.EqualApprox(decayOne, noDecay, 1e-12) {
+		t.Error("decay=1 differs from decay disabled")
+	}
+}

@@ -1,0 +1,123 @@
+package model
+
+import (
+	"math"
+
+	"github.com/asyncfl/asyncfilter/internal/randx"
+)
+
+// Linear is a multinomial logistic-regression classifier: a single
+// fully-connected layer followed by softmax. Parameters are laid out as
+// [W (classes × dim) row-major | b (classes)].
+type Linear struct {
+	dim     int
+	classes int
+	w       []float64 // len = classes*dim + classes
+}
+
+var _ Model = (*Linear)(nil)
+
+// NewLinear builds a linear softmax classifier. initScale 0 selects
+// 1/sqrt(dim).
+func NewLinear(dim, classes int, initScale float64, seed int64) *Linear {
+	if initScale == 0 {
+		initScale = 1 / math.Sqrt(float64(dim))
+	}
+	m := &Linear{
+		dim:     dim,
+		classes: classes,
+		w:       make([]float64, classes*dim+classes),
+	}
+	initWeights(m.w[:classes*dim], initScale, randx.New(seed))
+	return m
+}
+
+// NumParams implements Model.
+func (m *Linear) NumParams() int { return len(m.w) }
+
+// Params implements Model.
+func (m *Linear) Params(dst []float64) {
+	if len(dst) != len(m.w) {
+		panic("model: Linear.Params: bad destination length")
+	}
+	copy(dst, m.w)
+}
+
+// SetParams implements Model.
+func (m *Linear) SetParams(src []float64) {
+	if len(src) != len(m.w) {
+		panic("model: Linear.SetParams: bad source length")
+	}
+	copy(m.w, src)
+}
+
+// logits computes W*x + b into out (length classes).
+func (m *Linear) logits(out, x []float64) {
+	bias := m.w[m.classes*m.dim:]
+	for c := 0; c < m.classes; c++ {
+		row := m.w[c*m.dim : (c+1)*m.dim]
+		var s float64
+		for j, xj := range x {
+			s += row[j] * xj
+		}
+		out[c] = s + bias[c]
+	}
+}
+
+// Loss implements Model.
+func (m *Linear) Loss(x []float64, label int) float64 {
+	probs := make([]float64, m.classes)
+	m.logits(probs, x)
+	softmaxInPlace(probs)
+	return crossEntropy(probs, label)
+}
+
+// Gradient implements Model.
+func (m *Linear) Gradient(grad []float64, x []float64, label int) float64 {
+	if len(grad) != len(m.w) {
+		panic("model: Linear.Gradient: bad gradient length")
+	}
+	probs := make([]float64, m.classes)
+	m.logits(probs, x)
+	softmaxInPlace(probs)
+	loss := crossEntropy(probs, label)
+
+	// dL/dlogit_c = p_c - 1{c == label}
+	biasGrad := grad[m.classes*m.dim:]
+	for c := 0; c < m.classes; c++ {
+		delta := probs[c]
+		if c == label {
+			delta--
+		}
+		row := grad[c*m.dim : (c+1)*m.dim]
+		for j, xj := range x {
+			row[j] += delta * xj
+		}
+		biasGrad[c] += delta
+	}
+	return loss
+}
+
+// Predict implements Model.
+func (m *Linear) Predict(x []float64) int {
+	logits := make([]float64, m.classes)
+	m.logits(logits, x)
+	best := 0
+	for c := 1; c < m.classes; c++ {
+		if logits[c] > logits[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Clone implements Model.
+func (m *Linear) Clone() Model {
+	clone := &Linear{
+		dim:     m.dim,
+		classes: m.classes,
+		w:       make([]float64, len(m.w)),
+	}
+	copy(clone.w, m.w)
+	return clone
+}

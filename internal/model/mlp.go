@@ -1,0 +1,200 @@
+package model
+
+import (
+	"math"
+
+	"github.com/asyncfl/asyncfilter/internal/randx"
+)
+
+// MLP is a fully-connected feed-forward network with ReLU hidden
+// activations and a softmax output, standing in for the paper's deeper
+// convolutional models. Parameters for each layer l (weights then biases)
+// are packed consecutively into one flat vector.
+type MLP struct {
+	sizes []int // [input, hidden..., classes]
+	w     []float64
+	// offsets[l] is the start of layer l's weight block; biases follow the
+	// weights within each block.
+	offsets []int
+}
+
+var _ Model = (*MLP)(nil)
+
+// NewMLP builds an MLP with the given hidden widths. initScale 0 selects
+// He initialization (sqrt(2/fanIn)) per layer.
+func NewMLP(dim int, hidden []int, classes int, initScale float64, seed int64) *MLP {
+	sizes := make([]int, 0, len(hidden)+2)
+	sizes = append(sizes, dim)
+	sizes = append(sizes, hidden...)
+	sizes = append(sizes, classes)
+
+	total := 0
+	offsets := make([]int, len(sizes)-1)
+	for l := 0; l < len(sizes)-1; l++ {
+		offsets[l] = total
+		total += sizes[l]*sizes[l+1] + sizes[l+1]
+	}
+	m := &MLP{sizes: sizes, w: make([]float64, total), offsets: offsets}
+
+	r := randx.New(seed)
+	for l := 0; l < len(sizes)-1; l++ {
+		scale := initScale
+		if scale == 0 {
+			scale = math.Sqrt(2 / float64(sizes[l]))
+		}
+		wBlock := m.weights(l)
+		initWeights(wBlock, scale, r)
+		// Biases start at zero.
+	}
+	return m
+}
+
+// weights returns the weight sub-slice of layer l (out × in, row-major).
+func (m *MLP) weights(l int) []float64 {
+	start := m.offsets[l]
+	n := m.sizes[l] * m.sizes[l+1]
+	return m.w[start : start+n]
+}
+
+// biases returns the bias sub-slice of layer l.
+func (m *MLP) biases(l int) []float64 {
+	start := m.offsets[l] + m.sizes[l]*m.sizes[l+1]
+	return m.w[start : start+m.sizes[l+1]]
+}
+
+// NumParams implements Model.
+func (m *MLP) NumParams() int { return len(m.w) }
+
+// Params implements Model.
+func (m *MLP) Params(dst []float64) {
+	if len(dst) != len(m.w) {
+		panic("model: MLP.Params: bad destination length")
+	}
+	copy(dst, m.w)
+}
+
+// SetParams implements Model.
+func (m *MLP) SetParams(src []float64) {
+	if len(src) != len(m.w) {
+		panic("model: MLP.SetParams: bad source length")
+	}
+	copy(m.w, src)
+}
+
+// forward runs the network, returning per-layer activations. acts[0] is the
+// input; acts[len(sizes)-1] holds the output probabilities.
+func (m *MLP) forward(x []float64) [][]float64 {
+	layers := len(m.sizes) - 1
+	acts := make([][]float64, layers+1)
+	acts[0] = x
+	for l := 0; l < layers; l++ {
+		in := acts[l]
+		out := make([]float64, m.sizes[l+1])
+		w := m.weights(l)
+		b := m.biases(l)
+		inDim := m.sizes[l]
+		for o := range out {
+			row := w[o*inDim : (o+1)*inDim]
+			var s float64
+			for j, xj := range in {
+				s += row[j] * xj
+			}
+			out[o] = s + b[o]
+		}
+		if l < layers-1 {
+			for o := range out {
+				if out[o] < 0 {
+					out[o] = 0 // ReLU
+				}
+			}
+		} else {
+			softmaxInPlace(out)
+		}
+		acts[l+1] = out
+	}
+	return acts
+}
+
+// Loss implements Model.
+func (m *MLP) Loss(x []float64, label int) float64 {
+	acts := m.forward(x)
+	return crossEntropy(acts[len(acts)-1], label)
+}
+
+// Gradient implements Model.
+func (m *MLP) Gradient(grad []float64, x []float64, label int) float64 {
+	if len(grad) != len(m.w) {
+		panic("model: MLP.Gradient: bad gradient length")
+	}
+	layers := len(m.sizes) - 1
+	acts := m.forward(x)
+	probs := acts[layers]
+	loss := crossEntropy(probs, label)
+
+	// delta starts as softmax+CE gradient at the output layer.
+	delta := make([]float64, len(probs))
+	copy(delta, probs)
+	delta[label]--
+
+	for l := layers - 1; l >= 0; l-- {
+		in := acts[l]
+		inDim := m.sizes[l]
+		wStart := m.offsets[l]
+		bStart := wStart + inDim*m.sizes[l+1]
+		for o, dl := range delta {
+			if dl == 0 {
+				continue
+			}
+			gRow := grad[wStart+o*inDim : wStart+(o+1)*inDim]
+			for j, xj := range in {
+				gRow[j] += dl * xj
+			}
+			grad[bStart+o] += dl
+		}
+		if l == 0 {
+			break
+		}
+		// Backpropagate delta to the previous layer through W and ReLU.
+		w := m.weights(l)
+		prev := make([]float64, inDim)
+		for o, dl := range delta {
+			if dl == 0 {
+				continue
+			}
+			row := w[o*inDim : (o+1)*inDim]
+			for j := range prev {
+				prev[j] += dl * row[j]
+			}
+		}
+		for j := range prev {
+			if in[j] <= 0 {
+				prev[j] = 0 // ReLU gate (activation was clamped)
+			}
+		}
+		delta = prev
+	}
+	return loss
+}
+
+// Predict implements Model.
+func (m *MLP) Predict(x []float64) int {
+	acts := m.forward(x)
+	probs := acts[len(acts)-1]
+	best := 0
+	for c := 1; c < len(probs); c++ {
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Clone implements Model.
+func (m *MLP) Clone() Model {
+	clone := &MLP{
+		sizes:   append([]int(nil), m.sizes...),
+		w:       append([]float64(nil), m.w...),
+		offsets: append([]int(nil), m.offsets...),
+	}
+	return clone
+}

@@ -1,0 +1,144 @@
+// Package model implements the trainable classifiers the federated clients
+// optimize. Models expose their parameters as a single flat []float64
+// vector — the representation every other layer of the stack (updates,
+// attacks, filters, aggregation) operates on.
+//
+// Two architectures are provided, standing in for the paper's LeNet-5 and
+// VGG-16 (see DESIGN.md §2): a linear softmax classifier and a multi-layer
+// perceptron with ReLU activations. Both compute exact gradients of the
+// cross-entropy loss.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/asyncfl/asyncfilter/internal/dataset"
+)
+
+// Model is a classifier with flat-vector parameter access.
+//
+// Implementations must be deterministic: identical parameters and inputs
+// produce identical outputs and gradients.
+type Model interface {
+	// NumParams returns the length of the flat parameter vector.
+	NumParams() int
+	// Params copies the current parameters into dst, which must have
+	// length NumParams().
+	Params(dst []float64)
+	// SetParams overwrites the parameters from src, which must have length
+	// NumParams().
+	SetParams(src []float64)
+	// Loss returns the cross-entropy loss of a single example.
+	Loss(x []float64, label int) float64
+	// Gradient accumulates the gradient of the single-example loss into
+	// grad (length NumParams()) and returns the loss.
+	Gradient(grad []float64, x []float64, label int) float64
+	// Predict returns the most probable class for x.
+	Predict(x []float64) int
+	// Clone returns an independent deep copy.
+	Clone() Model
+}
+
+// Config selects and sizes an architecture.
+type Config struct {
+	// Arch is "linear" or "mlp".
+	Arch string
+	// InputDim is the feature dimensionality.
+	InputDim int
+	// NumClasses is the number of output classes.
+	NumClasses int
+	// Hidden lists hidden-layer widths (MLP only).
+	Hidden []int
+	// InitScale is the standard deviation of the Gaussian weight
+	// initialization; 0 selects a sensible default.
+	InitScale float64
+	// Seed drives the weight initialization.
+	Seed int64
+}
+
+// Architecture names.
+const (
+	ArchLinear = "linear"
+	ArchMLP    = "mlp"
+)
+
+// New builds a model from the configuration.
+func New(cfg Config) (Model, error) {
+	if cfg.InputDim < 1 {
+		return nil, fmt.Errorf("model: InputDim = %d, need >= 1", cfg.InputDim)
+	}
+	if cfg.NumClasses < 2 {
+		return nil, fmt.Errorf("model: NumClasses = %d, need >= 2", cfg.NumClasses)
+	}
+	switch cfg.Arch {
+	case ArchLinear:
+		return NewLinear(cfg.InputDim, cfg.NumClasses, cfg.InitScale, cfg.Seed), nil
+	case ArchMLP:
+		if len(cfg.Hidden) == 0 {
+			return nil, fmt.Errorf("model: MLP requires at least one hidden layer")
+		}
+		for _, h := range cfg.Hidden {
+			if h < 1 {
+				return nil, fmt.Errorf("model: hidden width %d, need >= 1", h)
+			}
+		}
+		return NewMLP(cfg.InputDim, cfg.Hidden, cfg.NumClasses, cfg.InitScale, cfg.Seed), nil
+	default:
+		return nil, fmt.Errorf("model: unknown architecture %q (want %q or %q)", cfg.Arch, ArchLinear, ArchMLP)
+	}
+}
+
+// softmaxInPlace converts logits to probabilities with the usual max-shift
+// for numerical stability.
+func softmaxInPlace(logits []float64) {
+	maxLogit := logits[0]
+	for _, l := range logits[1:] {
+		if l > maxLogit {
+			maxLogit = l
+		}
+	}
+	var sum float64
+	for i, l := range logits {
+		e := math.Exp(l - maxLogit)
+		logits[i] = e
+		sum += e
+	}
+	for i := range logits {
+		logits[i] /= sum
+	}
+}
+
+// crossEntropy returns -log p[label], floored to avoid Inf on underflow.
+func crossEntropy(probs []float64, label int) float64 {
+	p := probs[label]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p)
+}
+
+// Evaluate returns the accuracy and mean loss of the model on the dataset.
+func Evaluate(m Model, d *dataset.Dataset) (accuracy, meanLoss float64) {
+	if d.Len() == 0 {
+		return 0, 0
+	}
+	correct := 0
+	var lossSum float64
+	for _, ex := range d.Examples {
+		if m.Predict(ex.Features) == ex.Label {
+			correct++
+		}
+		lossSum += m.Loss(ex.Features, ex.Label)
+	}
+	n := float64(d.Len())
+	return float64(correct) / n, lossSum / n
+}
+
+// initWeights fills w with N(0, scale^2) draws.
+func initWeights(w []float64, scale float64, r *rand.Rand) {
+	for i := range w {
+		w[i] = scale * r.NormFloat64()
+	}
+}

@@ -1,0 +1,270 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/asyncfl/asyncfilter/internal/dataset"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+)
+
+func newTestLinear(t *testing.T) Model {
+	t.Helper()
+	m, err := New(Config{Arch: ArchLinear, InputDim: 6, NumClasses: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newTestMLP(t *testing.T) Model {
+	t.Helper()
+	m, err := New(Config{Arch: ArchMLP, InputDim: 6, NumClasses: 3, Hidden: []int{8, 5}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Arch: ArchLinear, InputDim: 0, NumClasses: 3},
+		{Arch: ArchLinear, InputDim: 4, NumClasses: 1},
+		{Arch: ArchMLP, InputDim: 4, NumClasses: 3},                   // missing hidden
+		{Arch: ArchMLP, InputDim: 4, NumClasses: 3, Hidden: []int{0}}, // zero width
+		{Arch: "transformer", InputDim: 4, NumClasses: 3},             // unknown
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	for name, m := range map[string]Model{"linear": newTestLinear(t), "mlp": newTestMLP(t)} {
+		p := make([]float64, m.NumParams())
+		m.Params(p)
+		p[0] = 42
+		m.SetParams(p)
+		q := make([]float64, m.NumParams())
+		m.Params(q)
+		if q[0] != 42 {
+			t.Errorf("%s: SetParams/Params round-trip failed", name)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	for name, m := range map[string]Model{"linear": newTestLinear(t), "mlp": newTestMLP(t)} {
+		clone := m.Clone()
+		p := make([]float64, m.NumParams())
+		m.Params(p)
+		p[0] += 100
+		m.SetParams(p)
+		q := make([]float64, clone.NumParams())
+		clone.Params(q)
+		if q[0] == p[0] {
+			t.Errorf("%s: clone shares parameter storage", name)
+		}
+		x := []float64{1, -1, 0.5, 0, 2, -2}
+		if m.Loss(x, 0) == clone.Loss(x, 0) {
+			// Losses could coincide by chance, but with a +100 weight shift
+			// that would be extraordinary.
+			t.Errorf("%s: clone loss unchanged after mutating original", name)
+		}
+	}
+}
+
+// gradientCheck compares analytic gradients against central finite
+// differences on a handful of random coordinates.
+func gradientCheck(t *testing.T, m Model, name string) {
+	t.Helper()
+	r := randx.New(7)
+	x := randx.NormalVector(r, 6, 0, 1)
+	label := 1
+
+	n := m.NumParams()
+	grad := make([]float64, n)
+	m.Gradient(grad, x, label)
+
+	params := make([]float64, n)
+	m.Params(params)
+	const h = 1e-6
+	checked := 0
+	for _, i := range r.Perm(n) {
+		if checked >= 25 {
+			break
+		}
+		orig := params[i]
+		params[i] = orig + h
+		m.SetParams(params)
+		lp := m.Loss(x, label)
+		params[i] = orig - h
+		m.SetParams(params)
+		lm := m.Loss(x, label)
+		params[i] = orig
+		m.SetParams(params)
+
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-grad[i]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("%s: grad[%d] = %v, finite difference = %v", name, i, grad[i], numeric)
+		}
+		checked++
+	}
+}
+
+func TestLinearGradientCheck(t *testing.T) { gradientCheck(t, newTestLinear(t), "linear") }
+func TestMLPGradientCheck(t *testing.T)    { gradientCheck(t, newTestMLP(t), "mlp") }
+
+func TestGradientAccumulates(t *testing.T) {
+	m := newTestLinear(t)
+	x := []float64{1, 0, -1, 0.5, 2, -0.5}
+	g1 := make([]float64, m.NumParams())
+	m.Gradient(g1, x, 0)
+	g2 := make([]float64, m.NumParams())
+	m.Gradient(g2, x, 0)
+	m.Gradient(g2, x, 0) // accumulate twice
+	for i := range g1 {
+		if math.Abs(g2[i]-2*g1[i]) > 1e-12 {
+			t.Fatalf("gradient did not accumulate: g2[%d]=%v, want %v", i, g2[i], 2*g1[i])
+		}
+	}
+}
+
+func TestLossMatchesGradientReturn(t *testing.T) {
+	for name, m := range map[string]Model{"linear": newTestLinear(t), "mlp": newTestMLP(t)} {
+		x := []float64{0.3, -0.2, 1, 0, -1, 0.7}
+		grad := make([]float64, m.NumParams())
+		got := m.Gradient(grad, x, 2)
+		want := m.Loss(x, 2)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s: Gradient returned loss %v, Loss = %v", name, got, want)
+		}
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	for name, m := range map[string]Model{"linear": newTestLinear(t), "mlp": newTestMLP(t)} {
+		x := []float64{1, 2, 3, 4, 5, 6}
+		p1, p2 := m.Predict(x), m.Predict(x)
+		if p1 != p2 {
+			t.Errorf("%s: Predict not deterministic", name)
+		}
+		if p1 < 0 || p1 >= 3 {
+			t.Errorf("%s: Predict out of range: %d", name, p1)
+		}
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	logits := []float64{1000, 1001, 999}
+	softmaxInPlace(logits)
+	var sum float64
+	for _, p := range logits {
+		if math.IsNaN(p) || p < 0 {
+			t.Fatalf("softmax produced invalid probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+}
+
+func TestCrossEntropyFloor(t *testing.T) {
+	if l := crossEntropy([]float64{0, 1}, 0); math.IsInf(l, 0) {
+		t.Error("crossEntropy overflowed to Inf on zero probability")
+	}
+}
+
+func TestEvaluateOnSeparableData(t *testing.T) {
+	cfg := dataset.SyntheticConfig{
+		Name: "sep", NumClasses: 3, Dim: 6,
+		TrainSize: 600, TestSize: 150,
+		Separation: 6, Noise: 0.5, Seed: 3,
+	}
+	train, test, err := dataset.GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewLinear(6, 3, 0, 4)
+
+	// A few epochs of plain gradient descent should nearly solve a
+	// well-separated mixture.
+	grad := make([]float64, m.NumParams())
+	params := make([]float64, m.NumParams())
+	for epoch := 0; epoch < 30; epoch++ {
+		for _, ex := range train.Examples {
+			for i := range grad {
+				grad[i] = 0
+			}
+			m.Gradient(grad, ex.Features, ex.Label)
+			m.Params(params)
+			for i := range params {
+				params[i] -= 0.05 * grad[i]
+			}
+			m.SetParams(params)
+		}
+	}
+	acc, loss := Evaluate(m, test)
+	if acc < 0.95 {
+		t.Errorf("linear accuracy on separable data = %v, want >= 0.95", acc)
+	}
+	if loss <= 0 {
+		t.Errorf("mean loss = %v, want > 0", loss)
+	}
+}
+
+func TestEvaluateEmptyDataset(t *testing.T) {
+	m := newTestLinear(t)
+	acc, loss := Evaluate(m, &dataset.Dataset{NumClasses: 3, Dim: 6})
+	if acc != 0 || loss != 0 {
+		t.Errorf("Evaluate(empty) = %v, %v, want 0, 0", acc, loss)
+	}
+}
+
+func TestMLPParamCount(t *testing.T) {
+	m := NewMLP(4, []int{3}, 2, 0, 1)
+	// 4*3 + 3 + 3*2 + 2 = 23
+	if got := m.NumParams(); got != 23 {
+		t.Errorf("NumParams = %d, want 23", got)
+	}
+}
+
+func TestPropertySoftmaxIsDistribution(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		logits := randx.NormalVector(randx.New(seed), n, 0, 50)
+		softmaxInPlace(logits)
+		var sum float64
+		for _, p := range logits {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGradientZeroAtPerfectPrediction(t *testing.T) {
+	// When the model already assigns probability ~1 to the true label, the
+	// gradient should be near zero.
+	m := NewLinear(2, 2, 0, 9)
+	p := make([]float64, m.NumParams())
+	// Strong weights toward class 0 for positive x[0].
+	p[0] = 100 // W[0][0]
+	m.SetParams(p)
+	grad := make([]float64, m.NumParams())
+	m.Gradient(grad, []float64{1, 0}, 0)
+	for i, g := range grad {
+		if math.Abs(g) > 1e-6 {
+			t.Errorf("grad[%d] = %v, want ~0 at saturated correct prediction", i, g)
+		}
+	}
+}

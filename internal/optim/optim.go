@@ -1,0 +1,174 @@
+// Package optim provides the local optimizers federated clients run:
+// SGD with momentum (used for the MNIST/FashionMNIST presets, per the
+// paper's Table 1) and Adam (used for CIFAR-10/CINIC-10).
+package optim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer applies gradient steps to a flat parameter vector.
+type Optimizer interface {
+	// Step updates params in place given the gradient of the current
+	// minibatch. params and grad must share the optimizer's dimension.
+	Step(params, grad []float64)
+	// Reset clears accumulated state (momentum, moment estimates).
+	Reset()
+	// Name identifies the optimizer.
+	Name() string
+}
+
+// Config selects and parameterizes an optimizer, mirroring the paper's
+// Table 1 fields.
+type Config struct {
+	// Name is "sgd" or "adam".
+	Name string
+	// LR is the learning rate.
+	LR float64
+	// Momentum applies to SGD only.
+	Momentum float64
+	// Beta1, Beta2, Epsilon apply to Adam only; zero values select the
+	// usual defaults (0.9, 0.999, 1e-8).
+	Beta1, Beta2, Epsilon float64
+	// WeightDecay adds L2 regularization to either optimizer.
+	WeightDecay float64
+}
+
+// Optimizer names.
+const (
+	SGDName  = "sgd"
+	AdamName = "adam"
+)
+
+// New builds an optimizer for a parameter vector of length dim.
+func New(cfg Config, dim int) (Optimizer, error) {
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("optim: LR = %v, need > 0", cfg.LR)
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("optim: dim = %d, need > 0", dim)
+	}
+	switch cfg.Name {
+	case SGDName:
+		if cfg.Momentum < 0 || cfg.Momentum >= 1 {
+			return nil, fmt.Errorf("optim: momentum = %v, need [0,1)", cfg.Momentum)
+		}
+		return NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay, dim), nil
+	case AdamName:
+		return NewAdam(cfg, dim)
+	default:
+		return nil, fmt.Errorf("optim: unknown optimizer %q (want %q or %q)", cfg.Name, SGDName, AdamName)
+	}
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	lr          float64
+	momentum    float64
+	weightDecay float64
+	velocity    []float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD builds an SGD optimizer for vectors of length dim.
+func NewSGD(lr, momentum, weightDecay float64, dim int) *SGD {
+	return &SGD{
+		lr:          lr,
+		momentum:    momentum,
+		weightDecay: weightDecay,
+		velocity:    make([]float64, dim),
+	}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grad []float64) {
+	if len(params) != len(s.velocity) || len(grad) != len(s.velocity) {
+		panic("optim: SGD.Step: dimension mismatch")
+	}
+	for i := range params {
+		g := grad[i] + s.weightDecay*params[i]
+		s.velocity[i] = s.momentum*s.velocity[i] + g
+		params[i] -= s.lr * s.velocity[i]
+	}
+}
+
+// Reset implements Optimizer.
+func (s *SGD) Reset() {
+	for i := range s.velocity {
+		s.velocity[i] = 0
+	}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return SGDName }
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	lr          float64
+	beta1       float64
+	beta2       float64
+	eps         float64
+	weightDecay float64
+	m, v        []float64
+	t           int
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam builds an Adam optimizer for vectors of length dim.
+func NewAdam(cfg Config, dim int) (*Adam, error) {
+	a := &Adam{
+		lr:          cfg.LR,
+		beta1:       cfg.Beta1,
+		beta2:       cfg.Beta2,
+		eps:         cfg.Epsilon,
+		weightDecay: cfg.WeightDecay,
+		m:           make([]float64, dim),
+		v:           make([]float64, dim),
+	}
+	if a.beta1 == 0 {
+		a.beta1 = 0.9
+	}
+	if a.beta2 == 0 {
+		a.beta2 = 0.999
+	}
+	if a.eps == 0 {
+		a.eps = 1e-8
+	}
+	if a.beta1 < 0 || a.beta1 >= 1 || a.beta2 < 0 || a.beta2 >= 1 {
+		return nil, fmt.Errorf("optim: Adam betas out of range: %v, %v", a.beta1, a.beta2)
+	}
+	return a, nil
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grad []float64) {
+	if len(params) != len(a.m) || len(grad) != len(a.m) {
+		panic("optim: Adam.Step: dimension mismatch")
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i := range params {
+		g := grad[i] + a.weightDecay*params[i]
+		a.m[i] = a.beta1*a.m[i] + (1-a.beta1)*g
+		a.v[i] = a.beta2*a.v[i] + (1-a.beta2)*g*g
+		mHat := a.m[i] / bc1
+		vHat := a.v[i] / bc2
+		params[i] -= a.lr * mHat / (math.Sqrt(vHat) + a.eps)
+	}
+}
+
+// Reset implements Optimizer.
+func (a *Adam) Reset() {
+	for i := range a.m {
+		a.m[i] = 0
+		a.v[i] = 0
+	}
+	a.t = 0
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return AdamName }

@@ -1,0 +1,164 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+// quadGrad is the gradient of f(x) = 0.5*||x||^2, whose minimum is 0.
+func quadGrad(dst, x []float64) {
+	copy(dst, x)
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		dim  int
+	}{
+		{"zero lr", Config{Name: SGDName, LR: 0}, 4},
+		{"zero dim", Config{Name: SGDName, LR: 0.1}, 0},
+		{"bad momentum", Config{Name: SGDName, LR: 0.1, Momentum: 1}, 4},
+		{"unknown", Config{Name: "rmsprop", LR: 0.1}, 4},
+		{"bad beta", Config{Name: AdamName, LR: 0.1, Beta1: 1.5}, 4},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg, tc.dim); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+func TestSGDStepDirection(t *testing.T) {
+	opt := NewSGD(0.1, 0, 0, 2)
+	params := []float64{1, -1}
+	grad := []float64{1, -1}
+	opt.Step(params, grad)
+	want := []float64{0.9, -0.9}
+	for i := range params {
+		if math.Abs(params[i]-want[i]) > 1e-12 {
+			t.Errorf("params[%d] = %v, want %v", i, params[i], want[i])
+		}
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	opt := NewSGD(0.1, 0.9, 0, 1)
+	params := []float64{0}
+	grad := []float64{1}
+	opt.Step(params, grad) // v=1, p=-0.1
+	opt.Step(params, grad) // v=1.9, p=-0.29
+	if math.Abs(params[0]-(-0.29)) > 1e-12 {
+		t.Errorf("params[0] = %v, want -0.29", params[0])
+	}
+	opt.Reset()
+	params[0] = 0
+	opt.Step(params, grad)
+	if math.Abs(params[0]-(-0.1)) > 1e-12 {
+		t.Errorf("after Reset params[0] = %v, want -0.1", params[0])
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	opt := NewSGD(0.1, 0, 1.0, 1)
+	params := []float64{1}
+	grad := []float64{0}
+	opt.Step(params, grad)
+	// Effective gradient = 0 + 1*1 = 1, so p = 1 - 0.1 = 0.9.
+	if math.Abs(params[0]-0.9) > 1e-12 {
+		t.Errorf("params[0] = %v, want 0.9", params[0])
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	opt := NewSGD(0.1, 0.5, 0, 4)
+	params := []float64{5, -3, 2, -7}
+	grad := make([]float64, 4)
+	for i := 0; i < 200; i++ {
+		quadGrad(grad, params)
+		opt.Step(params, grad)
+	}
+	for i, p := range params {
+		if math.Abs(p) > 1e-3 {
+			t.Errorf("params[%d] = %v, want ~0", i, p)
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	opt, err := New(Config{Name: AdamName, LR: 0.1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []float64{5, -3, 2, -7}
+	grad := make([]float64, 4)
+	for i := 0; i < 500; i++ {
+		quadGrad(grad, params)
+		opt.Step(params, grad)
+	}
+	for i, p := range params {
+		if math.Abs(p) > 1e-2 {
+			t.Errorf("params[%d] = %v, want ~0", i, p)
+		}
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction, the very first Adam step has magnitude ~lr
+	// regardless of gradient scale.
+	for _, scale := range []float64{1e-4, 1, 1e4} {
+		opt, err := New(Config{Name: AdamName, LR: 0.01}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := []float64{0}
+		opt.Step(params, []float64{scale})
+		if math.Abs(math.Abs(params[0])-0.01) > 1e-4 {
+			t.Errorf("scale %v: first step = %v, want ~0.01", scale, params[0])
+		}
+	}
+}
+
+func TestAdamReset(t *testing.T) {
+	opt, err := New(Config{Name: AdamName, LR: 0.01}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := []float64{0}
+	opt.Step(p1, []float64{1})
+	first := p1[0]
+	opt.Reset()
+	p2 := []float64{0}
+	opt.Step(p2, []float64{1})
+	if p2[0] != first {
+		t.Errorf("step after Reset = %v, want %v", p2[0], first)
+	}
+}
+
+func TestNames(t *testing.T) {
+	sgd, _ := New(Config{Name: SGDName, LR: 0.1}, 1)
+	adam, _ := New(Config{Name: AdamName, LR: 0.1}, 1)
+	if sgd.Name() != SGDName || adam.Name() != AdamName {
+		t.Errorf("names: %q, %q", sgd.Name(), adam.Name())
+	}
+}
+
+func TestStepDimensionMismatchPanics(t *testing.T) {
+	opt := NewSGD(0.1, 0, 0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	opt.Step([]float64{1}, []float64{1})
+}
+
+func TestAdamDefaults(t *testing.T) {
+	a, err := NewAdam(Config{Name: AdamName, LR: 0.1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.beta1 != 0.9 || a.beta2 != 0.999 || a.eps != 1e-8 {
+		t.Errorf("defaults: beta1=%v beta2=%v eps=%v", a.beta1, a.beta2, a.eps)
+	}
+}

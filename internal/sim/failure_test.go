@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/core"
+)
+
+func TestFailureInjectionValidation(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DropoutRate = 1
+	if _, err := New(cfg, nil, nil); err == nil {
+		t.Error("DropoutRate=1 accepted")
+	}
+	cfg = tinyConfig()
+	cfg.CrashRate = -0.1
+	if _, err := New(cfg, nil, nil); err == nil {
+		t.Error("negative CrashRate accepted")
+	}
+}
+
+func TestDropoutLosesUpdatesButConverges(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DropoutRate = 0.3
+	cfg.NumMalicious = 0
+	s, err := New(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostUpdates == 0 {
+		t.Error("30% dropout produced no lost updates")
+	}
+	if res.Rounds != cfg.Rounds {
+		t.Errorf("rounds = %d, want %d despite dropout", res.Rounds, cfg.Rounds)
+	}
+	if res.FinalAccuracy < 0.6 {
+		t.Errorf("accuracy under dropout = %v, want >= 0.6", res.FinalAccuracy)
+	}
+}
+
+func TestCrashesDelayButDoNotDeadlock(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.CrashRate = 0.2
+	s, err := New(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes == 0 {
+		t.Error("20% crash rate produced no crashes")
+	}
+	if res.Rounds != cfg.Rounds {
+		t.Errorf("rounds = %d, want %d despite crashes", res.Rounds, cfg.Rounds)
+	}
+
+	// Crashes stretch simulated time relative to a failure-free run.
+	clean, err := New(tinyConfig(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := clean.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimTime <= cleanRes.SimTime {
+		t.Logf("crash run time %v <= clean run time %v (possible with few crashes)", res.SimTime, cleanRes.SimTime)
+	}
+}
+
+func TestFilterSurvivesFailureInjection(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DropoutRate = 0.2
+	cfg.CrashRate = 0.1
+	cfg.NumMalicious = 4
+	cfg.Attack = attack.Config{Name: attack.GDName, Scale: 2}
+	cfg.Rounds = 8
+	af, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, af, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != cfg.Rounds {
+		t.Errorf("rounds = %d under combined failures", res.Rounds)
+	}
+	if res.Detection.TP == 0 {
+		t.Error("filter caught nothing under failure injection")
+	}
+}
+
+func TestAdaptiveLIERunsInSimulator(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumMalicious = 4
+	cfg.Attack = attack.Config{Name: attack.AdaptiveLIEName}
+	af, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, af, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackName != attack.AdaptiveLIEName {
+		t.Errorf("attack name = %q", res.AttackName)
+	}
+	if res.FinalAccuracy <= 0 {
+		t.Error("no accuracy recorded")
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceRecord is one aggregation round's structured trace entry, emitted
+// as a JSON line when Config.TraceWriter is set — the raw material for
+// custom analyses and plots beyond the built-in experiments.
+type TraceRecord struct {
+	// Round is the aggregation round (1-based).
+	Round int `json:"round"`
+	// Time is the simulated wall-clock time of the aggregation.
+	Time float64 `json:"time"`
+	// BatchSize is the number of updates presented to the filter.
+	BatchSize int `json:"batch_size"`
+	// Accepted, Deferred, Rejected count the filter's decisions.
+	Accepted int `json:"accepted"`
+	Deferred int `json:"deferred"`
+	Rejected int `json:"rejected"`
+	// MaliciousInBatch is the ground-truth attacker count in the batch.
+	MaliciousInBatch int `json:"malicious_in_batch"`
+	// MaliciousCaught is the number of attacker updates rejected.
+	MaliciousCaught int `json:"malicious_caught"`
+	// StalenessHistogram maps staleness level to update count.
+	StalenessHistogram map[int]int `json:"staleness_histogram"`
+}
+
+// writeTrace emits one trace record when tracing is enabled.
+func (s *Simulation) writeTrace(w io.Writer, rec TraceRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sim: trace: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("sim: trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+)
+
+func TestTraceWriterEmitsOneRecordPerRound(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig()
+	cfg.TraceWriter = &buf
+	cfg.NumMalicious = 4
+	cfg.Attack = attack.Config{Name: attack.GDName}
+	s, err := New(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	scanner := bufio.NewScanner(&buf)
+	var records []TraceRecord
+	for scanner.Scan() {
+		var rec TraceRecord
+		if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid trace line: %v", err)
+		}
+		records = append(records, rec)
+	}
+	if len(records) != cfg.Rounds {
+		t.Fatalf("got %d trace records, want %d", len(records), cfg.Rounds)
+	}
+	for i, rec := range records {
+		if rec.Round != i+1 {
+			t.Errorf("record %d round = %d", i, rec.Round)
+		}
+		if rec.BatchSize < cfg.AggregationGoal {
+			t.Errorf("record %d batch size %d below goal", i, rec.BatchSize)
+		}
+		if rec.Accepted+rec.Deferred+rec.Rejected != rec.BatchSize {
+			t.Errorf("record %d decisions don't sum to batch size", i)
+		}
+		total := 0
+		for _, c := range rec.StalenessHistogram {
+			total += c
+		}
+		if total != rec.BatchSize {
+			t.Errorf("record %d staleness histogram sums to %d, want %d", i, total, rec.BatchSize)
+		}
+		if rec.MaliciousCaught > rec.MaliciousInBatch {
+			t.Errorf("record %d caught more than present", i)
+		}
+	}
+	// Time must be non-decreasing across rounds.
+	for i := 1; i < len(records); i++ {
+		if records[i].Time < records[i-1].Time {
+			t.Error("trace times decrease")
+		}
+	}
+}

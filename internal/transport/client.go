@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/dataset"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/model"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// ClientConfig parameterizes a transport client.
+type ClientConfig struct {
+	// ID identifies the client to the server.
+	ID int
+	// Data is the client's local dataset.
+	Data *dataset.Dataset
+	// Model builds the local model (must match the server's parameter
+	// dimension).
+	Model model.Config
+	// Trainer configures local optimization.
+	Trainer fl.TrainerConfig
+	// Attack optionally turns the client malicious: its honest delta is
+	// crafted through the attack before transmission. Leave zero-valued
+	// for an honest client.
+	Attack attack.Config
+	// ThinkTime pauses between tasks, simulating device speed (0 = none).
+	ThinkTime time.Duration
+	// Seed drives local randomness.
+	Seed int64
+}
+
+// Client is a federated learning client speaking the transport protocol.
+type Client struct {
+	cfg ClientConfig
+	atk attack.Attack
+	rng *rand.Rand
+	// TasksRun counts the local training rounds executed.
+	TasksRun int
+}
+
+// NewClient builds a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Data == nil || cfg.Data.Len() == 0 {
+		return nil, fmt.Errorf("transport: NewClient: empty dataset")
+	}
+	if err := cfg.Trainer.Validate(); err != nil {
+		return nil, fmt.Errorf("transport: NewClient: %w", err)
+	}
+	atk, err := attack.New(cfg.Attack)
+	if err != nil {
+		return nil, fmt.Errorf("transport: NewClient: %w", err)
+	}
+	return &Client{
+		cfg: cfg,
+		atk: atk,
+		rng: rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID))),
+	}, nil
+}
+
+// Run connects to the server and participates until the server signals
+// completion or the connection drops.
+func (c *Client) Run(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial: %w", err)
+	}
+	defer conn.Close()
+	return c.RunConn(conn)
+}
+
+// RunConn participates over an established connection (useful for tests
+// and custom transports).
+func (c *Client) RunConn(conn net.Conn) error {
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	hello := ClientMsg{Hello: &Hello{ClientID: c.cfg.ID, NumSamples: c.cfg.Data.Len()}}
+	if err := enc.Encode(&hello); err != nil {
+		return fmt.Errorf("transport: hello: %w", err)
+	}
+
+	m, err := model.New(c.cfg.Model)
+	if err != nil {
+		return fmt.Errorf("transport: model: %w", err)
+	}
+
+	for {
+		var msg ServerMsg
+		if err := dec.Decode(&msg); err != nil {
+			return fmt.Errorf("transport: receive: %w", err)
+		}
+		if msg.Done {
+			return nil
+		}
+		if msg.Task == nil {
+			continue
+		}
+		if len(msg.Task.Params) != m.NumParams() {
+			return fmt.Errorf("transport: task has %d params, model needs %d", len(msg.Task.Params), m.NumParams())
+		}
+		if c.cfg.ThinkTime > 0 {
+			time.Sleep(c.cfg.ThinkTime)
+		}
+		m.SetParams(msg.Task.Params)
+		delta, err := fl.LocalTrain(m, c.cfg.Data, c.cfg.Trainer, c.rng)
+		if err != nil {
+			return fmt.Errorf("transport: local training: %w", err)
+		}
+		crafted, err := c.atk.Craft([][]float64{delta}, c.rng)
+		if err != nil {
+			return fmt.Errorf("transport: attack: %w", err)
+		}
+		if len(crafted) == 1 {
+			delta = crafted[0]
+		}
+		c.TasksRun++
+		out := ClientMsg{Update: &UpdateMsg{
+			BaseVersion: msg.Task.Version,
+			Delta:       vecmath.Clone(delta),
+		}}
+		if err := enc.Encode(&out); err != nil {
+			return fmt.Errorf("transport: send update: %w", err)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+// Package transport runs asynchronous federated learning over real TCP
+// connections, mirroring the PLATO deployment mode the paper evaluates on:
+// a central server accepts WebSocket-style persistent connections from
+// remote clients, hands out the current global model, buffers returned
+// updates, filters them (AsyncFilter or any fl.Filter) and aggregates.
+//
+// The wire protocol is gob-encoded message structs over a single
+// long-lived TCP connection per client:
+//
+//	client -> server: Hello, then Update*
+//	server -> client: Task* (new model to train), then Done
+//
+// The same fl.Filter / fl.Combiner implementations drive both this real
+// transport and the in-process simulator, demonstrating the "plug and
+// play" property of the filter module.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// Hello introduces a client to the server.
+type Hello struct {
+	// ClientID identifies the client (unique per deployment).
+	ClientID int
+	// NumSamples is the client's local dataset size (aggregation weight).
+	NumSamples int
+}
+
+// Task carries the global model to train on.
+type Task struct {
+	// Version is the global model version.
+	Version int
+	// Params is the flat global parameter vector.
+	Params []float64
+}
+
+// UpdateMsg carries a trained delta back to the server.
+type UpdateMsg struct {
+	// BaseVersion is the model version the delta was trained from.
+	BaseVersion int
+	// Delta is the flat parameter delta.
+	Delta []float64
+}
+
+// ClientMsg is the client->server envelope.
+type ClientMsg struct {
+	Hello  *Hello
+	Update *UpdateMsg
+}
+
+// ServerMsg is the server->client envelope.
+type ServerMsg struct {
+	Task *Task
+	// Done signals that training is complete and the client should exit.
+	Done bool
+}
+
+// ServerConfig parameterizes a transport server.
+type ServerConfig struct {
+	// InitialParams seeds the global model.
+	InitialParams []float64
+	// AggregationGoal triggers aggregation when the buffer reaches it.
+	AggregationGoal int
+	// StalenessLimit discards updates staler than this (0 disables).
+	StalenessLimit int
+	// Rounds is the number of aggregations before the server completes.
+	Rounds int
+	// Aggregator configures aggregation weighting.
+	Aggregator fl.AggregatorConfig
+}
+
+// Validate checks the configuration.
+func (c *ServerConfig) Validate() error {
+	if len(c.InitialParams) == 0 {
+		return errors.New("transport: ServerConfig: empty InitialParams")
+	}
+	if c.AggregationGoal < 1 {
+		return fmt.Errorf("transport: ServerConfig: AggregationGoal = %d, need >= 1", c.AggregationGoal)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("transport: ServerConfig: Rounds = %d, need >= 1", c.Rounds)
+	}
+	if c.StalenessLimit < 0 {
+		return fmt.Errorf("transport: ServerConfig: StalenessLimit = %d, need >= 0", c.StalenessLimit)
+	}
+	return nil
+}
+
+// Server is the asynchronous FL aggregation server. Create with NewServer,
+// start with Serve, wait on Done.
+type Server struct {
+	cfg      ServerConfig
+	filter   fl.Filter
+	combiner fl.Combiner
+
+	mu       sync.Mutex
+	global   []float64
+	version  int
+	buffer   *fl.Buffer
+	finished bool
+	stats    ServerStats
+
+	done     chan struct{}
+	listener net.Listener
+	wg       sync.WaitGroup
+}
+
+// ServerStats summarizes a finished deployment.
+type ServerStats struct {
+	// Rounds is the number of aggregations performed.
+	Rounds int
+	// Accepted, Deferred, Rejected count filter decisions.
+	Accepted, Deferred, Rejected int
+	// DroppedStale counts updates discarded for staleness.
+	DroppedStale int
+	// UpdatesReceived counts all updates that reached the server.
+	UpdatesReceived int
+}
+
+// NewServer builds a server. filter nil selects pass-through (FedBuff);
+// combiner nil selects the weighted mean.
+func NewServer(cfg ServerConfig, filter fl.Filter, combiner fl.Combiner) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if filter == nil {
+		filter = fl.Passthrough{}
+	}
+	if combiner == nil {
+		combiner = fl.MeanCombiner{}
+	}
+	buffer, err := fl.NewBuffer(cfg.AggregationGoal, cfg.StalenessLimit)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		filter:   filter,
+		combiner: combiner,
+		global:   vecmath.Clone(cfg.InitialParams),
+		buffer:   buffer,
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Serve accepts client connections on lis until the configured number of
+// rounds completes or Close is called. It returns after the accept loop
+// exits and all client handlers have drained.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.listener = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			// Closed listener means shutdown (normal path).
+			select {
+			case <-s.done:
+				s.wg.Wait()
+				return nil
+			default:
+			}
+			s.wg.Wait()
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: listen: %w", err)
+	}
+	return s.Serve(lis)
+}
+
+// Addr returns the listener address (empty before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Done is closed when the configured rounds have completed.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Close stops accepting connections and unblocks Serve.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	lis := s.listener
+	finished := s.finished
+	if !finished {
+		s.finished = true
+		close(s.done)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		return lis.Close()
+	}
+	return nil
+}
+
+// FinalParams returns a copy of the current global parameters.
+func (s *Server) FinalParams() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return vecmath.Clone(s.global)
+}
+
+// Version returns the current global model version.
+func (s *Server) Version() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Stats returns the lifetime counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// handle drives one client connection.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var hello ClientMsg
+	if err := dec.Decode(&hello); err != nil || hello.Hello == nil {
+		return
+	}
+	clientID := hello.Hello.ClientID
+	numSamples := hello.Hello.NumSamples
+
+	// Send the initial task.
+	if !s.sendTask(enc) {
+		return
+	}
+	for {
+		var msg ClientMsg
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		if msg.Update == nil {
+			continue
+		}
+		s.receiveUpdate(clientID, numSamples, msg.Update)
+		if !s.sendTask(enc) {
+			return
+		}
+	}
+}
+
+// sendTask transmits the latest model, or Done when training finished.
+// It reports whether the connection should stay open.
+func (s *Server) sendTask(enc *gob.Encoder) bool {
+	s.mu.Lock()
+	finished := s.finished
+	task := Task{Version: s.version, Params: vecmath.Clone(s.global)}
+	s.mu.Unlock()
+	if finished {
+		_ = enc.Encode(&ServerMsg{Done: true})
+		return false
+	}
+	return enc.Encode(&ServerMsg{Task: &task}) == nil
+}
+
+// receiveUpdate buffers one update and aggregates when the goal is hit.
+func (s *Server) receiveUpdate(clientID, numSamples int, msg *UpdateMsg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return
+	}
+	s.stats.UpdatesReceived++
+	update := &fl.Update{
+		ClientID:    clientID,
+		BaseVersion: msg.BaseVersion,
+		Staleness:   s.version - msg.BaseVersion,
+		Delta:       msg.Delta,
+		NumSamples:  numSamples,
+	}
+	if len(update.Delta) != len(s.global) {
+		return // dimension mismatch: drop silently, client is broken
+	}
+	if !s.buffer.Add(update) {
+		s.stats.DroppedStale++
+		return
+	}
+	if !s.buffer.Ready() {
+		return
+	}
+	s.aggregateLocked()
+}
+
+// aggregateLocked runs one filter+aggregate round. Callers hold s.mu.
+func (s *Server) aggregateLocked() {
+	updates := s.buffer.Drain()
+	round := s.version + 1
+	fres, err := s.filter.Filter(updates, round)
+	if err != nil {
+		// A failing filter must not wedge the deployment: fall back to
+		// accepting the batch (FedBuff behaviour) for this round.
+		fres = fl.AcceptAll(len(updates))
+	}
+	accepted, deferred, rejected := fres.Split(updates)
+	s.stats.Accepted += len(accepted)
+	s.stats.Deferred += len(deferred)
+	s.stats.Rejected += len(rejected)
+
+	if len(accepted) > 0 {
+		delta, err := s.combiner.Combine(accepted, s.cfg.Aggregator)
+		if err == nil {
+			vecmath.Add(s.global, s.global, delta)
+		}
+	}
+	s.version++
+	s.stats.Rounds = s.version
+	s.buffer.Requeue(deferred)
+
+	if obs, ok := s.filter.(fl.RoundObserver); ok {
+		obs.ObserveRound(s.version, s.global, accepted)
+	}
+
+	if s.version >= s.cfg.Rounds {
+		s.finished = true
+		close(s.done)
+	}
+}

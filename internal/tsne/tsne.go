@@ -1,0 +1,280 @@
+// Package tsne implements exact t-SNE (van der Maaten & Hinton, JMLR
+// 2008), used to regenerate the paper's Figures 3 and 4: two-dimensional
+// embeddings of one round's local updates, colored by staleness level.
+// Exact O(n²) t-SNE is ample for the ~100 update vectors per round.
+package tsne
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/asyncfl/asyncfilter/internal/randx"
+)
+
+// Config tunes the embedding.
+type Config struct {
+	// Perplexity is the effective number of neighbours (default 30,
+	// clamped to (n-1)/3).
+	Perplexity float64
+	// Iterations is the number of gradient steps (default 500).
+	Iterations int
+	// LearningRate is the gradient step size (default 100).
+	LearningRate float64
+	// EarlyExaggeration multiplies the target affinities for the first
+	// quarter of the iterations (default 4).
+	EarlyExaggeration float64
+	// Seed drives the initial layout.
+	Seed int64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Perplexity == 0 {
+		c.Perplexity = 30
+	}
+	maxPerp := float64(n-1) / 3
+	if maxPerp >= 1 && c.Perplexity > maxPerp {
+		c.Perplexity = maxPerp
+	}
+	if c.Perplexity < 1 {
+		c.Perplexity = 1
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 500
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 100
+	}
+	if c.EarlyExaggeration == 0 {
+		c.EarlyExaggeration = 4
+	}
+	return c
+}
+
+// Embed maps the input points to 2-D coordinates.
+func Embed(points [][]float64, cfg Config) ([][2]float64, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("tsne: no points")
+	}
+	if n == 1 {
+		return [][2]float64{{0, 0}}, nil
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("tsne: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	cfg = cfg.withDefaults(n)
+	r := randx.New(cfg.Seed)
+
+	p := affinities(points, cfg.Perplexity)
+	// Symmetrize and normalize.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p[i][j] + p[j][i]) / (2 * float64(n))
+			p[i][j], p[j][i] = v, v
+		}
+		p[i][i] = 0
+	}
+
+	// Initial layout: small Gaussian.
+	y := make([][2]float64, n)
+	for i := range y {
+		y[i][0] = r.NormFloat64() * 1e-2
+		y[i][1] = r.NormFloat64() * 1e-2
+	}
+
+	grad := make([][2]float64, n)
+	vel := make([][2]float64, n)
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+
+	exaggerationEnd := cfg.Iterations / 4
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		exag := 1.0
+		if iter < exaggerationEnd {
+			exag = cfg.EarlyExaggeration
+		}
+		momentum := 0.5
+		if iter >= exaggerationEnd {
+			momentum = 0.8
+		}
+
+		// Low-dimensional affinities (Student-t kernel).
+		var qsum float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := y[i][0] - y[j][0]
+				dy := y[i][1] - y[j][1]
+				v := 1 / (1 + dx*dx + dy*dy)
+				q[i][j], q[j][i] = v, v
+				qsum += 2 * v
+			}
+		}
+		if qsum < 1e-12 {
+			qsum = 1e-12
+		}
+
+		// Gradient.
+		for i := range grad {
+			grad[i] = [2]float64{}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				mult := (exag*p[i][j] - q[i][j]/qsum) * q[i][j]
+				grad[i][0] += 4 * mult * (y[i][0] - y[j][0])
+				grad[i][1] += 4 * mult * (y[i][1] - y[j][1])
+			}
+		}
+		for i := range y {
+			vel[i][0] = momentum*vel[i][0] - cfg.LearningRate*grad[i][0]
+			vel[i][1] = momentum*vel[i][1] - cfg.LearningRate*grad[i][1]
+			y[i][0] += vel[i][0]
+			y[i][1] += vel[i][1]
+		}
+		center(y)
+	}
+	return y, nil
+}
+
+// affinities computes the row-conditional Gaussian affinities with a
+// per-point bandwidth found by binary search on the perplexity.
+func affinities(points [][]float64, perplexity float64) [][]float64 {
+	n := len(points)
+	d2 := make([][]float64, n)
+	for i := range d2 {
+		d2[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var s float64
+			for k := range points[i] {
+				d := points[i][k] - points[j][k]
+				s += d * d
+			}
+			d2[i][j], d2[j][i] = s, s
+		}
+	}
+	target := math.Log(perplexity)
+	p := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		lo, hi := 0.0, math.Inf(1)
+		beta := 1.0
+		for iter := 0; iter < 50; iter++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				p[i][j] = math.Exp(-d2[i][j] * beta)
+				sum += p[i][j]
+			}
+			if sum < 1e-300 {
+				sum = 1e-300
+			}
+			var entropy float64
+			for j := 0; j < n; j++ {
+				if j == i || p[i][j] == 0 {
+					continue
+				}
+				pj := p[i][j] / sum
+				p[i][j] = pj
+				if pj > 1e-300 {
+					entropy -= pj * math.Log(pj)
+				}
+			}
+			diff := entropy - target
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 {
+				lo = beta
+				if math.IsInf(hi, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+	}
+	return p
+}
+
+func center(y [][2]float64) {
+	var cx, cy float64
+	for _, p := range y {
+		cx += p[0]
+		cy += p[1]
+	}
+	cx /= float64(len(y))
+	cy /= float64(len(y))
+	for i := range y {
+		y[i][0] -= cx
+		y[i][1] -= cy
+	}
+}
+
+// KLDivergence reports the final embedding quality: the KL divergence
+// between the high- and low-dimensional affinity distributions.
+func KLDivergence(points [][]float64, embedding [][2]float64, cfg Config) (float64, error) {
+	n := len(points)
+	if n != len(embedding) {
+		return 0, fmt.Errorf("tsne: %d points vs %d embedded", n, len(embedding))
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	cfg = cfg.withDefaults(n)
+	p := affinities(points, cfg.Perplexity)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (p[i][j] + p[j][i]) / (2 * float64(n))
+			p[i][j], p[j][i] = v, v
+		}
+	}
+	var qsum float64
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := embedding[i][0] - embedding[j][0]
+			dy := embedding[i][1] - embedding[j][1]
+			v := 1 / (1 + dx*dx + dy*dy)
+			q[i][j], q[j][i] = v, v
+			qsum += 2 * v
+		}
+	}
+	var kl float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || p[i][j] <= 1e-300 {
+				continue
+			}
+			qv := q[i][j] / qsum
+			if qv < 1e-300 {
+				qv = 1e-300
+			}
+			kl += p[i][j] * math.Log(p[i][j]/qv)
+		}
+	}
+	return kl, nil
+}
+
+// Shuffle is re-exported for deterministic sub-sampling of update sets
+// before embedding.
+func Shuffle(r *rand.Rand, n int, swap func(i, j int)) {
+	r.Shuffle(n, swap)
+}

@@ -1,0 +1,160 @@
+package tsne
+
+import (
+	"math"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/randx"
+)
+
+// twoBlobs builds n points split between two well-separated clusters,
+// returning the points and their true cluster labels.
+func twoBlobs(seed int64, n, dim int) ([][]float64, []int) {
+	r := randx.New(seed)
+	centerA := randx.NormalVector(r, dim, 0, 1)
+	centerB := randx.NormalVector(r, dim, 20, 1)
+	points := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range points {
+		base := centerA
+		if i%2 == 1 {
+			base = centerB
+			labels[i] = 1
+		}
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = base[j] + 0.3*r.NormFloat64()
+		}
+		points[i] = p
+	}
+	return points, labels
+}
+
+func TestEmbedValidation(t *testing.T) {
+	if _, err := Embed(nil, Config{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Embed([][]float64{{1}, {1, 2}}, Config{}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestEmbedSinglePoint(t *testing.T) {
+	y, err := Embed([][]float64{{1, 2, 3}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 1 {
+		t.Fatalf("got %d embeddings", len(y))
+	}
+}
+
+func TestEmbedSeparatesBlobs(t *testing.T) {
+	points, labels := twoBlobs(1, 40, 8)
+	y, err := Embed(points, Config{Iterations: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean within-cluster distance must be far below between-cluster
+	// distance in the embedding.
+	var within, between float64
+	var nw, nb int
+	for i := range y {
+		for j := i + 1; j < len(y); j++ {
+			dx := y[i][0] - y[j][0]
+			dy := y[i][1] - y[j][1]
+			d := math.Hypot(dx, dy)
+			if labels[i] == labels[j] {
+				within += d
+				nw++
+			} else {
+				between += d
+				nb++
+			}
+		}
+	}
+	within /= float64(nw)
+	between /= float64(nb)
+	if between < 3*within {
+		t.Errorf("embedding did not separate blobs: within %v, between %v", within, between)
+	}
+}
+
+func TestEmbedDeterminism(t *testing.T) {
+	points, _ := twoBlobs(3, 20, 6)
+	a, err := Embed(points, Config{Iterations: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(points, Config{Iterations: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different embeddings")
+		}
+	}
+}
+
+func TestEmbedProducesFiniteCenteredLayout(t *testing.T) {
+	points, _ := twoBlobs(4, 30, 10)
+	y, err := Embed(points, Config{Iterations: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cx, cy float64
+	for _, p := range y {
+		if math.IsNaN(p[0]) || math.IsNaN(p[1]) || math.IsInf(p[0], 0) || math.IsInf(p[1], 0) {
+			t.Fatalf("non-finite coordinate %v", p)
+		}
+		cx += p[0]
+		cy += p[1]
+	}
+	if math.Abs(cx)/float64(len(y)) > 1e-6 || math.Abs(cy)/float64(len(y)) > 1e-6 {
+		t.Errorf("layout not centered: (%v, %v)", cx, cy)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	points, _ := twoBlobs(8, 24, 6)
+	y, err := Embed(points, Config{Iterations: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kl, err := KLDivergence(points, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kl < 0 {
+		t.Errorf("KL divergence %v < 0", kl)
+	}
+	// A randomly scattered layout should fit worse than the optimized one.
+	r := randx.New(10)
+	bad := make([][2]float64, len(points))
+	for i := range bad {
+		bad[i][0] = r.NormFloat64()
+		bad[i][1] = r.NormFloat64()
+	}
+	klBad, err := KLDivergence(points, bad, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if klBad <= kl {
+		t.Errorf("random layout KL %v <= optimized KL %v", klBad, kl)
+	}
+	if _, err := KLDivergence(points, bad[:3], Config{}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestPerplexityClamping(t *testing.T) {
+	cfg := Config{Perplexity: 1000}.withDefaults(10)
+	if cfg.Perplexity > 3 {
+		t.Errorf("perplexity not clamped: %v", cfg.Perplexity)
+	}
+	cfg = Config{Perplexity: 0.1}.withDefaults(10)
+	if cfg.Perplexity < 1 {
+		t.Errorf("perplexity below 1: %v", cfg.Perplexity)
+	}
+}

@@ -1,0 +1,126 @@
+package asyncfilter
+
+import (
+	"net"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/dataset"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/model"
+	"github.com/asyncfl/asyncfilter/internal/sim"
+	"github.com/asyncfl/asyncfilter/internal/transport"
+)
+
+// presetModelTrainer bridges the preset-to-model mapping for the public
+// Model/TrainSpecFor helpers.
+func presetModelTrainer(preset string, data dataset.SyntheticConfig) (model.Config, fl.TrainerConfig) {
+	return sim.PresetModelAndTrainer(preset, data)
+}
+
+// ServerConfig parameterizes a real (TCP) aggregation server.
+type ServerConfig struct {
+	// InitialParams seeds the global model (see InitialParams).
+	InitialParams []float64
+	// AggregationGoal triggers aggregation when this many updates are
+	// buffered.
+	AggregationGoal int
+	// StalenessLimit discards updates staler than this (0 disables).
+	StalenessLimit int
+	// Rounds is the number of aggregations before the deployment
+	// completes.
+	Rounds int
+}
+
+// Server runs asynchronous federated learning over TCP with an optional
+// AsyncFilter guarding aggregation.
+type Server struct {
+	inner *transport.Server
+}
+
+// NewServer builds a TCP aggregation server. filter nil selects FedBuff
+// (no defense).
+func NewServer(cfg ServerConfig, filter *Filter) (*Server, error) {
+	var innerFilter fl.Filter
+	if filter != nil {
+		innerFilter = filter.inner
+	}
+	s, err := transport.NewServer(transport.ServerConfig{
+		InitialParams:   cfg.InitialParams,
+		AggregationGoal: cfg.AggregationGoal,
+		StalenessLimit:  cfg.StalenessLimit,
+		Rounds:          cfg.Rounds,
+	}, innerFilter, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: s}, nil
+}
+
+// Serve accepts client connections until the configured rounds complete
+// or Close is called.
+func (s *Server) Serve(lis net.Listener) error { return s.inner.Serve(lis) }
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error { return s.inner.ListenAndServe(addr) }
+
+// Done is closed when the configured rounds have completed.
+func (s *Server) Done() <-chan struct{} { return s.inner.Done() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.inner.Close() }
+
+// FinalParams returns a copy of the current global parameters.
+func (s *Server) FinalParams() []float64 { return s.inner.FinalParams() }
+
+// Version returns the number of aggregations performed so far.
+func (s *Server) Version() int { return s.inner.Version() }
+
+// ClientOptions parameterizes a federated client.
+type ClientOptions struct {
+	// ID identifies the client (unique per deployment).
+	ID int
+	// Data is the client's local shard.
+	Data *Data
+	// Model must match the server's parameter dimension.
+	Model ModelSpec
+	// Train configures local optimization.
+	Train TrainSpec
+	// Attack, when non-empty, makes the client malicious (one of
+	// Attacks()).
+	Attack string
+	// Seed drives local randomness.
+	Seed int64
+}
+
+// Client participates in a TCP deployment.
+type Client struct {
+	inner *transport.Client
+}
+
+// NewClient builds a client.
+func NewClient(opts ClientOptions) (*Client, error) {
+	c, err := transport.NewClient(transport.ClientConfig{
+		ID:      opts.ID,
+		Data:    dataOf(opts.Data),
+		Model:   opts.Model.internal(),
+		Trainer: opts.Train.internal(),
+		Attack:  attack.Config{Name: opts.Attack},
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Client{inner: c}, nil
+}
+
+// Run connects to the server at addr and participates until the server
+// signals completion.
+func (c *Client) Run(addr string) error { return c.inner.Run(addr) }
+
+// dataOf unwraps a public Data handle (nil-safe).
+func dataOf(d *Data) *dataset.Dataset {
+	if d == nil {
+		return nil
+	}
+	return d.inner
+}

@@ -1,0 +1,286 @@
+package asyncfilter
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/experiments"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/sim"
+)
+
+// Dataset preset names, standing in for the paper's four image corpora
+// (see DESIGN.md §2 for the substitution rationale).
+const (
+	MNIST        = "mnist"
+	FashionMNIST = "fashionmnist"
+	CIFAR10      = "cifar10"
+	CINIC10      = "cinic10"
+)
+
+// Attack names.
+const (
+	AttackNone   = "none"
+	AttackGD     = "gd"
+	AttackLIE    = "lie"
+	AttackMinMax = "minmax"
+	AttackMinSum = "minsum"
+)
+
+// Defense names accepted by SimConfig.Defense.
+const (
+	DefenseFedBuff     = "fedbuff"
+	DefenseFLDetector  = "fldetector"
+	DefenseAsyncFilter = "asyncfilter"
+	DefenseKrum        = "krum"
+)
+
+// SimConfig describes one asynchronous-FL experiment. The zero values of
+// most fields select the paper's Section 5.1 defaults.
+type SimConfig struct {
+	// Dataset is one of the preset names (default MNIST).
+	Dataset string
+	// Defense selects the server-side filter (default DefenseFedBuff, no
+	// defense).
+	Defense string
+	// Attack selects the poisoning attack (default AttackNone).
+	Attack string
+	// NumClients is the client population (default 100).
+	NumClients int
+	// NumMalicious is the number of attacker-controlled clients (default
+	// 20 when Attack is set, 0 otherwise).
+	NumMalicious int
+	// AggregationGoal is the FedBuff buffer size (default 40).
+	AggregationGoal int
+	// StalenessLimit is the server's staleness cutoff (default 20).
+	StalenessLimit int
+	// Rounds is the number of aggregations (default 30).
+	Rounds int
+	// DirichletAlpha controls data heterogeneity (default 0.1; <= 0 means
+	// IID).
+	DirichletAlpha float64
+	// IID selects IID partitioning, overriding DirichletAlpha.
+	IID bool
+	// ZipfS is the client-speed Zipf exponent (default 1.2).
+	ZipfS float64
+	// EvalEvery records test accuracy every this many rounds (0 = final
+	// only).
+	EvalEvery int
+	// TraceWriter, when non-nil, receives one JSON line per aggregation
+	// round (round, time, decisions, staleness histogram, ground-truth
+	// attacker counts) for custom analyses.
+	TraceWriter io.Writer
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+// SimResult summarizes a finished simulation.
+type SimResult struct {
+	// FinalAccuracy is the global model's final test accuracy.
+	FinalAccuracy float64
+	// History holds (round, accuracy) evaluations when EvalEvery was set,
+	// always including the final round.
+	History []RoundPoint
+	// Detection summarizes the defense's decisions against ground truth.
+	Detection DetectionStats
+	// MeanStaleness is the average staleness of updates reaching the
+	// server within the limit.
+	MeanStaleness float64
+	// DroppedStale counts updates discarded for exceeding the limit.
+	DroppedStale int
+	// Defense and Attack echo the configuration actually run.
+	Defense string
+	Attack  string
+}
+
+// RoundPoint is one accuracy evaluation.
+type RoundPoint struct {
+	Round    int
+	Accuracy float64
+}
+
+// DetectionStats is the defense's confusion matrix ("flagged" =
+// rejected).
+type DetectionStats struct {
+	TruePositives  int
+	FalsePositives int
+	TrueNegatives  int
+	FalseNegatives int
+}
+
+// Precision returns TP/(TP+FP), 0 when nothing was flagged.
+func (d DetectionStats) Precision() float64 {
+	if d.TruePositives+d.FalsePositives == 0 {
+		return 0
+	}
+	return float64(d.TruePositives) / float64(d.TruePositives+d.FalsePositives)
+}
+
+// Recall returns TP/(TP+FN), 0 when nothing was malicious.
+func (d DetectionStats) Recall() float64 {
+	if d.TruePositives+d.FalseNegatives == 0 {
+		return 0
+	}
+	return float64(d.TruePositives) / float64(d.TruePositives+d.FalseNegatives)
+}
+
+// UpdateFilter is the plug-in point for custom server-side defenses: any
+// implementation can be dropped into the simulation engine (and the TCP
+// server) in place of AsyncFilter. *Filter implements it.
+type UpdateFilter interface {
+	// Process returns one Decision per update for the given round.
+	Process(updates []Update, round int) (Result, error)
+	// Name identifies the filter in results.
+	Name() string
+}
+
+var _ UpdateFilter = (*Filter)(nil)
+
+// filterAdapter bridges a public UpdateFilter into the internal engine.
+type filterAdapter struct {
+	f UpdateFilter
+}
+
+func (a filterAdapter) Name() string { return a.f.Name() }
+
+func (a filterAdapter) Filter(updates []*fl.Update, round int) (fl.FilterResult, error) {
+	pub := make([]Update, len(updates))
+	for i, u := range updates {
+		pub[i] = Update{
+			ClientID:   u.ClientID,
+			Staleness:  u.Staleness,
+			Delta:      u.Delta,
+			NumSamples: u.NumSamples,
+		}
+	}
+	res, err := a.f.Process(pub, round)
+	if err != nil {
+		return fl.FilterResult{}, err
+	}
+	out := fl.FilterResult{Scores: res.Scores}
+	out.Decisions = make([]fl.Decision, len(res.Decisions))
+	for i, d := range res.Decisions {
+		out.Decisions[i] = fl.Decision(d)
+	}
+	return out, nil
+}
+
+// SimulateWithFilter runs one experiment with a caller-provided defense
+// instead of a built-in one; cfg.Defense is ignored. filter nil selects
+// FedBuff.
+func SimulateWithFilter(cfg SimConfig, filter UpdateFilter) (*SimResult, error) {
+	cfg.Defense = DefenseFedBuff
+	return simulate(cfg, filter)
+}
+
+// Simulate runs one asynchronous federated learning experiment.
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	return simulate(cfg, nil)
+}
+
+func simulate(cfg SimConfig, custom UpdateFilter) (*SimResult, error) {
+	if cfg.Dataset == "" {
+		cfg.Dataset = MNIST
+	}
+	if cfg.Defense == "" {
+		cfg.Defense = DefenseFedBuff
+	}
+	if cfg.Attack == "" {
+		cfg.Attack = AttackNone
+	}
+	inner, err := sim.Default(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed != 0 {
+		inner.Seed = cfg.Seed
+	}
+	inner.Attack = attack.Config{Name: cfg.Attack}
+	if cfg.NumClients != 0 {
+		inner.NumClients = cfg.NumClients
+	}
+	switch {
+	case cfg.NumMalicious != 0:
+		inner.NumMalicious = cfg.NumMalicious
+	case cfg.Attack == AttackNone:
+		inner.NumMalicious = 0
+	}
+	if inner.NumMalicious > inner.NumClients {
+		return nil, fmt.Errorf("asyncfilter: %d malicious clients exceed the population %d", inner.NumMalicious, inner.NumClients)
+	}
+	if cfg.AggregationGoal != 0 {
+		inner.AggregationGoal = cfg.AggregationGoal
+	}
+	if inner.AggregationGoal > inner.NumClients {
+		inner.AggregationGoal = inner.NumClients
+	}
+	if cfg.StalenessLimit != 0 {
+		inner.StalenessLimit = cfg.StalenessLimit
+	}
+	if cfg.Rounds != 0 {
+		inner.Rounds = cfg.Rounds
+	}
+	switch {
+	case cfg.IID:
+		inner.PartitionAlpha = 0
+	case cfg.DirichletAlpha != 0:
+		inner.PartitionAlpha = cfg.DirichletAlpha
+	}
+	if cfg.ZipfS != 0 {
+		inner.ZipfS = cfg.ZipfS
+	}
+	inner.EvalEvery = cfg.EvalEvery
+	inner.TraceWriter = cfg.TraceWriter
+
+	var filter fl.Filter
+	if custom != nil {
+		filter = filterAdapter{f: custom}
+	} else {
+		filter, err = experiments.NewFilter(cfg.Defense, inner.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s, err := sim.New(inner, filter, nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &SimResult{
+		FinalAccuracy: res.FinalAccuracy,
+		MeanStaleness: res.MeanStaleness,
+		DroppedStale:  res.DroppedStale,
+		Defense:       res.FilterName,
+		Attack:        res.AttackName,
+		Detection: DetectionStats{
+			TruePositives:  res.Detection.TP,
+			FalsePositives: res.Detection.FP,
+			TrueNegatives:  res.Detection.TN,
+			FalseNegatives: res.Detection.FN,
+		},
+	}
+	for _, p := range res.History {
+		out.History = append(out.History, RoundPoint{Round: p.Round, Accuracy: p.Accuracy})
+	}
+	return out, nil
+}
+
+// Presets lists the built-in dataset presets.
+func Presets() []string {
+	return []string{MNIST, FashionMNIST, CIFAR10, CINIC10}
+}
+
+// Attacks lists the built-in poisoning attacks (excluding "none").
+func Attacks() []string {
+	return []string{AttackGD, AttackLIE, AttackMinMax, AttackMinSum}
+}
+
+// Defenses lists the built-in defense names accepted by Simulate.
+func Defenses() []string {
+	return []string{DefenseFedBuff, DefenseFLDetector, DefenseAsyncFilter, DefenseKrum}
+}
