@@ -1,0 +1,25 @@
+# Tier-1 verify: build + tests (the floor every change must hold).
+# Tier-1+ verify: `make check` adds go vet and the race detector, which
+# the transport fault-injection tests rely on to catch shutdown and
+# reconnect races.
+
+GO ?= go
+
+.PHONY: build test check vet race bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	asyncfilter "github.com/asyncfl/asyncfilter"
 )
@@ -33,6 +34,11 @@ func run(args []string) error {
 		alpha  = fs.Float64("alpha", 0.1, "Dirichlet concentration (<= 0 for IID)")
 		atk    = fs.String("attack", "", "act maliciously: gd, lie, minmax or minsum")
 		seed   = fs.Int64("seed", 1, "data seed (must match the server's dataset seed)")
+
+		retries     = fs.Int("max-retries", 10, "consecutive failed connection attempts before giving up")
+		retryBase   = fs.Duration("retry-base", 200*time.Millisecond, "initial reconnect backoff (doubles per attempt, jittered)")
+		retryMax    = fs.Duration("retry-max", 10*time.Second, "reconnect backoff cap")
+		dialTimeout = fs.Duration("dial-timeout", 10*time.Second, "per-connection dial timeout (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,12 +66,16 @@ func run(args []string) error {
 	}
 
 	client, err := asyncfilter.NewClient(asyncfilter.ClientOptions{
-		ID:     *id,
-		Data:   parts[*id],
-		Model:  spec,
-		Train:  trainSpec,
-		Attack: *atk,
-		Seed:   *seed,
+		ID:             *id,
+		Data:           parts[*id],
+		Model:          spec,
+		Train:          trainSpec,
+		Attack:         *atk,
+		Seed:           *seed,
+		MaxRetries:     *retries,
+		RetryBaseDelay: *retryBase,
+		RetryMaxDelay:  *retryMax,
+		DialTimeout:    *dialTimeout,
 	})
 	if err != nil {
 		return err

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	asyncfilter "github.com/asyncfl/asyncfilter"
 )
@@ -33,6 +34,11 @@ func run(args []string) error {
 		limit   = fs.Int("staleness-limit", 20, "staleness limit (0 disables)")
 		rounds  = fs.Int("rounds", 20, "aggregation rounds before shutdown")
 		seed    = fs.Int64("seed", 1, "random seed")
+
+		readTimeout  = fs.Duration("read-timeout", 2*time.Minute, "disconnect a client silent for this long (0 disables)")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-task transmission deadline (0 disables)")
+		maxMsg       = fs.Int64("max-message-bytes", 64<<20, "cap on a single client message (0 disables)")
+		roundTimeout = fs.Duration("round-timeout", time.Minute, "aggregate a partial buffer stalled this long (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +72,10 @@ func run(args []string) error {
 		AggregationGoal: *goal,
 		StalenessLimit:  *limit,
 		Rounds:          *rounds,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		MaxMessageBytes: *maxMsg,
+		RoundTimeout:    *roundTimeout,
 	}, filter)
 	if err != nil {
 		return err
@@ -77,7 +87,9 @@ func run(args []string) error {
 	go func() { errCh <- server.ListenAndServe(*listen) }()
 
 	<-server.Done()
-	fmt.Printf("aflserver: completed %d rounds\n", server.Version())
+	stats := server.Stats()
+	fmt.Printf("aflserver: completed %d rounds (%d clients, %d reconnects, %d watchdog rounds)\n",
+		server.Version(), stats.ClientsConnected, stats.Reconnects, stats.WatchdogRounds)
 	if err := server.Close(); err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	asyncfilter "github.com/asyncfl/asyncfilter"
 )
@@ -32,11 +33,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Production-style hardening: clients silent for a minute are
+	// disconnected, no message may exceed 64MB, and a round stuck below
+	// the aggregation goal for 30s aggregates whatever is buffered.
 	server, err := asyncfilter.NewServer(asyncfilter.ServerConfig{
 		InitialParams:   params,
 		AggregationGoal: 6,
 		StalenessLimit:  10,
 		Rounds:          rounds,
+		ReadTimeout:     time.Minute,
+		WriteTimeout:    15 * time.Second,
+		MaxMessageBytes: 64 << 20,
+		RoundTimeout:    30 * time.Second,
 	}, filter)
 	if err != nil {
 		log.Fatal(err)
@@ -68,12 +76,18 @@ func main() {
 
 	var wg sync.WaitGroup
 	for i := 0; i < numClients; i++ {
+		// Clients ride out transient connection faults: up to five
+		// consecutive failures, reconnecting with jittered backoff.
 		opts := asyncfilter.ClientOptions{
-			ID:    i,
-			Data:  parts[i],
-			Model: spec,
-			Train: trainSpec,
-			Seed:  int64(i),
+			ID:             i,
+			Data:           parts[i],
+			Model:          spec,
+			Train:          trainSpec,
+			Seed:           int64(i),
+			MaxRetries:     5,
+			RetryBaseDelay: 100 * time.Millisecond,
+			RetryMaxDelay:  2 * time.Second,
+			DialTimeout:    5 * time.Second,
 		}
 		if i < numMalicious {
 			opts.Attack = asyncfilter.AttackGD
@@ -105,6 +119,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	stats := server.Stats()
 	fmt.Printf("\ncompleted %d rounds; final accuracy %.2f%% (test loss %.4f)\n",
 		server.Version(), 100*acc, loss)
+	fmt.Printf("server stats: %d updates from %d clients (%d accepted, %d rejected, %d reconnects, %d watchdog rounds)\n",
+		stats.UpdatesReceived, stats.ClientsConnected, stats.Accepted, stats.Rejected, stats.Reconnects, stats.WatchdogRounds)
 }

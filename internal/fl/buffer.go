@@ -72,6 +72,25 @@ func (b *Buffer) Requeue(updates []*Update) {
 	}
 }
 
+// RequeueAt returns deferred updates to the buffer with staleness
+// recomputed against the server's current model version (version -
+// BaseVersion), rather than incrementally aged. This keeps staleness
+// exact for updates deferred across several rounds, including partial
+// watchdog rounds. Updates past the staleness limit are dropped; the
+// number dropped is returned so callers can account for them.
+func (b *Buffer) RequeueAt(updates []*Update, version int) (dropped int) {
+	for _, u := range updates {
+		u.Staleness = version - u.BaseVersion
+		if b.stalenessLimit > 0 && u.Staleness > b.stalenessLimit {
+			b.droppedStale++
+			dropped++
+			continue
+		}
+		b.updates = append(b.updates, u)
+	}
+	return dropped
+}
+
 // Stats reports lifetime counters: total updates offered and updates
 // dropped for staleness.
 func (b *Buffer) Stats() (received, droppedStale int) {

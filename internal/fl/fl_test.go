@@ -330,6 +330,31 @@ func TestBufferRequeue(t *testing.T) {
 	}
 }
 
+func TestBufferRequeueAt(t *testing.T) {
+	b, _ := NewBuffer(3, 4)
+	// Version 5: an update trained from version 2 reads staleness 3
+	// regardless of whatever stale value it carried; one trained from
+	// version 0 crosses the limit and is dropped.
+	dropped := b.RequeueAt([]*Update{
+		{BaseVersion: 2, Staleness: 0},
+		{BaseVersion: 0, Staleness: 1},
+	}, 5)
+	if dropped != 1 {
+		t.Fatalf("RequeueAt dropped %d, want 1", dropped)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("RequeueAt kept %d updates, want 1", b.Len())
+	}
+	u := b.Drain()[0]
+	if u.Staleness != 3 {
+		t.Errorf("requeued staleness = %d, want 3 (recomputed as version-base)", u.Staleness)
+	}
+	_, droppedStale := b.Stats()
+	if droppedStale != 1 {
+		t.Errorf("dropped counter = %d, want 1", droppedStale)
+	}
+}
+
 func TestBufferAccessors(t *testing.T) {
 	b, _ := NewBuffer(7, 9)
 	if b.Goal() != 7 || b.StalenessLimit() != 9 {

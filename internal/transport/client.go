@@ -14,6 +14,13 @@ import (
 	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
+// Default reconnect pacing, used when retries are enabled but the delays
+// are left zero.
+const (
+	defaultRetryBaseDelay = 50 * time.Millisecond
+	defaultRetryMaxDelay  = 2 * time.Second
+)
+
 // ClientConfig parameterizes a transport client.
 type ClientConfig struct {
 	// ID identifies the client to the server.
@@ -33,6 +40,22 @@ type ClientConfig struct {
 	ThinkTime time.Duration
 	// Seed drives local randomness.
 	Seed int64
+	// MaxRetries is the budget of consecutive failed connection attempts
+	// before Run gives up (0 = no reconnect, fail on the first error).
+	// The budget refills whenever a connection makes progress (completes
+	// at least one training task).
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff between reconnect
+	// attempts (default 50ms when MaxRetries > 0).
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff (default 2s).
+	RetryMaxDelay time.Duration
+	// DialTimeout bounds each connection attempt (0 = no timeout).
+	DialTimeout time.Duration
+	// Dial overrides how connections are established (nil = plain TCP).
+	// Tests plug in FaultDialer here to run a client through a flaky
+	// network.
+	Dial func(addr string) (net.Conn, error)
 }
 
 // Client is a federated learning client speaking the transport protocol.
@@ -42,6 +65,8 @@ type Client struct {
 	rng *rand.Rand
 	// TasksRun counts the local training rounds executed.
 	TasksRun int
+	// Reconnects counts successful re-dials after a dropped connection.
+	Reconnects int
 }
 
 // NewClient builds a client.
@@ -52,9 +77,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err := cfg.Trainer.Validate(); err != nil {
 		return nil, fmt.Errorf("transport: NewClient: %w", err)
 	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("transport: NewClient: MaxRetries = %d, need >= 0", cfg.MaxRetries)
+	}
 	atk, err := attack.New(cfg.Attack)
 	if err != nil {
 		return nil, fmt.Errorf("transport: NewClient: %w", err)
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = defaultRetryBaseDelay
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = defaultRetryMaxDelay
 	}
 	return &Client{
 		cfg: cfg,
@@ -64,18 +98,71 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 }
 
 // Run connects to the server and participates until the server signals
-// completion or the connection drops.
+// completion. When the connection drops mid-deployment it reconnects with
+// exponential backoff plus jitter, re-introduces itself and resumes from
+// the freshly issued global model. Run fails once MaxRetries consecutive
+// attempts make no progress.
 func (c *Client) Run(addr string) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("transport: dial: %w", err)
+	failures := 0
+	connected := false
+	for {
+		conn, err := c.dial(addr)
+		if err == nil {
+			if connected {
+				c.Reconnects++
+			}
+			connected = true
+			tasksBefore := c.TasksRun
+			err = c.RunConn(conn)
+			conn.Close()
+			if err == nil {
+				return nil // server signalled Done
+			}
+			if c.TasksRun > tasksBefore {
+				failures = 0 // the connection made progress: refill budget
+			}
+		}
+		failures++
+		if failures > c.cfg.MaxRetries {
+			return fmt.Errorf("transport: client %d: giving up after %d consecutive failures: %w",
+				c.cfg.ID, failures, err)
+		}
+		time.Sleep(c.backoff(failures))
 	}
-	defer conn.Close()
-	return c.RunConn(conn)
+}
+
+// dial opens one connection using the configured dialer.
+func (c *Client) dial(addr string) (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial(addr)
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	return conn, nil
+}
+
+// backoff returns the sleep before retry attempt n (1-based): exponential
+// growth from RetryBaseDelay capped at RetryMaxDelay, with ±50% jitter so
+// a fleet of clients dropped by the same fault does not reconnect in
+// lockstep.
+func (c *Client) backoff(n int) time.Duration {
+	d := c.cfg.RetryBaseDelay
+	for i := 1; i < n && d < c.cfg.RetryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RetryMaxDelay {
+		d = c.cfg.RetryMaxDelay
+	}
+	jitter := 0.5 + c.rng.Float64() // in [0.5, 1.5)
+	return time.Duration(float64(d) * jitter)
 }
 
 // RunConn participates over an established connection (useful for tests
-// and custom transports).
+// and custom transports). It returns nil only when the server signals
+// completion; any transport error is returned for the caller (Run) to
+// decide whether to reconnect.
 func (c *Client) RunConn(conn net.Conn) error {
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
@@ -116,9 +203,12 @@ func (c *Client) RunConn(conn net.Conn) error {
 		if err != nil {
 			return fmt.Errorf("transport: attack: %w", err)
 		}
-		if len(crafted) == 1 {
-			delta = crafted[0]
+		if len(crafted) != 1 {
+			// A malfunctioning attack must not silently fall back to the
+			// honest delta: that would misreport the deployment under test.
+			return fmt.Errorf("transport: attack crafted %d deltas for 1 honest input", len(crafted))
 		}
+		delta = crafted[0]
 		c.TasksRun++
 		out := ClientMsg{Update: &UpdateMsg{
 			BaseVersion: msg.Task.Version,

@@ -1,0 +1,152 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedFault is the error surfaced by a FaultConn when it resets the
+// connection. Peers observe an ordinary connection error (closed socket).
+var ErrInjectedFault = errors.New("transport: injected connection fault")
+
+// FaultConfig parameterizes deterministic fault injection on a net.Conn.
+// All probabilities are per I/O operation and drawn from a private RNG
+// seeded with Seed, so a given config replays the same fault schedule.
+type FaultConfig struct {
+	// Seed drives the fault schedule.
+	Seed int64
+	// ResetProb is the probability that an operation resets the
+	// connection: the underlying conn is closed and ErrInjectedFault is
+	// returned, now and for every later operation.
+	ResetProb float64
+	// ResetAfterOps unconditionally resets the connection after this many
+	// combined reads+writes (0 disables) — a deterministic mid-stream
+	// crash.
+	ResetAfterOps int
+	// DelayProb is the probability that an operation first sleeps for
+	// Delay, simulating a slow or congested link.
+	DelayProb float64
+	// Delay is the injected latency for delayed operations.
+	Delay time.Duration
+	// PartialWriteProb is the probability that a write transmits only a
+	// prefix of its buffer before resetting the connection, leaving the
+	// peer a truncated gob message.
+	PartialWriteProb float64
+}
+
+// FaultConn wraps a net.Conn with injectable drops, delays, partial writes
+// and mid-stream resets for testing transport robustness. Safe for the
+// usual one-reader/one-writer connection usage.
+type FaultConn struct {
+	net.Conn
+	cfg FaultConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	ops    int
+	broken bool
+}
+
+// NewFaultConn wraps conn with fault injection.
+func NewFaultConn(conn net.Conn, cfg FaultConfig) *FaultConn {
+	return &FaultConn{
+		Conn: conn,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// fault rolls the fault schedule for one operation. It returns the number
+// of bytes a write may transmit (limit < n means partial write then
+// reset), or a non-nil error when the connection resets outright.
+func (f *FaultConn) fault(isWrite bool, n int) (int, error) {
+	f.mu.Lock()
+	if f.broken {
+		f.mu.Unlock()
+		return 0, ErrInjectedFault
+	}
+	f.ops++
+	var delay time.Duration
+	if f.cfg.DelayProb > 0 && f.rng.Float64() < f.cfg.DelayProb {
+		delay = f.cfg.Delay
+	}
+	reset := f.cfg.ResetAfterOps > 0 && f.ops >= f.cfg.ResetAfterOps
+	if !reset && f.cfg.ResetProb > 0 && f.rng.Float64() < f.cfg.ResetProb {
+		reset = true
+	}
+	limit := n
+	if isWrite && !reset && f.cfg.PartialWriteProb > 0 && n > 1 &&
+		f.rng.Float64() < f.cfg.PartialWriteProb {
+		limit = n / 2
+		reset = true // the remainder of the message is lost
+	}
+	if reset {
+		f.broken = true
+	}
+	f.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if reset && limit == n {
+		_ = f.Conn.Close()
+		return 0, ErrInjectedFault
+	}
+	return limit, nil
+}
+
+// Read implements net.Conn.
+func (f *FaultConn) Read(p []byte) (int, error) {
+	if _, err := f.fault(false, len(p)); err != nil {
+		return 0, err
+	}
+	return f.Conn.Read(p)
+}
+
+// Write implements net.Conn. A partial-write fault transmits a prefix,
+// closes the underlying connection and reports ErrInjectedFault.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	limit, err := f.fault(true, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if limit < len(p) {
+		n, _ := f.Conn.Write(p[:limit])
+		_ = f.Conn.Close()
+		return n, ErrInjectedFault
+	}
+	return f.Conn.Write(p)
+}
+
+// Close implements net.Conn.
+func (f *FaultConn) Close() error {
+	f.mu.Lock()
+	f.broken = true
+	f.mu.Unlock()
+	return f.Conn.Close()
+}
+
+// FaultDialer returns a dial function (pluggable via ClientConfig.Dial)
+// whose connections inject faults per cfg. Each successive connection gets
+// an independent schedule derived from cfg.Seed, so reconnect paths are
+// exercised deterministically.
+func FaultDialer(cfg FaultConfig) func(addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	attempt := int64(0)
+	return func(addr string) (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: fault dial: %w", err)
+		}
+		mu.Lock()
+		attempt++
+		connCfg := cfg
+		connCfg.Seed = cfg.Seed + attempt*7919
+		mu.Unlock()
+		return NewFaultConn(conn, connCfg), nil
+	}
+}

@@ -1,0 +1,48 @@
+package transport
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrMessageTooLarge is returned through the gob decoder when a single
+// client message exceeds ServerConfig.MaxMessageBytes.
+var ErrMessageTooLarge = errors.New("transport: message exceeds size limit")
+
+// limitReader enforces a per-message byte budget on the stream feeding a
+// gob decoder. The server resets the budget before each Decode, so no
+// single message — in particular a maliciously huge Delta — can make the
+// decoder allocate without bound. The gob decoder's internal read-ahead
+// buffering can charge a few KB of the next message against the current
+// budget; the limit is an OOM guard, not an exact accounting.
+type limitReader struct {
+	r    io.Reader
+	max  int64 // 0 disables the guard
+	n    int64 // bytes consumed since the last reset
+	trip bool  // whether the budget was exceeded
+}
+
+func newLimitReader(r io.Reader, max int64) *limitReader {
+	return &limitReader{r: r, max: max}
+}
+
+// reset starts a fresh message budget. Called before each Decode.
+func (l *limitReader) reset() { l.n = 0 }
+
+// tripped reports whether a read exceeded the budget since the last reset.
+func (l *limitReader) tripped() bool { return l.trip }
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	if l.max > 0 {
+		if l.n >= l.max {
+			l.trip = true
+			return 0, ErrMessageTooLarge
+		}
+		if remaining := l.max - l.n; int64(len(p)) > remaining {
+			p = p[:remaining]
+		}
+	}
+	n, err := l.r.Read(p)
+	l.n += int64(n)
+	return n, err
+}

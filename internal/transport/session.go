@@ -1,0 +1,77 @@
+package transport
+
+import "net"
+
+// clientSession is the server-side identity of one client across however
+// many TCP connections it opens. A client that reconnects after a network
+// fault resumes its existing session: its Hello weight is not
+// double-counted and the stale connection is torn down so at most one
+// handler speaks for a client ID at a time.
+type clientSession struct {
+	id         int
+	numSamples int
+	// conn is the connection currently owned by this session (nil when
+	// the client is disconnected). Guarded by Server.mu.
+	conn net.Conn
+}
+
+// weight returns the aggregation weight for this client's updates.
+// Callers hold Server.mu.
+func (c *clientSession) weight() int { return c.numSamples }
+
+// trackConn registers a live connection for shutdown teardown. It reports
+// false when the server is already finished, in which case the caller
+// should drop the connection immediately.
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// untrackConn forgets a connection that finished handling.
+func (s *Server) untrackConn(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// register resolves a Hello to the client's session, creating it on first
+// contact. On reconnect the previous connection (if any) is closed so the
+// superseded handler exits, and the sample count is refreshed only from a
+// non-zero Hello so a hasty reconnect cannot zero the client's weight.
+func (s *Server) register(h *Hello, conn net.Conn) *clientSession {
+	s.mu.Lock()
+	sess, ok := s.sessions[h.ClientID]
+	if !ok {
+		sess = &clientSession{id: h.ClientID, numSamples: h.NumSamples}
+		s.sessions[h.ClientID] = sess
+		s.stats.ClientsConnected++
+	} else {
+		s.stats.Reconnects++
+		if h.NumSamples > 0 {
+			sess.numSamples = h.NumSamples
+		}
+	}
+	old := sess.conn
+	sess.conn = conn
+	s.mu.Unlock()
+
+	if old != nil && old != conn {
+		_ = old.Close()
+	}
+	return sess
+}
+
+// release detaches conn from its session when a handler exits. A newer
+// connection that already took over the session is left untouched.
+func (s *Server) release(sess *clientSession, conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess.conn == conn {
+		sess.conn = nil
+	}
+}

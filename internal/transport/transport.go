@@ -13,6 +13,13 @@
 // The same fl.Filter / fl.Combiner implementations drive both this real
 // transport and the in-process simulator, demonstrating the "plug and
 // play" property of the filter module.
+//
+// The layer is hardened for real deployments: per-connection read/write
+// deadlines, a max-message-size guard on decode, per-client sessions that
+// survive reconnects, a round-progress watchdog that aggregates a partial
+// buffer when crashed clients would otherwise stall a round, client-side
+// reconnect with exponential backoff (client.go), and a deterministic
+// fault-injection harness for tests (fault.go).
 package transport
 
 import (
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/asyncfl/asyncfilter/internal/fl"
 	"github.com/asyncfl/asyncfilter/internal/vecmath"
@@ -75,6 +83,21 @@ type ServerConfig struct {
 	Rounds int
 	// Aggregator configures aggregation weighting.
 	Aggregator fl.AggregatorConfig
+	// ReadTimeout bounds each blocking read from a client connection: a
+	// client that goes silent for longer is disconnected (0 disables).
+	// It must cover the client's local training time plus think time.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each task transmission to a client (0 disables).
+	WriteTimeout time.Duration
+	// MaxMessageBytes caps the size of a single decoded client message so
+	// a malicious client cannot exhaust server memory with a giant delta
+	// (0 disables the guard).
+	MaxMessageBytes int64
+	// RoundTimeout arms the round-progress watchdog: when the buffer has
+	// held at least one update but stayed below the aggregation goal for
+	// this long, the server aggregates the partial buffer instead of
+	// waiting forever on crashed or wedged clients (0 disables).
+	RoundTimeout time.Duration
 }
 
 // Validate checks the configuration.
@@ -91,6 +114,12 @@ func (c *ServerConfig) Validate() error {
 	if c.StalenessLimit < 0 {
 		return fmt.Errorf("transport: ServerConfig: StalenessLimit = %d, need >= 0", c.StalenessLimit)
 	}
+	if c.ReadTimeout < 0 || c.WriteTimeout < 0 || c.RoundTimeout < 0 {
+		return errors.New("transport: ServerConfig: negative timeout")
+	}
+	if c.MaxMessageBytes < 0 {
+		return fmt.Errorf("transport: ServerConfig: MaxMessageBytes = %d, need >= 0", c.MaxMessageBytes)
+	}
 	return nil
 }
 
@@ -101,16 +130,20 @@ type Server struct {
 	filter   fl.Filter
 	combiner fl.Combiner
 
-	mu       sync.Mutex
-	global   []float64
-	version  int
-	buffer   *fl.Buffer
-	finished bool
-	stats    ServerStats
+	mu           sync.Mutex
+	global       []float64
+	version      int
+	buffer       *fl.Buffer
+	finished     bool
+	stats        ServerStats
+	sessions     map[int]*clientSession
+	conns        map[net.Conn]struct{}
+	lastProgress time.Time
 
 	done     chan struct{}
 	listener net.Listener
 	wg       sync.WaitGroup
+	watchdog sync.Once
 }
 
 // ServerStats summarizes a finished deployment.
@@ -121,8 +154,21 @@ type ServerStats struct {
 	Accepted, Deferred, Rejected int
 	// DroppedStale counts updates discarded for staleness.
 	DroppedStale int
+	// DroppedMalformed counts updates discarded for a dimension mismatch
+	// with the global model.
+	DroppedMalformed int
+	// DroppedOversize counts client messages rejected by the
+	// MaxMessageBytes guard (the connection is closed).
+	DroppedOversize int
 	// UpdatesReceived counts all updates that reached the server.
 	UpdatesReceived int
+	// WatchdogRounds counts aggregations forced by the round-progress
+	// watchdog on a partial buffer.
+	WatchdogRounds int
+	// ClientsConnected counts distinct client IDs that completed a Hello.
+	ClientsConnected int
+	// Reconnects counts Hello messages from already-known client IDs.
+	Reconnects int
 }
 
 // NewServer builds a server. filter nil selects pass-through (FedBuff);
@@ -147,6 +193,8 @@ func NewServer(cfg ServerConfig, filter fl.Filter, combiner fl.Combiner) (*Serve
 		combiner: combiner,
 		global:   vecmath.Clone(cfg.InitialParams),
 		buffer:   buffer,
+		sessions: make(map[int]*clientSession),
+		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}, nil
 }
@@ -157,20 +205,29 @@ func NewServer(cfg ServerConfig, filter fl.Filter, combiner fl.Combiner) (*Serve
 func (s *Server) Serve(lis net.Listener) error {
 	s.mu.Lock()
 	s.listener = lis
+	s.lastProgress = time.Now()
 	s.mu.Unlock()
+	// stop ends the watchdog when Serve exits for any reason, including
+	// accept errors that happen before the deployment completes.
+	stop := make(chan struct{})
+	if s.cfg.RoundTimeout > 0 {
+		s.watchdog.Do(func() {
+			s.wg.Add(1)
+			go s.watchRounds(stop)
+		})
+	}
 
-	for {
+	var serveErr error
+	for serveErr == nil {
 		conn, err := lis.Accept()
 		if err != nil {
 			// Closed listener means shutdown (normal path).
 			select {
 			case <-s.done:
-				s.wg.Wait()
-				return nil
 			default:
+				serveErr = fmt.Errorf("transport: accept: %w", err)
 			}
-			s.wg.Wait()
-			return fmt.Errorf("transport: accept: %w", err)
+			break
 		}
 		s.wg.Add(1)
 		go func() {
@@ -178,6 +235,9 @@ func (s *Server) Serve(lis net.Listener) error {
 			s.handle(conn)
 		}()
 	}
+	close(stop)
+	s.wg.Wait()
+	return serveErr
 }
 
 // ListenAndServe listens on addr and calls Serve.
@@ -202,20 +262,30 @@ func (s *Server) Addr() string {
 // Done is closed when the configured rounds have completed.
 func (s *Server) Done() <-chan struct{} { return s.done }
 
-// Close stops accepting connections and unblocks Serve.
+// Close stops accepting connections, disconnects all clients and unblocks
+// Serve. In-flight updates already handed to receiveUpdate complete under
+// the server lock before their connections tear down.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	lis := s.listener
-	finished := s.finished
-	if !finished {
+	if !s.finished {
 		s.finished = true
 		close(s.done)
 	}
-	s.mu.Unlock()
-	if lis != nil {
-		return lis.Close()
+	open := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		open = append(open, conn)
 	}
-	return nil
+	s.mu.Unlock()
+
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	for _, conn := range open {
+		_ = conn.Close()
+	}
+	return err
 }
 
 // FinalParams returns a copy of the current global parameters.
@@ -242,42 +312,67 @@ func (s *Server) Stats() ServerStats {
 // handle drives one client connection.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	if !s.trackConn(conn) {
+		return
+	}
+	defer s.untrackConn(conn)
+
+	lim := newLimitReader(conn, s.cfg.MaxMessageBytes)
+	dec := gob.NewDecoder(lim)
 	enc := gob.NewEncoder(conn)
 
 	var hello ClientMsg
+	s.armRead(conn)
+	lim.reset()
 	if err := dec.Decode(&hello); err != nil || hello.Hello == nil {
 		return
 	}
-	clientID := hello.Hello.ClientID
-	numSamples := hello.Hello.NumSamples
+	sess := s.register(hello.Hello, conn)
+	defer s.release(sess, conn)
 
 	// Send the initial task.
-	if !s.sendTask(enc) {
+	if !s.sendTask(conn, enc) {
 		return
 	}
 	for {
 		var msg ClientMsg
+		s.armRead(conn)
+		lim.reset()
 		if err := dec.Decode(&msg); err != nil {
+			if lim.tripped() {
+				s.mu.Lock()
+				s.stats.DroppedOversize++
+				s.mu.Unlock()
+			}
 			return
 		}
 		if msg.Update == nil {
 			continue
 		}
-		s.receiveUpdate(clientID, numSamples, msg.Update)
-		if !s.sendTask(enc) {
+		s.receiveUpdate(sess, msg.Update)
+		if !s.sendTask(conn, enc) {
 			return
 		}
 	}
 }
 
+// armRead refreshes the read deadline before a blocking decode.
+func (s *Server) armRead(conn net.Conn) {
+	if s.cfg.ReadTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+}
+
 // sendTask transmits the latest model, or Done when training finished.
 // It reports whether the connection should stay open.
-func (s *Server) sendTask(enc *gob.Encoder) bool {
+func (s *Server) sendTask(conn net.Conn, enc *gob.Encoder) bool {
 	s.mu.Lock()
 	finished := s.finished
 	task := Task{Version: s.version, Params: vecmath.Clone(s.global)}
 	s.mu.Unlock()
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
 	if finished {
 		_ = enc.Encode(&ServerMsg{Done: true})
 		return false
@@ -286,27 +381,29 @@ func (s *Server) sendTask(enc *gob.Encoder) bool {
 }
 
 // receiveUpdate buffers one update and aggregates when the goal is hit.
-func (s *Server) receiveUpdate(clientID, numSamples int, msg *UpdateMsg) {
+func (s *Server) receiveUpdate(sess *clientSession, msg *UpdateMsg) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.finished {
 		return
 	}
 	s.stats.UpdatesReceived++
+	if len(msg.Delta) != len(s.global) {
+		s.stats.DroppedMalformed++
+		return
+	}
 	update := &fl.Update{
-		ClientID:    clientID,
+		ClientID:    sess.id,
 		BaseVersion: msg.BaseVersion,
 		Staleness:   s.version - msg.BaseVersion,
 		Delta:       msg.Delta,
-		NumSamples:  numSamples,
-	}
-	if len(update.Delta) != len(s.global) {
-		return // dimension mismatch: drop silently, client is broken
+		NumSamples:  sess.weight(),
 	}
 	if !s.buffer.Add(update) {
 		s.stats.DroppedStale++
 		return
 	}
+	s.lastProgress = time.Now()
 	if !s.buffer.Ready() {
 		return
 	}
@@ -316,6 +413,15 @@ func (s *Server) receiveUpdate(clientID, numSamples int, msg *UpdateMsg) {
 // aggregateLocked runs one filter+aggregate round. Callers hold s.mu.
 func (s *Server) aggregateLocked() {
 	updates := s.buffer.Drain()
+	if len(updates) == 0 {
+		return
+	}
+	// Staleness is recomputed at drain time so updates that waited in the
+	// buffer across watchdog rounds (or were requeued after a deferral)
+	// carry their true age into the filter and the staleness discount.
+	for _, u := range updates {
+		u.Staleness = s.version - u.BaseVersion
+	}
 	round := s.version + 1
 	fres, err := s.filter.Filter(updates, round)
 	if err != nil {
@@ -336,7 +442,8 @@ func (s *Server) aggregateLocked() {
 	}
 	s.version++
 	s.stats.Rounds = s.version
-	s.buffer.Requeue(deferred)
+	s.stats.DroppedStale += s.buffer.RequeueAt(deferred, s.version)
+	s.lastProgress = time.Now()
 
 	if obs, ok := s.filter.(fl.RoundObserver); ok {
 		obs.ObserveRound(s.version, s.global, accepted)

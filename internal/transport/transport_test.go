@@ -238,8 +238,24 @@ func TestServerDropsDimensionMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	server.receiveUpdate(1, 10, &UpdateMsg{BaseVersion: 0, Delta: []float64{1}})
+	sess := &clientSession{id: 1, numSamples: 10}
+	server.receiveUpdate(sess, &UpdateMsg{BaseVersion: 0, Delta: []float64{1}})
 	if server.Version() != 0 {
 		t.Error("mismatched update triggered aggregation")
+	}
+	stats := server.Stats()
+	if stats.DroppedMalformed != 1 {
+		t.Errorf("DroppedMalformed = %d, want 1", stats.DroppedMalformed)
+	}
+	if stats.UpdatesReceived != 1 {
+		t.Errorf("UpdatesReceived = %d, want 1", stats.UpdatesReceived)
+	}
+	// A well-formed update still aggregates.
+	server.receiveUpdate(sess, &UpdateMsg{BaseVersion: 0, Delta: []float64{1, 1, 1}})
+	if server.Version() != 1 {
+		t.Error("well-formed update did not aggregate")
+	}
+	if got := server.Stats().DroppedMalformed; got != 1 {
+		t.Errorf("DroppedMalformed after valid update = %d, want 1", got)
 	}
 }

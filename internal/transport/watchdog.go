@@ -1,0 +1,37 @@
+package transport
+
+import "time"
+
+// watchRounds is the round-progress watchdog: when the buffer has held at
+// least one update but stayed below the aggregation goal for RoundTimeout,
+// it aggregates the partial buffer (FedBuff-with-timeout). Crashed or
+// wedged clients therefore delay a round by at most RoundTimeout instead
+// of stalling the deployment forever. Started once from Serve; exits when
+// the deployment completes, the server closes, or Serve exits (stop).
+func (s *Server) watchRounds(stop <-chan struct{}) {
+	defer s.wg.Done()
+	interval := s.cfg.RoundTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			stalled := !s.finished &&
+				s.buffer.Len() > 0 && !s.buffer.Ready() &&
+				time.Since(s.lastProgress) >= s.cfg.RoundTimeout
+			if stalled {
+				s.stats.WatchdogRounds++
+				s.aggregateLocked()
+			}
+			s.mu.Unlock()
+		}
+	}
+}

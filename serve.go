@@ -2,6 +2,7 @@ package asyncfilter
 
 import (
 	"net"
+	"time"
 
 	"github.com/asyncfl/asyncfilter/internal/attack"
 	"github.com/asyncfl/asyncfilter/internal/dataset"
@@ -29,6 +30,43 @@ type ServerConfig struct {
 	// Rounds is the number of aggregations before the deployment
 	// completes.
 	Rounds int
+	// ReadTimeout disconnects a client silent for longer than this (0
+	// disables). It must cover a client's local training plus think time.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each model transmission to a client (0
+	// disables).
+	WriteTimeout time.Duration
+	// MaxMessageBytes caps a single client message so a malicious client
+	// cannot exhaust server memory (0 disables).
+	MaxMessageBytes int64
+	// RoundTimeout arms the round-progress watchdog: when the update
+	// buffer has been non-empty but below AggregationGoal for this long,
+	// the server aggregates the partial buffer so crashed clients cannot
+	// stall a round forever (0 disables).
+	RoundTimeout time.Duration
+}
+
+// ServerStats reports a deployment's lifetime counters.
+type ServerStats struct {
+	// Rounds is the number of aggregations performed.
+	Rounds int
+	// Accepted, Deferred, Rejected count filter decisions.
+	Accepted, Deferred, Rejected int
+	// DroppedStale counts updates discarded for staleness.
+	DroppedStale int
+	// DroppedMalformed counts updates whose delta did not match the model
+	// dimension.
+	DroppedMalformed int
+	// DroppedOversize counts messages rejected by MaxMessageBytes.
+	DroppedOversize int
+	// UpdatesReceived counts all updates that reached the server.
+	UpdatesReceived int
+	// WatchdogRounds counts partial aggregations forced by RoundTimeout.
+	WatchdogRounds int
+	// ClientsConnected counts distinct client IDs seen.
+	ClientsConnected int
+	// Reconnects counts client reconnections.
+	Reconnects int
 }
 
 // Server runs asynchronous federated learning over TCP with an optional
@@ -49,6 +87,10 @@ func NewServer(cfg ServerConfig, filter *Filter) (*Server, error) {
 		AggregationGoal: cfg.AggregationGoal,
 		StalenessLimit:  cfg.StalenessLimit,
 		Rounds:          cfg.Rounds,
+		ReadTimeout:     cfg.ReadTimeout,
+		WriteTimeout:    cfg.WriteTimeout,
+		MaxMessageBytes: cfg.MaxMessageBytes,
+		RoundTimeout:    cfg.RoundTimeout,
 	}, innerFilter, nil)
 	if err != nil {
 		return nil, err
@@ -66,7 +108,7 @@ func (s *Server) ListenAndServe(addr string) error { return s.inner.ListenAndSer
 // Done is closed when the configured rounds have completed.
 func (s *Server) Done() <-chan struct{} { return s.inner.Done() }
 
-// Close stops the server.
+// Close stops the server and disconnects all clients.
 func (s *Server) Close() error { return s.inner.Close() }
 
 // FinalParams returns a copy of the current global parameters.
@@ -74,6 +116,24 @@ func (s *Server) FinalParams() []float64 { return s.inner.FinalParams() }
 
 // Version returns the number of aggregations performed so far.
 func (s *Server) Version() int { return s.inner.Version() }
+
+// Stats returns the deployment's lifetime counters.
+func (s *Server) Stats() ServerStats {
+	st := s.inner.Stats()
+	return ServerStats{
+		Rounds:           st.Rounds,
+		Accepted:         st.Accepted,
+		Deferred:         st.Deferred,
+		Rejected:         st.Rejected,
+		DroppedStale:     st.DroppedStale,
+		DroppedMalformed: st.DroppedMalformed,
+		DroppedOversize:  st.DroppedOversize,
+		UpdatesReceived:  st.UpdatesReceived,
+		WatchdogRounds:   st.WatchdogRounds,
+		ClientsConnected: st.ClientsConnected,
+		Reconnects:       st.Reconnects,
+	}
+}
 
 // ClientOptions parameterizes a federated client.
 type ClientOptions struct {
@@ -90,6 +150,17 @@ type ClientOptions struct {
 	Attack string
 	// Seed drives local randomness.
 	Seed int64
+	// MaxRetries is the budget of consecutive failed connection attempts
+	// before Run gives up; it refills whenever a connection completes a
+	// training task (0 = fail on the first connection error).
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential reconnect backoff (default
+	// 50ms). Jitter is applied per attempt.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the reconnect backoff (default 2s).
+	RetryMaxDelay time.Duration
+	// DialTimeout bounds each connection attempt (0 = no timeout).
+	DialTimeout time.Duration
 }
 
 // Client participates in a TCP deployment.
@@ -100,12 +171,16 @@ type Client struct {
 // NewClient builds a client.
 func NewClient(opts ClientOptions) (*Client, error) {
 	c, err := transport.NewClient(transport.ClientConfig{
-		ID:      opts.ID,
-		Data:    dataOf(opts.Data),
-		Model:   opts.Model.internal(),
-		Trainer: opts.Train.internal(),
-		Attack:  attack.Config{Name: opts.Attack},
-		Seed:    opts.Seed,
+		ID:             opts.ID,
+		Data:           dataOf(opts.Data),
+		Model:          opts.Model.internal(),
+		Trainer:        opts.Train.internal(),
+		Attack:         attack.Config{Name: opts.Attack},
+		Seed:           opts.Seed,
+		MaxRetries:     opts.MaxRetries,
+		RetryBaseDelay: opts.RetryBaseDelay,
+		RetryMaxDelay:  opts.RetryMaxDelay,
+		DialTimeout:    opts.DialTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -114,7 +189,7 @@ func NewClient(opts ClientOptions) (*Client, error) {
 }
 
 // Run connects to the server at addr and participates until the server
-// signals completion.
+// signals completion, reconnecting with backoff when MaxRetries allows.
 func (c *Client) Run(addr string) error { return c.inner.Run(addr) }
 
 // dataOf unwraps a public Data handle (nil-safe).
