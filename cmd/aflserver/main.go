@@ -6,12 +6,21 @@
 //
 //	aflserver -listen :9000 -dataset mnist -rounds 20 -goal 8
 //	aflserver -listen :9000 -defense fedbuff    # undefended baseline
+//	aflserver -listen :9000 -checkpoint srv.ckpt  # durable, crash-recoverable
+//
+// With -checkpoint, the server snapshots its full state (global model,
+// round counter, filter history, buffered updates, client sessions) to
+// the given file, restores from it at startup when it exists, and writes
+// a final snapshot on SIGINT/SIGTERM before exiting — kill the process
+// and rerun the same command to resume the deployment where it stopped.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	asyncfilter "github.com/asyncfl/asyncfilter"
@@ -39,6 +48,9 @@ func run(args []string) error {
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-task transmission deadline (0 disables)")
 		maxMsg       = fs.Int64("max-message-bytes", 64<<20, "cap on a single client message (0 disables)")
 		roundTimeout = fs.Duration("round-timeout", time.Minute, "aggregate a partial buffer stalled this long (0 disables)")
+
+		ckptPath  = fs.String("checkpoint", "", "checkpoint file: restore from it at startup, snapshot to it while running (\"\" disables)")
+		ckptEvery = fs.Int("checkpoint-every", 1, "snapshot every N aggregation rounds")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,9 +88,14 @@ func run(args []string) error {
 		WriteTimeout:    *writeTimeout,
 		MaxMessageBytes: *maxMsg,
 		RoundTimeout:    *roundTimeout,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
 	}, filter)
 	if err != nil {
 		return err
+	}
+	if server.Restored() {
+		fmt.Printf("aflserver: restored from %s at round %d\n", *ckptPath, server.Version())
 	}
 
 	fmt.Printf("aflserver: listening on %s (dataset=%s defense=%s goal=%d rounds=%d)\n",
@@ -86,10 +103,25 @@ func run(args []string) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe(*listen) }()
 
-	<-server.Done()
+	// A termination signal triggers a graceful shutdown: Close writes a
+	// final checkpoint, so rerunning the same command resumes from here.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("aflserver: %v at round %d, checkpointing and shutting down\n", sig, server.Version())
+		if err := server.Close(); err != nil {
+			return err
+		}
+		<-errCh
+		return nil
+	case <-server.Done():
+	}
 	stats := server.Stats()
-	fmt.Printf("aflserver: completed %d rounds (%d clients, %d reconnects, %d watchdog rounds)\n",
-		server.Version(), stats.ClientsConnected, stats.Reconnects, stats.WatchdogRounds)
+	fmt.Printf("aflserver: completed %d rounds (%d clients, %d reconnects, %d watchdog rounds, %d recovered panics)\n",
+		server.Version(), stats.ClientsConnected, stats.Reconnects, stats.WatchdogRounds, stats.HandlerPanics)
 	if err := server.Close(); err != nil {
 		return err
 	}

@@ -2,9 +2,19 @@
 // server and twelve federated clients (three of them malicious) as
 // separate goroutines talking gob-over-TCP across the loopback interface —
 // the same server code the aflserver command deploys across machines.
+//
+// With -checkpoint the server persists its state; adding -kill-at N turns
+// the run into a crash-recovery demo: the server is killed after N
+// rounds, a replacement is restored from the checkpoint on the same
+// address mid-deployment (clients ride out the outage on their reconnect
+// budgets), and the deployment finishes with filter history intact.
+//
+//	go run ./examples/distributed
+//	go run ./examples/distributed -checkpoint /tmp/afl.ckpt -kill-at 3
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -20,23 +30,18 @@ const (
 	rounds       = 6
 )
 
-func main() {
-	spec, err := asyncfilter.ModelSpecFor(asyncfilter.MNIST)
-	if err != nil {
-		log.Fatal(err)
-	}
-	params, err := asyncfilter.InitialParams(spec)
-	if err != nil {
-		log.Fatal(err)
-	}
+func newServer(params []float64, ckptPath string) (*asyncfilter.Server, error) {
+	// Each server instance gets a fresh filter: after a kill, the
+	// replacement's filter history comes from the checkpoint, not from
+	// shared memory.
 	filter, err := asyncfilter.NewFilter(asyncfilter.FilterConfig{Seed: 1})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	// Production-style hardening: clients silent for a minute are
 	// disconnected, no message may exceed 64MB, and a round stuck below
 	// the aggregation goal for 30s aggregates whatever is buffered.
-	server, err := asyncfilter.NewServer(asyncfilter.ServerConfig{
+	return asyncfilter.NewServer(asyncfilter.ServerConfig{
 		InitialParams:   params,
 		AggregationGoal: 6,
 		StalenessLimit:  10,
@@ -45,21 +50,49 @@ func main() {
 		WriteTimeout:    15 * time.Second,
 		MaxMessageBytes: 64 << 20,
 		RoundTimeout:    30 * time.Second,
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: 1,
 	}, filter)
+}
+
+func main() {
+	ckptPath := flag.String("checkpoint", "", "checkpoint file for durable server state (\"\" disables)")
+	killAt := flag.Int("kill-at", 0, "kill the server after this round and resume it from the checkpoint (0 disables; requires -checkpoint)")
+	flag.Parse()
+	if *killAt > 0 && *ckptPath == "" {
+		log.Fatal("-kill-at requires -checkpoint (remove any stale checkpoint file from earlier runs)")
+	}
+	if *killAt >= rounds {
+		log.Fatalf("-kill-at %d must be below the %d-round deployment", *killAt, rounds)
+	}
+
+	spec, err := asyncfilter.ModelSpecFor(asyncfilter.MNIST)
 	if err != nil {
 		log.Fatal(err)
+	}
+	params, err := asyncfilter.InitialParams(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := newServer(params, *ckptPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if server.Restored() {
+		fmt.Printf("restored from %s at round %d\n", *ckptPath, server.Version())
 	}
 
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
+	addr := lis.Addr().String()
 	go func() {
 		if err := server.Serve(lis); err != nil {
 			log.Println("serve:", err)
 		}
 	}()
-	fmt.Printf("server listening on %s (%d rounds, aggregation goal 6)\n", lis.Addr(), rounds)
+	fmt.Printf("server listening on %s (%d rounds, aggregation goal 6)\n", addr, rounds)
 
 	train, test, err := asyncfilter.GenerateData(asyncfilter.MNIST, 1)
 	if err != nil {
@@ -76,15 +109,16 @@ func main() {
 
 	var wg sync.WaitGroup
 	for i := 0; i < numClients; i++ {
-		// Clients ride out transient connection faults: up to five
-		// consecutive failures, reconnecting with jittered backoff.
+		// Clients ride out transient connection faults — and, in the
+		// kill-and-resume demo, the server outage itself — on a budget of
+		// consecutive failures with jittered backoff.
 		opts := asyncfilter.ClientOptions{
 			ID:             i,
 			Data:           parts[i],
 			Model:          spec,
 			Train:          trainSpec,
 			Seed:           int64(i),
-			MaxRetries:     5,
+			MaxRetries:     30,
 			RetryBaseDelay: 100 * time.Millisecond,
 			RetryMaxDelay:  2 * time.Second,
 			DialTimeout:    5 * time.Second,
@@ -104,7 +138,39 @@ func main() {
 			defer wg.Done()
 			// Connection errors at shutdown are expected: the server
 			// closes sockets once training completes.
-			_ = client.Run(lis.Addr().String())
+			_ = client.Run(addr)
+		}()
+	}
+
+	if *killAt > 0 {
+		// Tight poll: loopback rounds complete in milliseconds, and the
+		// kill must land mid-deployment to demonstrate recovery.
+		for server.Version() < *killAt {
+			time.Sleep(time.Millisecond)
+		}
+		fmt.Printf("\nKILLING server at round %d (checkpoint: %s)\n", server.Version(), *ckptPath)
+		if err := server.Close(); err != nil {
+			log.Println("close:", err)
+		}
+		// Restore a replacement from the checkpoint on the same address
+		// while the clients keep retrying.
+		replacement, err := newServer(params, *ckptPath)
+		if err != nil {
+			log.Fatal("restore:", err)
+		}
+		if !replacement.Restored() {
+			log.Fatal("replacement server found no checkpoint to restore")
+		}
+		lis, err = net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("RESTORED server at round %d, resuming on %s\n", replacement.Version(), addr)
+		server = replacement
+		go func() {
+			if err := server.Serve(lis); err != nil {
+				log.Println("serve:", err)
+			}
 		}()
 	}
 
@@ -122,6 +188,6 @@ func main() {
 	stats := server.Stats()
 	fmt.Printf("\ncompleted %d rounds; final accuracy %.2f%% (test loss %.4f)\n",
 		server.Version(), 100*acc, loss)
-	fmt.Printf("server stats: %d updates from %d clients (%d accepted, %d rejected, %d reconnects, %d watchdog rounds)\n",
-		stats.UpdatesReceived, stats.ClientsConnected, stats.Accepted, stats.Rejected, stats.Reconnects, stats.WatchdogRounds)
+	fmt.Printf("server stats: %d updates from %d clients (%d accepted, %d rejected, %d reconnects, %d watchdog rounds, %d checkpoints)\n",
+		stats.UpdatesReceived, stats.ClientsConnected, stats.Accepted, stats.Rejected, stats.Reconnects, stats.WatchdogRounds, stats.Checkpoints)
 }

@@ -1,0 +1,197 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name    string
+	Version int
+	Params  []float64
+	Groups  map[int][]float64
+}
+
+func samplePayload() payload {
+	return payload{
+		Name:    "server",
+		Version: 17,
+		Params:  []float64{0.25, -1.5, 3.125},
+		Groups:  map[int][]float64{0: {1, 2}, 3: {4, 5}},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	want := samplePayload()
+	if err := Save(path, &want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := Load(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || got.Version != want.Version {
+		t.Errorf("round trip lost scalars: %+v", got)
+	}
+	if len(got.Params) != len(want.Params) || got.Params[2] != want.Params[2] {
+		t.Errorf("round trip lost params: %v", got.Params)
+	}
+	if len(got.Groups) != 2 || got.Groups[3][1] != 5 {
+		t.Errorf("round trip lost groups: %v", got.Groups)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	first := samplePayload()
+	if err := Save(path, &first); err != nil {
+		t.Fatal(err)
+	}
+	second := samplePayload()
+	second.Version = 99
+	if err := Save(path, &second); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := Load(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 99 {
+		t.Errorf("overwrite kept stale snapshot: version %d", got.Version)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".checkpoint-") {
+			t.Errorf("stray temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestSaveUnencodableStateKeepsExistingSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	good := samplePayload()
+	if err := Save(path, &good); err != nil {
+		t.Fatal(err)
+	}
+	bad := struct{ C chan int }{C: make(chan int)} // gob cannot encode channels
+	if err := Save(path, &bad); err == nil {
+		t.Fatal("Save accepted an unencodable state")
+	}
+	var got payload
+	if err := Load(path, &got); err != nil {
+		t.Fatalf("good snapshot damaged by failed Save: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("failed Save left %d files in dir, want 1", len(entries))
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var got payload
+	err := Load(filepath.Join(t.TempDir(), "nope.ckpt"), &got)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// corrupt writes a valid snapshot then mutates its raw bytes via f.
+func corrupt(t *testing.T, f func(raw []byte) []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	state := samplePayload()
+	if err := Save(path, &state); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadDetectsTruncation(t *testing.T) {
+	for _, keep := range []int{0, 4, headerSize - 1, headerSize + 2} {
+		path := corrupt(t, func(raw []byte) []byte {
+			if keep > len(raw) {
+				t.Fatalf("test keeps %d of %d bytes", keep, len(raw))
+			}
+			return raw[:keep]
+		})
+		var got payload
+		err := Load(path, &got)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated to %d bytes: err = %v, want ErrCorrupt", keep, err)
+		}
+	}
+}
+
+func TestLoadDetectsBitFlip(t *testing.T) {
+	path := corrupt(t, func(raw []byte) []byte {
+		raw[headerSize+3] ^= 0x40 // flip one payload bit
+		return raw
+	})
+	var got payload
+	got.Version = -1
+	err := Load(path, &got)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip err = %v, want ErrCorrupt", err)
+	}
+	if got.Version != -1 {
+		t.Error("Load mutated state despite CRC failure")
+	}
+}
+
+func TestLoadDetectsBadMagic(t *testing.T) {
+	path := corrupt(t, func(raw []byte) []byte {
+		raw[0] = 'X'
+		return raw
+	})
+	var got payload
+	if err := Load(path, &got); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadDetectsUnknownVersion(t *testing.T) {
+	path := corrupt(t, func(raw []byte) []byte {
+		binary.BigEndian.PutUint32(raw[len(magic):], FormatVersion+41)
+		// Re-seal the CRC so the version check, not the checksum, must fire.
+		binary.BigEndian.PutUint32(raw[len(raw)-crcSize:],
+			crc32.ChecksumIEEE(raw[len(magic):len(raw)-crcSize]))
+		return raw
+	})
+	var got payload
+	if err := Load(path, &got); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version err = %v, want ErrVersion", err)
+	}
+}
+
+func TestLoadDetectsLengthMismatch(t *testing.T) {
+	path := corrupt(t, func(raw []byte) []byte {
+		binary.BigEndian.PutUint64(raw[len(magic)+4:], 1<<40)
+		return raw
+	})
+	var got payload
+	if err := Load(path, &got); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("length mismatch err = %v, want ErrCorrupt", err)
+	}
+}

@@ -14,6 +14,10 @@ type Buffer struct {
 	updates        []*Update
 	droppedStale   int
 	received       int
+	// fresh counts updates accepted by Add since the last Drain. Requeued
+	// deferrals do not count: readiness requires new information (see
+	// Ready).
+	fresh int
 }
 
 // NewBuffer builds a buffer that signals readiness once goal updates are
@@ -35,11 +39,18 @@ func (b *Buffer) Add(u *Update) bool {
 		return false
 	}
 	b.updates = append(b.updates, u)
+	b.fresh++
 	return true
 }
 
-// Ready reports whether the aggregation goal has been reached.
-func (b *Buffer) Ready() bool { return len(b.updates) >= b.goal }
+// Ready reports whether the aggregation goal has been reached with at
+// least one fresh arrival since the last Drain. Requeued deferrals alone
+// never re-arm readiness: after a partial (watchdog) drain, the deferred
+// remainder can push the buffer back over the goal, and without the
+// fresh-arrival requirement every Ready poll would re-aggregate the same
+// deferred batch in a tight loop — burning rounds, inflating staleness and
+// extracting no new information.
+func (b *Buffer) Ready() bool { return b.fresh > 0 && len(b.updates) >= b.goal }
 
 // Len returns the number of buffered updates.
 func (b *Buffer) Len() int { return len(b.updates) }
@@ -54,13 +65,15 @@ func (b *Buffer) StalenessLimit() int { return b.stalenessLimit }
 func (b *Buffer) Drain() []*Update {
 	out := b.updates
 	b.updates = nil
+	b.fresh = 0
 	return out
 }
 
 // Requeue returns deferred updates to the buffer so they participate in the
 // next aggregation round. Their staleness is incremented to reflect the
 // extra round they waited; updates pushed past the staleness limit are
-// dropped and counted.
+// dropped and counted. Requeued updates may grow the buffer past the goal
+// but do not by themselves make it Ready.
 func (b *Buffer) Requeue(updates []*Update) {
 	for _, u := range updates {
 		u.Staleness++
@@ -77,7 +90,8 @@ func (b *Buffer) Requeue(updates []*Update) {
 // BaseVersion), rather than incrementally aged. This keeps staleness
 // exact for updates deferred across several rounds, including partial
 // watchdog rounds. Updates past the staleness limit are dropped; the
-// number dropped is returned so callers can account for them.
+// number dropped is returned so callers can account for them. Like
+// Requeue, it never re-arms Ready by itself.
 func (b *Buffer) RequeueAt(updates []*Update, version int) (dropped int) {
 	for _, u := range updates {
 		u.Staleness = version - u.BaseVersion
@@ -95,4 +109,41 @@ func (b *Buffer) RequeueAt(updates []*Update, version int) (dropped int) {
 // dropped for staleness.
 func (b *Buffer) Stats() (received, droppedStale int) {
 	return b.received, b.droppedStale
+}
+
+// BufferState is the serializable snapshot of a Buffer's durable state:
+// the pending updates plus the lifetime counters. The aggregation goal
+// and staleness limit are configuration, not state, and stay with the
+// server config across a restore.
+type BufferState struct {
+	Updates      []*Update
+	Received     int
+	DroppedStale int
+}
+
+// Snapshot deep-copies the buffer's durable state for checkpointing.
+func (b *Buffer) Snapshot() BufferState {
+	st := BufferState{
+		Updates:      make([]*Update, len(b.updates)),
+		Received:     b.received,
+		DroppedStale: b.droppedStale,
+	}
+	for i, u := range b.updates {
+		st.Updates[i] = CloneUpdate(u)
+	}
+	return st
+}
+
+// Restore replaces the buffer's contents and counters with a snapshot,
+// deep-copying the updates. Restored updates count as fresh: they were
+// live arrivals when the snapshot was taken, so a restored buffer at goal
+// aggregates as soon as the server consumes it.
+func (b *Buffer) Restore(st BufferState) {
+	b.updates = make([]*Update, len(st.Updates))
+	for i, u := range st.Updates {
+		b.updates[i] = CloneUpdate(u)
+	}
+	b.received = st.Received
+	b.droppedStale = st.DroppedStale
+	b.fresh = len(b.updates)
 }

@@ -219,6 +219,20 @@ type RoundObserver interface {
 	ObserveRound(round int, global []float64, accepted []*Update)
 }
 
+// StateSnapshotter is implemented by filters whose detection state must
+// survive server restarts (AsyncFilter's per-group moving averages, for
+// example — losing them would force the filter to re-learn every group
+// estimate from zero after a crash). The transport server embeds the
+// snapshot in its checkpoint and restores it before serving.
+//
+// SnapshotState returns an opaque serialization of the filter's internal
+// state. RestoreState must be all-or-nothing: on error the filter keeps
+// its prior state untouched.
+type StateSnapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState(data []byte) error
+}
+
 // Decision is a filter's verdict for one update.
 type Decision int
 

@@ -361,3 +361,83 @@ func TestBufferAccessors(t *testing.T) {
 		t.Errorf("accessors: goal=%d limit=%d", b.Goal(), b.StalenessLimit())
 	}
 }
+
+// TestBufferRequeueDoesNotRearmReady is the regression test for the
+// partial-drain tight loop: after a watchdog drains a partial buffer and
+// the deferred remainder is requeued past the goal, Ready must stay false
+// until a fresh update arrives — otherwise every Ready poll would
+// re-aggregate the same deferred batch with no new information.
+func TestBufferRequeueDoesNotRearmReady(t *testing.T) {
+	b, _ := NewBuffer(2, 0)
+	b.Add(&Update{ClientID: 1})
+	b.Add(&Update{ClientID: 2})
+	b.Add(&Update{ClientID: 3})
+	if !b.Ready() {
+		t.Fatal("buffer past goal with fresh updates not ready")
+	}
+	deferred := b.Drain()
+	if b.Ready() {
+		t.Fatal("drained buffer still ready")
+	}
+
+	b.Requeue(deferred)
+	if b.Len() < b.Goal() {
+		t.Fatalf("requeue kept %d updates, goal is %d; test needs len >= goal", b.Len(), b.Goal())
+	}
+	if b.Ready() {
+		t.Error("requeued deferrals alone re-armed Ready (tight-loop regression)")
+	}
+
+	b.Add(&Update{ClientID: 4})
+	if !b.Ready() {
+		t.Error("fresh arrival on a full buffer did not arm Ready")
+	}
+
+	// Same property for the drain-time-staleness variant.
+	b2, _ := NewBuffer(2, 0)
+	b2.RequeueAt([]*Update{{BaseVersion: 0}, {BaseVersion: 1}, {BaseVersion: 2}}, 3)
+	if b2.Ready() {
+		t.Error("RequeueAt alone re-armed Ready")
+	}
+	b2.Add(&Update{ClientID: 5})
+	if !b2.Ready() {
+		t.Error("fresh arrival after RequeueAt did not arm Ready")
+	}
+}
+
+func TestBufferSnapshotRestore(t *testing.T) {
+	b, _ := NewBuffer(3, 5)
+	b.Add(&Update{ClientID: 1, BaseVersion: 2, Staleness: 1, Delta: []float64{1, 2}, NumSamples: 7})
+	b.Add(&Update{ClientID: 2, BaseVersion: 3, Staleness: 0, Delta: []float64{3, 4}, NumSamples: 9})
+	b.Add(&Update{ClientID: 3, Staleness: 9}) // dropped for staleness
+	st := b.Snapshot()
+
+	// The snapshot must be a deep copy: mutating it cannot reach back.
+	st.Updates[0].Delta[0] = 99
+	if b.Drain()[0].Delta[0] == 99 {
+		t.Fatal("snapshot shares delta storage with the buffer")
+	}
+	st.Updates[0].Delta[0] = 1
+
+	r, _ := NewBuffer(3, 5)
+	r.Restore(st)
+	if r.Len() != 2 {
+		t.Fatalf("restored %d updates, want 2", r.Len())
+	}
+	received, dropped := r.Stats()
+	if received != 3 || dropped != 1 {
+		t.Errorf("restored stats = %d received, %d dropped; want 3, 1", received, dropped)
+	}
+	// Restored updates count as fresh: one more arrival reaches the goal.
+	if r.Ready() {
+		t.Error("restored buffer below goal reports ready")
+	}
+	r.Add(&Update{ClientID: 4, Delta: []float64{5, 6}})
+	if !r.Ready() {
+		t.Error("restored buffer at goal with fresh arrival not ready")
+	}
+	got := r.Drain()
+	if got[0].ClientID != 1 || got[0].Delta[1] != 2 || got[1].NumSamples != 9 {
+		t.Errorf("restored updates lost fields: %+v %+v", got[0], got[1])
+	}
+}

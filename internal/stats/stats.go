@@ -88,6 +88,16 @@ func (m *VectorMA) Mean() []float64 { return m.mean }
 // Count returns the number of vectors folded in.
 func (m *VectorMA) Count() int { return m.count }
 
+// RestoreVectorMA rebuilds a VectorMA from a snapshotted mean and count
+// (server checkpoint restore). The mean slice is copied; count must be
+// non-negative.
+func RestoreVectorMA(mean []float64, count int) (*VectorMA, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("stats: RestoreVectorMA: count = %d, need >= 0", count)
+	}
+	return &VectorMA{mean: append([]float64(nil), mean...), count: count}, nil
+}
+
 // EWMA is an exponentially weighted moving average over vectors, an
 // alternative group estimator exercised by the ablation benches.
 type EWMA struct {
@@ -123,6 +133,19 @@ func (e *EWMA) Add(x []float64) {
 // Mean returns the current average (zero vector before any Add). The
 // returned slice is owned by the accumulator.
 func (e *EWMA) Mean() []float64 { return e.mean }
+
+// RestoreEWMA rebuilds an EWMA from a snapshotted mean (server checkpoint
+// restore). seen records whether the average has absorbed at least one
+// observation; when false the next Add initializes the mean directly.
+func RestoreEWMA(mean []float64, alpha float64, seen bool) (*EWMA, error) {
+	e, err := NewEWMA(len(mean), alpha)
+	if err != nil {
+		return nil, err
+	}
+	copy(e.mean, mean)
+	e.seen = seen
+	return e, nil
+}
 
 // Quantile returns the q-quantile (0 <= q <= 1) of values using linear
 // interpolation. It panics on empty input or out-of-range q.

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"sort"
+
+	"github.com/asyncfl/asyncfilter/internal/checkpoint"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// serverSnapshot is the durable server state embedded in a checkpoint
+// file: everything a restarted server needs to let reconnecting clients
+// resume at the correct model version with filter history intact.
+// Sessions are stored as a sorted slice so equal states serialize
+// identically.
+type serverSnapshot struct {
+	// FilterName guards against restoring one filter's state into another.
+	FilterName string
+	Global     []float64
+	Version    int
+	Stats      ServerStats
+	Sessions   []sessionSnapshot
+	Buffer     fl.BufferState
+	// Filter is the fl.StateSnapshotter payload; nil when the filter is
+	// stateless.
+	Filter []byte
+}
+
+// sessionSnapshot preserves one client's identity and aggregation weight.
+type sessionSnapshot struct {
+	ClientID   int
+	NumSamples int
+}
+
+// maybeCheckpointLocked writes a snapshot when checkpointing is enabled
+// and the round counter hits the configured cadence (or the deployment
+// just finished). Callers hold s.mu.
+func (s *Server) maybeCheckpointLocked() {
+	if s.cfg.CheckpointPath == "" {
+		return
+	}
+	every := s.cfg.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	if s.version%every != 0 && !s.finished {
+		return
+	}
+	s.writeCheckpointLocked()
+}
+
+// writeCheckpointLocked snapshots the server state and writes it
+// atomically to the configured path. Write failures are logged and
+// counted against nothing: a failed checkpoint must not wedge the
+// deployment, the next cadence point simply tries again. Callers hold
+// s.mu.
+func (s *Server) writeCheckpointLocked() {
+	snap := serverSnapshot{
+		FilterName: s.filter.Name(),
+		Global:     vecmath.Clone(s.global),
+		Version:    s.version,
+		Stats:      s.stats,
+		Buffer:     s.buffer.Snapshot(),
+		Sessions:   make([]sessionSnapshot, 0, len(s.sessions)),
+	}
+	for id, sess := range s.sessions {
+		snap.Sessions = append(snap.Sessions, sessionSnapshot{ClientID: id, NumSamples: sess.numSamples})
+	}
+	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].ClientID < snap.Sessions[j].ClientID })
+	if snapshotter, ok := s.filter.(fl.StateSnapshotter); ok {
+		data, err := snapshotter.SnapshotState()
+		if err != nil {
+			log.Printf("transport: checkpoint skipped: filter snapshot failed: %v", err)
+			return
+		}
+		snap.Filter = data
+	}
+	if err := checkpoint.Save(s.cfg.CheckpointPath, &snap); err != nil {
+		log.Printf("transport: checkpoint write failed: %v", err)
+		return
+	}
+	s.stats.Checkpoints++
+}
+
+// restoreFromCheckpoint loads an existing snapshot into a freshly built
+// server. A missing file means a fresh deployment and is not an error;
+// anything else — corruption, a format-version mismatch, state written by
+// a different filter or model — fails NewServer loudly rather than
+// restoring partial state. The filter's state is restored before any
+// server field is committed, so a failed restore leaves nothing half
+// applied.
+func (s *Server) restoreFromCheckpoint(path string) error {
+	var snap serverSnapshot
+	err := checkpoint.Load(path, &snap)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("transport: restore from %s: %w", path, err)
+	}
+	if len(snap.Global) != len(s.cfg.InitialParams) {
+		return fmt.Errorf("transport: restore from %s: checkpoint holds a %d-parameter model, config expects %d",
+			path, len(snap.Global), len(s.cfg.InitialParams))
+	}
+	if snap.Version < 0 {
+		return fmt.Errorf("transport: restore from %s: negative version %d", path, snap.Version)
+	}
+	if snap.FilterName != s.filter.Name() {
+		return fmt.Errorf("transport: restore from %s: checkpoint written by filter %q, server runs %q",
+			path, snap.FilterName, s.filter.Name())
+	}
+	if len(snap.Filter) > 0 {
+		snapshotter, ok := s.filter.(fl.StateSnapshotter)
+		if !ok {
+			return fmt.Errorf("transport: restore from %s: checkpoint carries filter state but filter %q cannot restore it",
+				path, s.filter.Name())
+		}
+		if err := snapshotter.RestoreState(snap.Filter); err != nil {
+			return fmt.Errorf("transport: restore from %s: %w", path, err)
+		}
+	}
+
+	s.global = vecmath.Clone(snap.Global)
+	s.version = snap.Version
+	s.stats = snap.Stats
+	s.buffer.Restore(snap.Buffer)
+	for _, sess := range snap.Sessions {
+		s.sessions[sess.ClientID] = &clientSession{id: sess.ClientID, numSamples: sess.NumSamples}
+	}
+	s.restored = true
+	if s.version >= s.cfg.Rounds {
+		// The checkpoint captured an already-completed deployment.
+		s.finished = true
+		close(s.done)
+	}
+	return nil
+}

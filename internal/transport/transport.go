@@ -26,7 +26,9 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log"
 	"net"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -98,6 +100,18 @@ type ServerConfig struct {
 	// this long, the server aggregates the partial buffer instead of
 	// waiting forever on crashed or wedged clients (0 disables).
 	RoundTimeout time.Duration
+	// CheckpointPath, when non-empty, makes the server state durable: a
+	// snapshot of the global model, round counter, lifetime stats, pending
+	// buffer, client sessions and filter state is written atomically to
+	// this path during aggregation and on graceful Close, and NewServer
+	// restores from an existing snapshot at startup so a restarted server
+	// resumes the deployment instead of silently starting over at round 0.
+	CheckpointPath string
+	// CheckpointEvery writes a snapshot after every N aggregations (<= 0
+	// selects 1, i.e. every aggregation). The final aggregation and
+	// graceful Close always checkpoint regardless of N. Only meaningful
+	// with CheckpointPath.
+	CheckpointEvery int
 }
 
 // Validate checks the configuration.
@@ -120,6 +134,9 @@ func (c *ServerConfig) Validate() error {
 	if c.MaxMessageBytes < 0 {
 		return fmt.Errorf("transport: ServerConfig: MaxMessageBytes = %d, need >= 0", c.MaxMessageBytes)
 	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("transport: ServerConfig: CheckpointEvery = %d, need >= 0", c.CheckpointEvery)
+	}
 	return nil
 }
 
@@ -135,6 +152,7 @@ type Server struct {
 	version      int
 	buffer       *fl.Buffer
 	finished     bool
+	restored     bool
 	stats        ServerStats
 	sessions     map[int]*clientSession
 	conns        map[net.Conn]struct{}
@@ -169,6 +187,12 @@ type ServerStats struct {
 	ClientsConnected int
 	// Reconnects counts Hello messages from already-known client IDs.
 	Reconnects int
+	// HandlerPanics counts panics recovered in connection handlers, the
+	// round watchdog and the filter — faults that are now isolated to the
+	// offending goroutine or round instead of killing the deployment.
+	HandlerPanics int
+	// Checkpoints counts state snapshots successfully written.
+	Checkpoints int
 }
 
 // NewServer builds a server. filter nil selects pass-through (FedBuff);
@@ -187,7 +211,7 @@ func NewServer(cfg ServerConfig, filter fl.Filter, combiner fl.Combiner) (*Serve
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		filter:   filter,
 		combiner: combiner,
@@ -196,7 +220,13 @@ func NewServer(cfg ServerConfig, filter fl.Filter, combiner fl.Combiner) (*Serve
 		sessions: make(map[int]*clientSession),
 		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
-	}, nil
+	}
+	if cfg.CheckpointPath != "" {
+		if err := s.restoreFromCheckpoint(cfg.CheckpointPath); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Serve accepts client connections on lis until the configured number of
@@ -264,9 +294,14 @@ func (s *Server) Done() <-chan struct{} { return s.done }
 
 // Close stops accepting connections, disconnects all clients and unblocks
 // Serve. In-flight updates already handed to receiveUpdate complete under
-// the server lock before their connections tear down.
+// the server lock before their connections tear down. When checkpointing
+// is configured, a final snapshot of the current state is written first,
+// so a graceful shutdown is always resumable.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.cfg.CheckpointPath != "" {
+		s.writeCheckpointLocked()
+	}
 	lis := s.listener
 	if !s.finished {
 		s.finished = true
@@ -309,8 +344,33 @@ func (s *Server) Stats() ServerStats {
 	return s.stats
 }
 
-// handle drives one client connection.
+// Restored reports whether NewServer resumed this server's state from an
+// existing checkpoint.
+func (s *Server) Restored() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restored
+}
+
+// recoverPanic absorbs a panic in a server goroutine, logging the stack
+// and counting it in HandlerPanics. A malformed or adversarial message
+// that panics one connection handler must take down that connection only,
+// never the deployment. Callers must not hold s.mu when the deferred call
+// runs.
+func (s *Server) recoverPanic(where string) {
+	if r := recover(); r != nil {
+		s.mu.Lock()
+		s.stats.HandlerPanics++
+		s.mu.Unlock()
+		log.Printf("transport: recovered %s panic: %v\n%s", where, r, debug.Stack())
+	}
+}
+
+// handle drives one client connection. The recover guard isolates panics
+// (a crafted payload that panics the decoder, or a misbehaving filter
+// reached through receiveUpdate) to this connection.
 func (s *Server) handle(conn net.Conn) {
+	defer s.recoverPanic("handler")
 	defer conn.Close()
 	if !s.trackConn(conn) {
 		return
@@ -423,7 +483,7 @@ func (s *Server) aggregateLocked() {
 		u.Staleness = s.version - u.BaseVersion
 	}
 	round := s.version + 1
-	fres, err := s.filter.Filter(updates, round)
+	fres, err := s.filterBatch(updates, round)
 	if err != nil {
 		// A failing filter must not wedge the deployment: fall back to
 		// accepting the batch (FedBuff behaviour) for this round.
@@ -453,4 +513,21 @@ func (s *Server) aggregateLocked() {
 		s.finished = true
 		close(s.done)
 	}
+	s.maybeCheckpointLocked()
+}
+
+// filterBatch runs the filter with a recover guard: a panicking filter is
+// downgraded to a failing filter (the caller accepts the batch wholesale,
+// FedBuff behaviour) instead of tearing down the deployment and losing
+// the round's updates. Callers hold s.mu, so the panic counter is
+// incremented directly.
+func (s *Server) filterBatch(updates []*fl.Update, round int) (fres fl.FilterResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.HandlerPanics++
+			log.Printf("transport: recovered filter panic in round %d: %v\n%s", round, r, debug.Stack())
+			err = fmt.Errorf("transport: filter panic: %v", r)
+		}
+	}()
+	return s.filter.Filter(updates, round)
 }

@@ -23,15 +23,24 @@ func (s *Server) watchRounds(stop <-chan struct{}) {
 		case <-stop:
 			return
 		case <-ticker.C:
-			s.mu.Lock()
-			stalled := !s.finished &&
-				s.buffer.Len() > 0 && !s.buffer.Ready() &&
-				time.Since(s.lastProgress) >= s.cfg.RoundTimeout
-			if stalled {
-				s.stats.WatchdogRounds++
-				s.aggregateLocked()
-			}
-			s.mu.Unlock()
+			s.tickWatchdog()
 		}
+	}
+}
+
+// tickWatchdog runs one watchdog check. The per-tick recover guard keeps
+// a panic out of a forced partial aggregation (e.g. from a misbehaving
+// combiner) from killing the watchdog goroutine — and with it the
+// deployment's only defense against stalled rounds.
+func (s *Server) tickWatchdog() {
+	defer s.recoverPanic("watchdog")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stalled := !s.finished &&
+		s.buffer.Len() > 0 && !s.buffer.Ready() &&
+		time.Since(s.lastProgress) >= s.cfg.RoundTimeout
+	if stalled {
+		s.stats.WatchdogRounds++
+		s.aggregateLocked()
 	}
 }

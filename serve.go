@@ -44,6 +44,13 @@ type ServerConfig struct {
 	// the server aggregates the partial buffer so crashed clients cannot
 	// stall a round forever (0 disables).
 	RoundTimeout time.Duration
+	// CheckpointPath enables durable server state: snapshots are written
+	// atomically to this file, and NewServer restores from it when it
+	// exists ("" disables checkpointing).
+	CheckpointPath string
+	// CheckpointEvery writes a snapshot every N aggregations (<= 1 means
+	// every aggregation). A final snapshot is always written on Close.
+	CheckpointEvery int
 }
 
 // ServerStats reports a deployment's lifetime counters.
@@ -67,6 +74,11 @@ type ServerStats struct {
 	ClientsConnected int
 	// Reconnects counts client reconnections.
 	Reconnects int
+	// HandlerPanics counts panics recovered in handler and watchdog
+	// goroutines instead of crashing the server.
+	HandlerPanics int
+	// Checkpoints counts snapshots written successfully.
+	Checkpoints int
 }
 
 // Server runs asynchronous federated learning over TCP with an optional
@@ -91,6 +103,8 @@ func NewServer(cfg ServerConfig, filter *Filter) (*Server, error) {
 		WriteTimeout:    cfg.WriteTimeout,
 		MaxMessageBytes: cfg.MaxMessageBytes,
 		RoundTimeout:    cfg.RoundTimeout,
+		CheckpointPath:  cfg.CheckpointPath,
+		CheckpointEvery: cfg.CheckpointEvery,
 	}, innerFilter, nil)
 	if err != nil {
 		return nil, err
@@ -117,6 +131,10 @@ func (s *Server) FinalParams() []float64 { return s.inner.FinalParams() }
 // Version returns the number of aggregations performed so far.
 func (s *Server) Version() int { return s.inner.Version() }
 
+// Restored reports whether this server resumed from an existing
+// checkpoint rather than starting fresh.
+func (s *Server) Restored() bool { return s.inner.Restored() }
+
 // Stats returns the deployment's lifetime counters.
 func (s *Server) Stats() ServerStats {
 	st := s.inner.Stats()
@@ -132,6 +150,8 @@ func (s *Server) Stats() ServerStats {
 		WatchdogRounds:   st.WatchdogRounds,
 		ClientsConnected: st.ClientsConnected,
 		Reconnects:       st.Reconnects,
+		HandlerPanics:    st.HandlerPanics,
+		Checkpoints:      st.Checkpoints,
 	}
 }
 
