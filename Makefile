@@ -1,11 +1,11 @@
 # Tier-1 verify: build + tests (the floor every change must hold).
-# Tier-1+ verify: `make check` adds go vet and the race detector, which
-# the transport fault-injection tests rely on to catch shutdown and
-# reconnect races.
+# Tier-1+ verify: `make check` adds go vet, the afllint invariant
+# analyzers, and the race detector, which the transport fault-injection
+# tests rely on to catch shutdown and reconnect races.
 
 GO ?= go
 
-.PHONY: build test check vet race bench
+.PHONY: build test check vet lint race bench
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,16 @@ test: build
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's custom go/analysis suite (cmd/afllint): rawrand,
+# vecalias, lockio, typederr, floateq. Suppress an individual finding
+# with `//lint:ignore <analyzer> <reason>` on the line or the line above.
+lint:
+	$(GO) run ./cmd/afllint ./...
+
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet lint race
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

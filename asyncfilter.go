@@ -19,6 +19,8 @@ import (
 
 	"github.com/asyncfl/asyncfilter/internal/core"
 	"github.com/asyncfl/asyncfilter/internal/fl"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // Decision is the filter's verdict for a single update.
@@ -112,7 +114,7 @@ func NewFilter(cfg FilterConfig) (*Filter, error) {
 		inner.MiddlePolicy = fl.Decision(cfg.MiddlePolicy)
 	}
 	inner.GroupByStaleness = !cfg.DisableStalenessGrouping
-	if cfg.RejectThreshold != 0 {
+	if !vecmath.IsZero(cfg.RejectThreshold) {
 		inner.RejectThreshold = cfg.RejectThreshold
 	}
 	if cfg.RejectCooldown != 0 {

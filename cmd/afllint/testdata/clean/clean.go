@@ -1,0 +1,36 @@
+// Package clean holds code every afllint analyzer accepts: errors.Is for
+// sentinels, no raw randomness, no exact float comparisons.
+package clean
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrEmpty is a sentinel; compared only via errors.Is below.
+var ErrEmpty = errors.New("empty")
+
+// Mean averages xs, reporting ErrEmpty for no input.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Describe classifies an error with errors.Is.
+func Describe(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrEmpty):
+		return "empty"
+	case errors.Is(err, io.EOF):
+		return "eof"
+	}
+	return "other"
+}

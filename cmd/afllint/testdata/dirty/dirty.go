@@ -1,0 +1,28 @@
+// Package dirty violates the rawrand, typederr and floateq invariants so
+// the smoke test can assert a nonzero afllint exit.
+package dirty
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrBad is a sentinel compared with == below.
+var ErrBad = errors.New("bad")
+
+// Roll seeds from the wall clock and draws from an ad-hoc source.
+func Roll() int {
+	r := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return r.Intn(6)
+}
+
+// IsBad compares a sentinel with ==.
+func IsBad(err error) bool {
+	return err == ErrBad
+}
+
+// Zero compares floats exactly.
+func Zero(x float64) bool {
+	return x == 0
+}

@@ -1,0 +1,13 @@
+// Package core sits under an internal/core import path so the scoped
+// vecalias analyzer applies to it.
+package core
+
+// Sink retains updates across calls.
+type Sink struct {
+	kept [][]float64
+}
+
+// Keep stores the caller-owned slice without copying.
+func (s *Sink) Keep(d []float64) {
+	s.kept = append(s.kept, d)
+}

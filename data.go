@@ -8,6 +8,8 @@ import (
 	"github.com/asyncfl/asyncfilter/internal/model"
 	"github.com/asyncfl/asyncfilter/internal/optim"
 	"github.com/asyncfl/asyncfilter/internal/randx"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // Data is a labelled dataset handle used by the distributed client API.
@@ -136,10 +138,10 @@ func (s TrainSpec) internal() fl.TrainerConfig {
 	if cfg.Optim.Name == "" {
 		cfg.Optim.Name = optim.SGDName
 	}
-	if cfg.Optim.LR == 0 {
+	if vecmath.IsZero(cfg.Optim.LR) {
 		cfg.Optim.LR = 0.01
 	}
-	if cfg.Optim.Name == optim.SGDName && cfg.Optim.Momentum == 0 {
+	if cfg.Optim.Name == optim.SGDName && vecmath.IsZero(cfg.Optim.Momentum) {
 		cfg.Optim.Momentum = 0.9
 	}
 	return cfg

@@ -1,0 +1,75 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary, sized for this repository's
+// own lint suite (cmd/afllint). The container this project builds in has
+// no module proxy access, so the suite cannot depend on x/tools; the
+// subset implemented here — Analyzer, Pass, Diagnostic, a package loader
+// backed by `go list -export`, and an analysistest-style fixture runner —
+// is API-shaped like the original so the analyzers would port to the real
+// framework without structural change.
+//
+// The analyzers themselves live in subpackages (rawrand, vecalias, lockio,
+// typederr, floateq); the afllint subpackage assembles them into the
+// path-scoped suite that cmd/afllint runs. Each analyzer encodes one
+// invariant earlier PRs introduced by convention; DESIGN.md §9 maps
+// analyzers to invariants.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name diagnostics are reported
+// under (and which //lint:ignore directives reference), one-line docs, and
+// the Run function applied to each package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions. It
+	// must be a valid identifier.
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Run performs the check, reporting findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files holds the package's parsed syntax trees (non-test files).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression and identifier facts.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the violation and the repair.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}

@@ -1,0 +1,197 @@
+// Package analysistest runs an analyzer over a directory of fixture files
+// and checks its diagnostics against `// want "regexp"` comments, the same
+// contract as golang.org/x/tools/go/analysis/analysistest (re-implemented
+// on the standard library because this build environment has no module
+// proxy). Multiple want strings on one line expect multiple diagnostics;
+// a line without a want comment expects none. //lint:ignore suppressions
+// are applied before matching, so fixtures can also pin the suppression
+// mechanism itself.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis"
+)
+
+// exportCache memoizes stdlib import path -> export data file across all
+// fixture runs in the test process (each lookup shells out to go list).
+var exportCache sync.Map
+
+// exportFile resolves one import path to compiler export data via
+// `go list -export`, building it into the go cache if needed.
+func exportFile(path string) (string, error) {
+	if v, ok := exportCache.Load(path); ok {
+		return v.(string), nil
+	}
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+	if err != nil {
+		return "", fmt.Errorf("analysistest: go list -export %s: %v", path, err)
+	}
+	f := strings.TrimSpace(string(out))
+	if f == "" {
+		return "", fmt.Errorf("analysistest: no export data for %q", path)
+	}
+	exportCache.Store(path, f)
+	return f, nil
+}
+
+// Run type-checks the fixture package in dir under the import path
+// pkgpath (analyzers that key decisions on the package path — e.g.
+// floateq's vecmath allowance — are exercised by picking it), runs the
+// analyzer, and matches diagnostics against want comments.
+func Run(t *testing.T, pkgpath, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	diags, fset, files := run(t, pkgpath, dir, a)
+	checkWants(t, fset, files, diags)
+}
+
+// run loads the fixture and returns surviving (unsuppressed) diagnostics.
+func run(t *testing.T, pkgpath, dir string, a *analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{Importer: newTestImporter(fset)}
+	info := analysis.NewInfo()
+	tpkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	diags, err := analysis.Check(
+		[]*analysis.Package{{
+			ImportPath: pkgpath,
+			Dir:        dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		}},
+		[]analysis.Scoped{{Analyzer: a}},
+	)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags, fset, files
+}
+
+// testImporter resolves fixture imports (stdlib only) through one shared
+// gc importer per fixture FileSet.
+type testImporter struct {
+	imp types.Importer
+}
+
+func newTestImporter(fset *token.FileSet) testImporter {
+	return testImporter{imp: analysis.ExportImporter(fset, func(path string) (string, bool) {
+		f, err := exportFile(path)
+		if err != nil {
+			return "", false
+		}
+		return f, true
+	})}
+}
+
+func (ti testImporter) Import(path string) (*types.Package, error) {
+	return ti.imp.Import(path)
+}
+
+// wantRe matches one quoted expectation in a want comment: either a
+// double-quoted Go string or a backquoted raw string.
+var wantRe = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// checkWants compares diagnostics against // want comments line by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, q := range wantRe.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", name, line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", name, line, pat, err)
+					}
+					k := key{name, line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		res := wants[k]
+		found := false
+		for i, re := range res {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}

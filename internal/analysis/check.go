@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// Scoped binds an analyzer to the import paths it applies to. An empty
+// Include list means every package; Exclude wins over Include. Scoping
+// lives in the driver — not the analyzers — so the same analyzer code runs
+// unscoped over test fixtures.
+type Scoped struct {
+	Analyzer *Analyzer
+	// Include restricts the analyzer to packages whose import path
+	// matches any of these regexps (nil/empty = all packages).
+	Include []*regexp.Regexp
+	// Exclude removes matching packages even when included.
+	Exclude []*regexp.Regexp
+}
+
+// applies reports whether the scoped analyzer covers importPath.
+func (s Scoped) applies(importPath string) bool {
+	for _, re := range s.Exclude {
+		if re.MatchString(importPath) {
+			return false
+		}
+	}
+	if len(s.Include) == 0 {
+		return true
+	}
+	for _, re := range s.Include {
+		if re.MatchString(importPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs every applicable analyzer over every package, filters
+// diagnostics through the //lint:ignore suppressions, and returns the
+// survivors ordered by file position then analyzer name.
+func Check(pkgs []*Package, suite []Scoped) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := newSuppressor(pkg.Fset, pkg.Files)
+		for _, sc := range suite {
+			if !sc.applies(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  sc.Analyzer,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report: func(d Diagnostic) {
+					if !sup.suppressed(d.Analyzer, d.Pos) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			if err := sc.Analyzer.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", sc.Analyzer.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,109 @@
+// Package floateq flags == and != on floating-point operands.
+//
+// Invariant: the filter's statistics (cosine similarities, norms, EWMA
+// deviations) are accumulated floating-point values; exact equality on
+// them is either a latent bug (values that are "the same" differ in the
+// last ulp after a different summation order) or an intent that deserves
+// a name. Comparisons belong in internal/vecmath behind helpers that say
+// what they mean: EqualApprox for tolerance, IsZero / ExactEqual for the
+// deliberate bit-exact cases (guarding division by an exactly-zero norm,
+// checkpoint round-trip checks).
+//
+// Allowed:
+//   - the x != x NaN test (the one float comparison with a portable
+//     bit-exact meaning);
+//   - function bodies named IsZero / ExactEqual / EqualApprox inside
+//     internal/vecmath — the approved helpers themselves.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on floats outside internal/vecmath's approved helpers; use vecmath.EqualApprox/IsZero/ExactEqual",
+	Run:  run,
+}
+
+// approvedHelpers may compare floats exactly, but only inside
+// internal/vecmath.
+var approvedHelpers = map[string]bool{
+	"IsZero":      true,
+	"ExactEqual":  true,
+	"EqualApprox": true,
+}
+
+func run(pass *analysis.Pass) error {
+	inVecmath := strings.HasSuffix(pass.Pkg.Path(), "internal/vecmath")
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if inVecmath && approvedHelpers[fn.Name.Name] {
+				continue
+			}
+			checkBody(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass, bin.X) && !isFloat(pass, bin.Y) {
+			return true
+		}
+		if bin.Op == token.NEQ && sameExprText(bin.X, bin.Y) {
+			return true // x != x: the NaN test
+		}
+		pass.Reportf(bin.Pos(), "float %s comparison: exact float equality is order-sensitive; use vecmath.EqualApprox, or vecmath.IsZero/ExactEqual if bit-exact is intended", bin.Op)
+		return true
+	})
+}
+
+// isFloat reports whether the expression's underlying type is a float
+// kind (including untyped float constants).
+func isFloat(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&types.IsFloat != 0
+}
+
+// sameExprText reports whether two operands are textually identical
+// identifiers or selector chains (good enough for the x != x idiom).
+func sameExprText(x, y ast.Expr) bool {
+	return exprText(x) != "" && exprText(x) == exprText(y)
+}
+
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprText(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

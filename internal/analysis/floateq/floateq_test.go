@@ -1,0 +1,19 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis/analysistest"
+	"github.com/asyncfl/asyncfilter/internal/analysis/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "a", "testdata/a", floateq.Analyzer)
+}
+
+// TestFloatEqVecmath pins the helper allowance: under an
+// .../internal/vecmath import path the approved helpers may compare
+// exactly, other functions still may not.
+func TestFloatEqVecmath(t *testing.T) {
+	analysistest.Run(t, "example.com/internal/vecmath", "testdata/vecmath", floateq.Analyzer)
+}

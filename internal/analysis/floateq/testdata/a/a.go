@@ -1,0 +1,47 @@
+// Fixture for the floateq analyzer: exact float equality is flagged,
+// the x != x NaN idiom and non-float comparisons are not.
+package a
+
+func compare(a, b float64, f float32) bool {
+	if a == b { // want `float == comparison`
+		return true
+	}
+	if a == 0 { // want `float == comparison`
+		return true
+	}
+	if f != 0 { // want `float != comparison`
+		return true
+	}
+	return a*2 == b/3 // want `float == comparison`
+}
+
+type point struct{ x, y float64 }
+
+func fields(p, q point) bool {
+	return p.x == q.x // want `float == comparison`
+}
+
+// isNaN is the sanctioned exact comparison: NaN is the only value for
+// which x != x.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+func isNaNField(p point) bool {
+	return p.x != p.x
+}
+
+func ints(a, b int, s, t string) bool {
+	return a == b || s != t || a == 0
+}
+
+// IsZero is NOT approved here: the helper allowance applies only inside
+// internal/vecmath, and this fixture package is not it.
+func IsZero(x float64) bool {
+	return x == 0 // want `float == comparison`
+}
+
+func suppressed(a float64) bool {
+	//lint:ignore floateq fixture exercises the suppression mechanism
+	return a == 1.5
+}

@@ -1,0 +1,31 @@
+// Fixture loaded under an .../internal/vecmath import path: the approved
+// helpers may compare exactly, everything else is still flagged.
+package vecmath
+
+// IsZero is an approved helper: exact comparison allowed.
+func IsZero(x float64) bool {
+	return x == 0
+}
+
+// ExactEqual is an approved helper: exact comparison allowed.
+func ExactEqual(a, b float64) bool {
+	return a == b
+}
+
+// EqualApprox is an approved helper (its epsilon fast path compares
+// exactly).
+func EqualApprox(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// Norm is not on the approved list even inside vecmath.
+func Norm(x float64) bool {
+	return x == 1 // want `float == comparison`
+}

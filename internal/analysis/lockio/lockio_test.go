@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis/analysistest"
+	"github.com/asyncfl/asyncfilter/internal/analysis/lockio"
+)
+
+func TestLockIO(t *testing.T) {
+	analysistest.Run(t, "a", "testdata/a", lockio.Analyzer)
+}

@@ -1,0 +1,140 @@
+// Package rawrand flags randomness that bypasses internal/randx.
+//
+// Invariant (PR 2, checkpoint determinism): every random draw in the
+// repository flows through a *rand.Rand constructed by internal/randx from
+// an explicit seed. Byte-identical checkpoint replay — a restored
+// AsyncFilter must produce the exact same rejections as the live one —
+// breaks the moment any component reads the global math/rand source,
+// builds its own generator, draws from crypto/rand, or seeds from the
+// wall clock.
+//
+// Allowed: naming the types math/rand.Rand / math/rand.Source (randx hands
+// out *rand.Rand values, so consumers import math/rand for the type) and
+// calling methods on such a value. Flagged:
+//
+//   - package-level calls or variable uses of math/rand and math/rand/v2
+//     (rand.Intn, rand.New, rand.NewSource, ... — the global source is
+//     process-global nondeterminism, and private sources must come from
+//     randx so snapshot/restore can capture them);
+//   - any function or variable of crypto/rand (nondeterministic by
+//     design, never replayable);
+//   - wall-clock seeding: a time.Now()-derived value passed to a seed- or
+//     constructor-shaped callee (Seed, New, NewSource, NewZipf, Split, ...).
+//
+// The internal/randx package itself is excluded by the driver's scoping.
+package rawrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis"
+)
+
+// Analyzer is the rawrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "rawrand",
+	Doc:  "flags math/rand, crypto/rand and time-based seeding outside internal/randx (breaks checkpoint replay determinism)",
+	Run:  run,
+}
+
+// seedCallees are callee names that accept a seed; a time.Now()-derived
+// argument to any of them is wall-clock seeding.
+var seedCallees = map[string]bool{
+	"Seed":       true,
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+	"Split":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(pass, n)
+			case *ast.CallExpr:
+				checkSeedCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSelector reports package-level uses of the banned rand packages.
+func checkSelector(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "math/rand", "math/rand/v2":
+		// Types are fine (randx vends *rand.Rand); functions and package
+		// variables are draws or sources outside randx's control.
+		switch obj.(type) {
+		case *types.Func, *types.Var:
+			pass.Reportf(sel.Pos(), "use of %s.%s outside internal/randx: route randomness through randx so checkpoint replay stays deterministic",
+				pkgName.Imported().Path(), sel.Sel.Name)
+		}
+	case "crypto/rand":
+		pass.Reportf(sel.Pos(), "use of crypto/rand.%s: crypto randomness is never replayable; derive draws from a seeded internal/randx generator",
+			sel.Sel.Name)
+	}
+}
+
+// checkSeedCall reports time.Now()-derived arguments to seed-shaped calls.
+func checkSeedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	name := calleeName(call)
+	if !seedCallees[name] {
+		return
+	}
+	for _, arg := range call.Args {
+		if usesTimeNow(pass, arg) {
+			pass.Reportf(arg.Pos(), "wall-clock seed passed to %s: time-based seeding makes runs unreproducible; take the seed from configuration", name)
+		}
+	}
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// usesTimeNow reports whether expr contains a call to time.Now.
+func usesTimeNow(pass *analysis.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkg, ok := pass.TypesInfo.Uses[ident].(*types.PkgName); ok && pkg.Imported().Path() == "time" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

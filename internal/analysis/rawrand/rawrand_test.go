@@ -1,0 +1,12 @@
+package rawrand_test
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis/analysistest"
+	"github.com/asyncfl/asyncfilter/internal/analysis/rawrand"
+)
+
+func TestRawRand(t *testing.T) {
+	analysistest.Run(t, "a", "testdata/a", rawrand.Analyzer)
+}

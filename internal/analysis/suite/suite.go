@@ -1,0 +1,53 @@
+// Package suite binds the afllint analyzers to the import paths they
+// police. Scoping lives here — in the driver, not the analyzers — so the
+// analyzer code itself stays unscoped and fixture-testable.
+package suite
+
+import (
+	"regexp"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis"
+	"github.com/asyncfl/asyncfilter/internal/analysis/floateq"
+	"github.com/asyncfl/asyncfilter/internal/analysis/lockio"
+	"github.com/asyncfl/asyncfilter/internal/analysis/rawrand"
+	"github.com/asyncfl/asyncfilter/internal/analysis/typederr"
+	"github.com/asyncfl/asyncfilter/internal/analysis/vecalias"
+)
+
+// Default returns the repository's analyzer suite:
+//
+//   - rawrand everywhere except internal/randx (the one package allowed
+//     to touch math/rand);
+//   - vecalias in the packages that ingest client vectors (core, fl,
+//     transport);
+//   - lockio in internal/transport, the only package mixing locks with
+//     connection I/O;
+//   - typederr and floateq everywhere.
+func Default() []analysis.Scoped {
+	return []analysis.Scoped{
+		{
+			Analyzer: rawrand.Analyzer,
+			Exclude:  []*regexp.Regexp{regexp.MustCompile(`/internal/randx$`)},
+		},
+		{
+			Analyzer: vecalias.Analyzer,
+			Include:  []*regexp.Regexp{regexp.MustCompile(`/internal/(core|fl|transport)$`)},
+		},
+		{
+			Analyzer: lockio.Analyzer,
+			Include:  []*regexp.Regexp{regexp.MustCompile(`/internal/transport$`)},
+		},
+		{Analyzer: typederr.Analyzer},
+		{Analyzer: floateq.Analyzer},
+	}
+}
+
+// Analyzers returns the unscoped analyzer list, for -list output and the
+// smoke tests.
+func Analyzers() []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, sc := range Default() {
+		out = append(out, sc.Analyzer)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive honored by every afllint analyzer:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the same line as the diagnostic or on the line
+// immediately above it. The reason is mandatory — a bare ignore is itself
+// ignored — so every deliberate exception in the tree is greppable and
+// self-justifying.
+const ignorePrefix = "lint:ignore "
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	line      int
+	analyzers []string
+	reason    string
+}
+
+// parseDirectives extracts the lint:ignore directives of one file, keyed
+// by the line the comment sits on.
+func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
+	var out []directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			name, reason, ok := strings.Cut(rest, " ")
+			if !ok || strings.TrimSpace(reason) == "" {
+				// No reason given: the directive is invalid and suppresses
+				// nothing.
+				continue
+			}
+			out = append(out, directive{
+				line:      fset.Position(c.Pos()).Line,
+				analyzers: strings.Split(name, ","),
+				reason:    strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out
+}
+
+// suppressor answers whether a diagnostic is covered by a directive.
+type suppressor struct {
+	// byFile maps filename -> line -> analyzers suppressed on that line.
+	byFile map[string]map[int][]string
+}
+
+// newSuppressor indexes the directives of all files.
+func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
+	s := &suppressor{byFile: make(map[string]map[int][]string)}
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		for _, d := range parseDirectives(fset, f) {
+			m := s.byFile[name]
+			if m == nil {
+				m = make(map[int][]string)
+				s.byFile[name] = m
+			}
+			m[d.line] = append(m[d.line], d.analyzers...)
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a diagnostic by analyzer at pos is covered by
+// a directive on the same line or the line directly above.
+func (s *suppressor) suppressed(analyzer string, pos token.Position) bool {
+	m := s.byFile[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range m[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

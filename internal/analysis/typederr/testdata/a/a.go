@@ -1,0 +1,65 @@
+// Fixture for the typederr analyzer: ==/!= against exported error
+// sentinels (local or imported) is flagged; errors.Is, non-error
+// comparisons, and unexported sentinels are not.
+package a
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrCorrupt mirrors the repo's checkpoint sentinel.
+var ErrCorrupt = errors.New("corrupt")
+
+// ErrVersion is a second exported sentinel.
+var ErrVersion = errors.New("version")
+
+// errInternal is unexported; packages own their internal comparisons.
+var errInternal = errors.New("internal")
+
+// NotAnError is exported but not an error; ==/!= on it is fine.
+var NotAnError = "sentinel-shaped string"
+
+func direct(err error) bool {
+	if err == ErrCorrupt { // want `comparison == ErrCorrupt`
+		return true
+	}
+	if ErrVersion != err { // want `comparison != ErrVersion`
+		return true
+	}
+	return false
+}
+
+func imported(err error) bool {
+	return err == io.EOF // want `comparison == EOF`
+}
+
+func switched(err error) int {
+	switch err {
+	case ErrCorrupt: // want `switch case ErrCorrupt`
+		return 1
+	case io.EOF: // want `switch case EOF`
+		return 2
+	case nil:
+		return 0
+	}
+	return 3
+}
+
+func ok(err error, s string) bool {
+	if errors.Is(err, ErrCorrupt) {
+		return true
+	}
+	if err == errInternal { // unexported: allowed
+		return true
+	}
+	if s == NotAnError { // not an error type: allowed
+		return true
+	}
+	return err == nil
+}
+
+func suppressed(err error) bool {
+	//lint:ignore typederr fixture exercises the suppression mechanism
+	return err == ErrVersion
+}

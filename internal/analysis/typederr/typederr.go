@@ -1,0 +1,93 @@
+// Package typederr flags sentinel-error comparisons that use == or !=
+// instead of errors.Is.
+//
+// Invariant (PR 2, durable state): checkpoint.Load wraps its sentinels —
+// `fmt.Errorf("%w: ...", ErrCorrupt)` — so callers that compare with ==
+// silently never match and corrupt snapshots are mistaken for fresh
+// deployments. The check covers any comparison whose operand is an
+// exported package-level variable of type error (ErrCorrupt, ErrVersion,
+// io.EOF, net.ErrClosed, ...), in == / != expressions and in
+// switch-case clauses.
+package typederr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis"
+)
+
+// Analyzer is the typederr check.
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc:  "flags ==/!= comparisons against exported error sentinels; wrapped errors never match, use errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, operand := range []ast.Expr{n.X, n.Y} {
+					if name, ok := sentinel(pass, operand); ok {
+						pass.Reportf(n.Pos(), "comparison %s %s: sentinel errors may arrive wrapped; use errors.Is(err, %s)", n.Op, name, name)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				checkSwitch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSwitch flags `switch err { case ErrX: }`, which compares with ==.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range clause.List {
+			if name, ok := sentinel(pass, expr); ok {
+				pass.Reportf(expr.Pos(), "switch case %s compares with ==: sentinel errors may arrive wrapped; use errors.Is(err, %s)", name, name)
+			}
+		}
+	}
+}
+
+// sentinel reports whether expr denotes an exported package-level
+// variable of type error, returning its display name.
+func sentinel(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	var ident *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		ident = e
+	case *ast.SelectorExpr:
+		ident = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[ident].(*types.Var)
+	if !ok || !v.Exported() || v.Pkg() == nil {
+		return "", false
+	}
+	// Package-level: the declaring scope is the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return "", false
+	}
+	return v.Name(), true
+}

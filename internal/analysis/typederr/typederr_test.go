@@ -1,0 +1,12 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis/analysistest"
+	"github.com/asyncfl/asyncfilter/internal/analysis/typederr"
+)
+
+func TestTypedErr(t *testing.T) {
+	analysistest.Run(t, "a", "testdata/a", typederr.Analyzer)
+}

@@ -1,0 +1,124 @@
+// Fixture for the vecalias analyzer: retaining or returning caller-owned
+// []float64 memory is flagged; cloning, local bookkeeping, and
+// elementwise copies are not.
+package a
+
+// Update mirrors fl.Update: a struct whose Delta field carries vector
+// memory.
+type Update struct {
+	ClientID int
+	Delta    []float64
+}
+
+// Buffer retains updates across calls.
+type Buffer struct {
+	updates []*Update
+	last    []float64
+}
+
+var global []float64
+
+// Add retains the caller's *Update (and through it the Delta slice).
+func (b *Buffer) Add(u *Update) {
+	b.updates = append(b.updates, u) // want `stores caller-owned vector memory`
+}
+
+// SetLast retains the raw slice.
+func (b *Buffer) SetLast(d []float64) {
+	b.last = d // want `stores caller-owned vector memory`
+}
+
+// KeepDelta retains a field of a parameter struct.
+func (b *Buffer) KeepDelta(u *Update) {
+	b.last = u.Delta // want `stores caller-owned vector memory`
+}
+
+// TwoStep launders through a local composite literal; still an alias.
+func (b *Buffer) TwoStep(u *Update) {
+	nu := &Update{ClientID: u.ClientID, Delta: u.Delta}
+	b.updates = append(b.updates, nu) // want `stores caller-owned vector memory`
+}
+
+// ViaRange retains an element of a parameter slice.
+func (b *Buffer) ViaRange(us []*Update) {
+	for _, u := range us {
+		b.updates = append(b.updates, u) // want `stores caller-owned vector memory`
+	}
+}
+
+// SetGlobal retains into package state.
+func SetGlobal(d []float64) {
+	global = d // want `stores caller-owned vector memory`
+}
+
+// SubSlice shares the parameter's backing array.
+func (b *Buffer) SubSlice(d []float64) {
+	b.last = d[1:] // want `stores caller-owned vector memory`
+}
+
+// Identity hands the caller an alias of the submitter's buffer.
+func Identity(d []float64) []float64 {
+	return d // want `returns caller-owned \[\]float64`
+}
+
+// DeltaOf likewise.
+func DeltaOf(u *Update) []float64 {
+	return u.Delta // want `returns caller-owned \[\]float64`
+}
+
+// AddClone copies on ingest: append of float64 elements copies values.
+func (b *Buffer) AddClone(d []float64) {
+	b.last = append([]float64(nil), d...)
+}
+
+// AddCopied copies elementwise into fresh memory.
+func (b *Buffer) AddCopied(d []float64) {
+	fresh := make([]float64, len(d))
+	copy(fresh, d)
+	b.last = fresh
+}
+
+// CloneUpdate is the sanctioned laundering pattern: a value copy plus a
+// fresh Delta.
+func CloneUpdate(u *Update) *Update {
+	c := *u
+	c.Delta = append([]float64(nil), u.Delta...)
+	return &c
+}
+
+// AddViaClone stores a call result, which is freshly owned.
+func (b *Buffer) AddViaClone(u *Update) {
+	b.updates = append(b.updates, CloneUpdate(u))
+}
+
+// LocalBookkeeping groups updates in maps that never leave the function.
+func LocalBookkeeping(us []*Update) int {
+	members := make(map[int][]*Update)
+	for _, u := range us {
+		members[u.ClientID] = append(members[u.ClientID], u)
+	}
+	return len(members)
+}
+
+// Elementwise writes parameter values through a caller-provided
+// destination; float64 elements are copies, not aliases.
+func Elementwise(dst, src []float64) {
+	for i := range src {
+		dst[i] = src[i]
+	}
+}
+
+// SumOf only reads.
+func SumOf(d []float64) float64 {
+	var s float64
+	for _, v := range d {
+		s += v
+	}
+	return s
+}
+
+// Requeue documents a deliberate ownership transfer.
+func (b *Buffer) Requeue(u *Update) {
+	//lint:ignore vecalias fixture exercises the suppression mechanism
+	b.updates = append(b.updates, u)
+}

@@ -1,0 +1,12 @@
+package vecalias_test
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis/analysistest"
+	"github.com/asyncfl/asyncfilter/internal/analysis/vecalias"
+)
+
+func TestVecAlias(t *testing.T) {
+	analysistest.Run(t, "a", "testdata/a", vecalias.Analyzer)
+}

@@ -36,7 +36,7 @@ var _ GroupAware = (*AdaptiveLIE)(nil)
 
 // NewAdaptiveLIE builds the attack; z 0 selects 1.5 (as plain LIE).
 func NewAdaptiveLIE(z float64) *AdaptiveLIE {
-	if z == 0 {
+	if vecmath.IsZero(z) {
 		z = 1.5
 	}
 	return &AdaptiveLIE{z: z}

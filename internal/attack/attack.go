@@ -112,7 +112,7 @@ var _ Attack = (*GD)(nil)
 // NewGD builds a GD attack; scale 0 selects 1 (pure reversal). Larger
 // scales push harder but are easier to detect.
 func NewGD(scale float64) *GD {
-	if scale == 0 {
+	if vecmath.IsZero(scale) {
 		scale = 1
 	}
 	return &GD{scale: scale}
@@ -146,7 +146,7 @@ var _ Attack = (*LIE)(nil)
 // NewLIE builds a LIE attack; z 0 selects 1.5, within the range the
 // original paper derives for ~100-client populations.
 func NewLIE(z float64) *LIE {
-	if z == 0 {
+	if vecmath.IsZero(z) {
 		z = 1.5
 	}
 	return &LIE{z: z}
@@ -187,7 +187,7 @@ var _ Attack = (*Noise)(nil)
 
 // NewNoise builds a noise attack; std 0 selects 1.
 func NewNoise(std float64) *Noise {
-	if std == 0 {
+	if vecmath.IsZero(std) {
 		std = 1
 	}
 	return &Noise{std: std}

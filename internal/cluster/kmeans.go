@@ -9,6 +9,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // Result describes a k-means clustering.
@@ -41,7 +43,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 100
 	}
-	if o.Tolerance == 0 {
+	if vecmath.IsZero(o.Tolerance) {
 		o.Tolerance = 1e-9
 	}
 	if o.Restarts == 0 {
@@ -184,7 +186,7 @@ func seedPlusPlus(points [][]float64, k int, r *rand.Rand) [][]float64 {
 			dists[i] = best
 			total += best
 		}
-		if total == 0 {
+		if vecmath.IsZero(total) {
 			// All points coincide with existing centers; remaining slots
 			// stay nil and their clusters stay empty.
 			break

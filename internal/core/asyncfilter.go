@@ -212,7 +212,7 @@ func New(cfg Config) (*AsyncFilter, error) {
 	if cfg.MinBatch == 0 {
 		cfg.MinBatch = 2 * cfg.K
 	}
-	if cfg.RejectThreshold == 0 {
+	if vecmath.IsZero(cfg.RejectThreshold) {
 		cfg.RejectThreshold = 4
 	}
 	if cfg.RejectCooldown == 0 {
@@ -442,7 +442,7 @@ func (f *AsyncFilter) Filter(updates []*fl.Update, round int) (fl.FilterResult, 
 			return false
 		}
 		sd := below.StdDev()
-		if sd == 0 {
+		if vecmath.IsZero(sd) {
 			// Identical lower scores: any strictly larger center separates.
 			return km.Centers[c][0] > below.Mean()
 		}
@@ -538,7 +538,7 @@ func (f *AsyncFilter) normalize(updates []*fl.Update, dists []float64, live map[
 			switch {
 			case med > 0:
 				scores[i] = d / med
-			case d == 0:
+			case vecmath.IsZero(d):
 				scores[i] = 1
 			default:
 				scores[i] = 2 // positive distance over a zero-median group

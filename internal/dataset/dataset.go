@@ -19,6 +19,8 @@ import (
 	"sort"
 
 	"github.com/asyncfl/asyncfilter/internal/randx"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // Example is a single labelled sample.
@@ -238,7 +240,7 @@ func PartitionDirichlet(d *Dataset, n int, alpha float64, r *rand.Rand) ([]*Data
 			weights[i] = prefs[i][label]
 			total += weights[i]
 		}
-		if total == 0 {
+		if vecmath.IsZero(total) {
 			for i := range weights {
 				weights[i] = 1
 			}
@@ -259,7 +261,7 @@ func PartitionDirichlet(d *Dataset, n int, alpha float64, r *rand.Rand) ([]*Data
 			used += quotas[i]
 		}
 		sort.Slice(fracs, func(a, b int) bool {
-			if fracs[a].rem != fracs[b].rem {
+			if !vecmath.ExactEqual(fracs[a].rem, fracs[b].rem) {
 				return fracs[a].rem > fracs[b].rem
 			}
 			return fracs[a].idx < fracs[b].idx

@@ -44,10 +44,10 @@ func NewZenoPP(oracle ServerOracle, gamma, rho, epsilon float64) (*ZenoPP, error
 	if oracle == nil {
 		return nil, fmt.Errorf("defense: NewZenoPP: nil oracle")
 	}
-	if gamma == 0 {
+	if vecmath.IsZero(gamma) {
 		gamma = 1
 	}
-	if rho == 0 {
+	if vecmath.IsZero(rho) {
 		rho = 0.001
 	}
 	if gamma < 0 || rho < 0 {
@@ -106,7 +106,7 @@ func NewAFLGuard(oracle ServerOracle, lambda float64) (*AFLGuard, error) {
 	if oracle == nil {
 		return nil, fmt.Errorf("defense: NewAFLGuard: nil oracle")
 	}
-	if lambda == 0 {
+	if vecmath.IsZero(lambda) {
 		lambda = 1.5
 	}
 	if lambda < 0 {

@@ -138,7 +138,7 @@ func (m *NNM) Combine(updates []*fl.Update, cfg fl.AggregatorConfig) ([]float64,
 			neighbors = append(neighbors, pair{idx: j, dist: vecmath.SquaredDistance(u.Delta, v.Delta)})
 		}
 		sort.Slice(neighbors, func(a, b int) bool {
-			if neighbors[a].dist != neighbors[b].dist {
+			if !vecmath.ExactEqual(neighbors[a].dist, neighbors[b].dist) {
 				return neighbors[a].dist < neighbors[b].dist
 			}
 			return neighbors[a].idx < neighbors[b].idx

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // Scatter renders the embedding as an ASCII scatter plot (width x height
@@ -30,10 +32,10 @@ func (e *EmbeddingResult) Scatter(width, height int) string {
 	}
 	spanX := maxX - minX
 	spanY := maxY - minY
-	if spanX == 0 {
+	if vecmath.IsZero(spanX) {
 		spanX = 1
 	}
-	if spanY == 0 {
+	if vecmath.IsZero(spanY) {
 		spanY = 1
 	}
 

@@ -31,14 +31,17 @@ func NewBuffer(goal, limit int) (*Buffer, error) {
 }
 
 // Add offers an update to the buffer. It returns false when the update was
-// discarded for exceeding the staleness limit.
+// discarded for exceeding the staleness limit. The update is deep-copied
+// on ingest: the buffer must never alias caller-owned memory, or a
+// malicious client could mutate its delta after submission and corrupt
+// the filter statistics computed from the buffered batch (Eq. 5).
 func (b *Buffer) Add(u *Update) bool {
 	b.received++
 	if b.stalenessLimit > 0 && u.Staleness > b.stalenessLimit {
 		b.droppedStale++
 		return false
 	}
-	b.updates = append(b.updates, u)
+	b.updates = append(b.updates, CloneUpdate(u))
 	b.fresh++
 	return true
 }
@@ -81,6 +84,7 @@ func (b *Buffer) Requeue(updates []*Update) {
 			b.droppedStale++
 			continue
 		}
+		//lint:ignore vecalias requeued updates come from Drain, which already transferred ownership to the server; they were cloned on first ingest and no client alias remains
 		b.updates = append(b.updates, u)
 	}
 }
@@ -100,6 +104,7 @@ func (b *Buffer) RequeueAt(updates []*Update, version int) (dropped int) {
 			dropped++
 			continue
 		}
+		//lint:ignore vecalias requeued updates come from Drain, which already transferred ownership to the server; they were cloned on first ingest and no client alias remains
 		b.updates = append(b.updates, u)
 	}
 	return dropped

@@ -143,7 +143,7 @@ func StalenessWeight(staleness int, exponent float64) float64 {
 	if staleness < 0 {
 		staleness = 0
 	}
-	if exponent == 0 {
+	if vecmath.IsZero(exponent) {
 		return 1
 	}
 	return math.Pow(1+float64(staleness), -exponent)
@@ -186,7 +186,7 @@ func Aggregate(global []float64, updates []*Update, cfg AggregatorConfig) ([]flo
 		return nil, fmt.Errorf("fl: Aggregate: aggregation weights sum to %v", total)
 	}
 	lr := cfg.ServerLR
-	if lr == 0 {
+	if vecmath.IsZero(lr) {
 		lr = 1
 	}
 	for i := range weights {

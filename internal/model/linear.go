@@ -4,6 +4,8 @@ import (
 	"math"
 
 	"github.com/asyncfl/asyncfilter/internal/randx"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // Linear is a multinomial logistic-regression classifier: a single
@@ -20,7 +22,7 @@ var _ Model = (*Linear)(nil)
 // NewLinear builds a linear softmax classifier. initScale 0 selects
 // 1/sqrt(dim).
 func NewLinear(dim, classes int, initScale float64, seed int64) *Linear {
-	if initScale == 0 {
+	if vecmath.IsZero(initScale) {
 		initScale = 1 / math.Sqrt(float64(dim))
 	}
 	m := &Linear{

@@ -4,6 +4,8 @@ import (
 	"math"
 
 	"github.com/asyncfl/asyncfilter/internal/randx"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // MLP is a fully-connected feed-forward network with ReLU hidden
@@ -39,7 +41,7 @@ func NewMLP(dim int, hidden []int, classes int, initScale float64, seed int64) *
 	r := randx.New(seed)
 	for l := 0; l < len(sizes)-1; l++ {
 		scale := initScale
-		if scale == 0 {
+		if vecmath.IsZero(scale) {
 			scale = math.Sqrt(2 / float64(sizes[l]))
 		}
 		wBlock := m.weights(l)
@@ -142,7 +144,7 @@ func (m *MLP) Gradient(grad []float64, x []float64, label int) float64 {
 		wStart := m.offsets[l]
 		bStart := wStart + inDim*m.sizes[l+1]
 		for o, dl := range delta {
-			if dl == 0 {
+			if vecmath.IsZero(dl) {
 				continue
 			}
 			gRow := grad[wStart+o*inDim : wStart+(o+1)*inDim]
@@ -158,7 +160,7 @@ func (m *MLP) Gradient(grad []float64, x []float64, label int) float64 {
 		w := m.weights(l)
 		prev := make([]float64, inDim)
 		for o, dl := range delta {
-			if dl == 0 {
+			if vecmath.IsZero(dl) {
 				continue
 			}
 			row := w[o*inDim : (o+1)*inDim]

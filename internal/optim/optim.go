@@ -6,6 +6,8 @@ package optim
 import (
 	"fmt"
 	"math"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // Optimizer applies gradient steps to a flat parameter vector.
@@ -128,13 +130,13 @@ func NewAdam(cfg Config, dim int) (*Adam, error) {
 		m:           make([]float64, dim),
 		v:           make([]float64, dim),
 	}
-	if a.beta1 == 0 {
+	if vecmath.IsZero(a.beta1) {
 		a.beta1 = 0.9
 	}
-	if a.beta2 == 0 {
+	if vecmath.IsZero(a.beta2) {
 		a.beta2 = 0.999
 	}
-	if a.eps == 0 {
+	if vecmath.IsZero(a.eps) {
 		a.eps = 1e-8
 	}
 	if a.beta1 < 0 || a.beta1 >= 1 || a.beta2 < 0 || a.beta2 >= 1 {

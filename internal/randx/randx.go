@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // New returns a new deterministic generator for the given seed.
@@ -75,7 +77,7 @@ func Gamma(r *rand.Rand, shape, scale float64) float64 {
 	if shape < 1 {
 		// Gamma(a) = Gamma(a+1) * U^(1/a).
 		u := r.Float64()
-		for u == 0 {
+		for vecmath.IsZero(u) {
 			u = r.Float64()
 		}
 		return Gamma(r, shape+1, scale) * math.Pow(u, 1/shape)
@@ -119,7 +121,7 @@ func Dirichlet(r *rand.Rand, alpha float64, k int) []float64 {
 		p[i] = Gamma(r, alpha, 1)
 		total += p[i]
 	}
-	if total == 0 {
+	if vecmath.IsZero(total) {
 		// All gammas underflowed (possible for tiny alpha); fall back to a
 		// single random spike, the limiting behaviour of alpha -> 0.
 		p[r.Intn(k)] = 1
@@ -143,7 +145,7 @@ func DirichletAsymmetric(r *rand.Rand, alphas []float64) []float64 {
 		p[i] = Gamma(r, a, 1)
 		total += p[i]
 	}
-	if total == 0 {
+	if vecmath.IsZero(total) {
 		p[r.Intn(len(p))] = 1
 		return p
 	}

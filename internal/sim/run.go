@@ -243,7 +243,7 @@ func (s *Simulation) aggregateRound(buffer *fl.Buffer, res *Result, now float64)
 			return fmt.Errorf("sim: combine: %w", err)
 		}
 		lr := s.cfg.Aggregator.ServerLR
-		if lr == 0 {
+		if vecmath.IsZero(lr) {
 			lr = 1
 		}
 		if s.combiner.Name() == "mean" {

@@ -20,6 +20,8 @@ import (
 	"github.com/asyncfl/asyncfilter/internal/model"
 	"github.com/asyncfl/asyncfilter/internal/randx"
 	"github.com/asyncfl/asyncfilter/internal/stats"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // LatencyModel names.
@@ -210,7 +212,7 @@ type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
+	if !vecmath.ExactEqual(q[i].time, q[j].time) {
 		return q[i].time < q[j].time
 	}
 	return q[i].seq < q[j].seq

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // Welford accumulates mean and variance online in a numerically stable way.
@@ -228,7 +230,7 @@ func (c *Confusion) FPR() float64 {
 // F1 returns the harmonic mean of precision and recall.
 func (c *Confusion) F1() float64 {
 	p, r := c.Precision(), c.Recall()
-	if p+r == 0 {
+	if vecmath.IsZero(p + r) {
 		return 0
 	}
 	return 2 * p * r / (p + r)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"runtime/debug"
 	"sort"
 
 	"github.com/asyncfl/asyncfilter/internal/checkpoint"
@@ -36,30 +37,27 @@ type sessionSnapshot struct {
 	NumSamples int
 }
 
-// maybeCheckpointLocked writes a snapshot when checkpointing is enabled
-// and the round counter hits the configured cadence (or the deployment
-// just finished). Callers hold s.mu.
-func (s *Server) maybeCheckpointLocked() {
+// shouldCheckpointLocked reports whether this round's state should be
+// snapshotted: checkpointing is enabled and the round counter hits the
+// configured cadence (or the deployment just finished). Callers hold
+// s.mu.
+func (s *Server) shouldCheckpointLocked() bool {
 	if s.cfg.CheckpointPath == "" {
-		return
+		return false
 	}
 	every := s.cfg.CheckpointEvery
 	if every <= 0 {
 		every = 1
 	}
-	if s.version%every != 0 && !s.finished {
-		return
-	}
-	s.writeCheckpointLocked()
+	return s.version%every == 0 || s.finished
 }
 
-// writeCheckpointLocked snapshots the server state and writes it
-// atomically to the configured path. Write failures are logged and
-// counted against nothing: a failed checkpoint must not wedge the
-// deployment, the next cadence point simply tries again. Callers hold
-// s.mu.
-func (s *Server) writeCheckpointLocked() {
-	snap := serverSnapshot{
+// captureSnapshotLocked deep-copies the server's durable fields into a
+// snapshot. Callers hold s.mu. The filter's own state is deliberately
+// absent: it is captured later by writeSnapshot, outside the lock, once
+// the round's ObserveRound has run.
+func (s *Server) captureSnapshotLocked() *serverSnapshot {
+	snap := &serverSnapshot{
 		FilterName: s.filter.Name(),
 		Global:     vecmath.Clone(s.global),
 		Version:    s.version,
@@ -71,6 +69,28 @@ func (s *Server) writeCheckpointLocked() {
 		snap.Sessions = append(snap.Sessions, sessionSnapshot{ClientID: id, NumSamples: sess.numSamples})
 	}
 	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].ClientID < snap.Sessions[j].ClientID })
+	return snap
+}
+
+// writeSnapshot adds the filter state to a captured snapshot and writes
+// the result atomically to the configured path. It runs without s.mu so
+// the gob encode and file I/O never stall connection handlers; callers
+// (the aggregation round, Close) guarantee the filter is quiescent.
+// Write failures are logged and counted against nothing: a failed
+// checkpoint must not wedge the deployment, the next cadence point simply
+// tries again.
+func (s *Server) writeSnapshot(snap *serverSnapshot) {
+	// Recover guard: SnapshotState calls into the (possibly buggy) filter
+	// while the aggregating flag is set; a panic escaping here would leave
+	// the flag stuck and wedge Close.
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.stats.HandlerPanics++
+			s.mu.Unlock()
+			log.Printf("transport: recovered checkpoint panic: %v\n%s", r, debug.Stack())
+		}
+	}()
 	if snapshotter, ok := s.filter.(fl.StateSnapshotter); ok {
 		data, err := snapshotter.SnapshotState()
 		if err != nil {
@@ -79,11 +99,13 @@ func (s *Server) writeCheckpointLocked() {
 		}
 		snap.Filter = data
 	}
-	if err := checkpoint.Save(s.cfg.CheckpointPath, &snap); err != nil {
+	if err := checkpoint.Save(s.cfg.CheckpointPath, snap); err != nil {
 		log.Printf("transport: checkpoint write failed: %v", err)
 		return
 	}
+	s.mu.Lock()
 	s.stats.Checkpoints++
+	s.mu.Unlock()
 }
 
 // restoreFromCheckpoint loads an existing snapshot into a freshly built

@@ -11,6 +11,7 @@ import (
 	"github.com/asyncfl/asyncfilter/internal/dataset"
 	"github.com/asyncfl/asyncfilter/internal/fl"
 	"github.com/asyncfl/asyncfilter/internal/model"
+	"github.com/asyncfl/asyncfilter/internal/randx"
 	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
@@ -93,7 +94,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	return &Client{
 		cfg: cfg,
 		atk: atk,
-		rng: rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID))),
+		rng: randx.New(cfg.Seed + int64(cfg.ID)),
 	}, nil
 }
 

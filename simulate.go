@@ -8,6 +8,8 @@ import (
 	"github.com/asyncfl/asyncfilter/internal/experiments"
 	"github.com/asyncfl/asyncfilter/internal/fl"
 	"github.com/asyncfl/asyncfilter/internal/sim"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
 // Dataset preset names, standing in for the paper's four image corpora
@@ -224,10 +226,10 @@ func simulate(cfg SimConfig, custom UpdateFilter) (*SimResult, error) {
 	switch {
 	case cfg.IID:
 		inner.PartitionAlpha = 0
-	case cfg.DirichletAlpha != 0:
+	case !vecmath.IsZero(cfg.DirichletAlpha):
 		inner.PartitionAlpha = cfg.DirichletAlpha
 	}
-	if cfg.ZipfS != 0 {
+	if !vecmath.IsZero(cfg.ZipfS) {
 		inner.ZipfS = cfg.ZipfS
 	}
 	inner.EvalEvery = cfg.EvalEvery
