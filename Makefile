@@ -10,8 +10,11 @@ GO ?= go
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order each run, so tests that
+# secretly depend on a sibling's leftover state fail fast instead of
+# passing by accident.
 test: build
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -23,7 +26,7 @@ lint:
 	$(GO) run ./cmd/afllint ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 check: build vet lint race
 

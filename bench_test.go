@@ -127,6 +127,31 @@ func BenchmarkFigure7_KMeansAblation(b *testing.B) {
 	b.ReportMetric(100*acc2, "acc_2means_gd")
 }
 
+// BenchmarkOverload floods a real TCP transport server at ~10x its paced
+// admission budget and reports accepted/shed/rate-limited throughput, so
+// the bench record tracks the overload-resilience layer alongside the
+// accuracy numbers.
+func BenchmarkOverload(b *testing.B) {
+	var res *experiments.OverloadResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunOverload(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := res.Stats
+	secs := res.Duration.Seconds()
+	if secs > 0 {
+		admitted := st.UpdatesReceived - st.DroppedShed - st.DroppedRateLimited -
+			st.DroppedQuarantined - st.DroppedMalformed
+		b.ReportMetric(float64(st.UpdatesReceived)/secs, "offered/s")
+		b.ReportMetric(float64(admitted)/secs, "admitted/s")
+		b.ReportMetric(float64(st.DroppedShed)/secs, "shed/s")
+		b.ReportMetric(float64(st.DroppedRateLimited)/secs, "ratelimited/s")
+	}
+}
+
 // --- Ablation benches (DESIGN.md §5) ---
 
 // benchSim runs one simulation per iteration and reports its accuracy.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ func run(args []string) error {
 		retryBase   = fs.Duration("retry-base", 200*time.Millisecond, "initial reconnect backoff (doubles per attempt, jittered)")
 		retryMax    = fs.Duration("retry-max", 10*time.Second, "reconnect backoff cap")
 		dialTimeout = fs.Duration("dial-timeout", 10*time.Second, "per-connection dial timeout (0 disables)")
+		heartbeat   = fs.Duration("heartbeat", 0, "keepalive heartbeat interval, well below the server's -lease (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,16 +68,17 @@ func run(args []string) error {
 	}
 
 	client, err := asyncfilter.NewClient(asyncfilter.ClientOptions{
-		ID:             *id,
-		Data:           parts[*id],
-		Model:          spec,
-		Train:          trainSpec,
-		Attack:         *atk,
-		Seed:           *seed,
-		MaxRetries:     *retries,
-		RetryBaseDelay: *retryBase,
-		RetryMaxDelay:  *retryMax,
-		DialTimeout:    *dialTimeout,
+		ID:                *id,
+		Data:              parts[*id],
+		Model:             spec,
+		Train:             trainSpec,
+		Attack:            *atk,
+		Seed:              *seed,
+		MaxRetries:        *retries,
+		RetryBaseDelay:    *retryBase,
+		RetryMaxDelay:     *retryMax,
+		DialTimeout:       *dialTimeout,
+		HeartbeatInterval: *heartbeat,
 	})
 	if err != nil {
 		return err
@@ -86,6 +89,13 @@ func run(args []string) error {
 	}
 	fmt.Printf("aflclient %d: joining %s as %s client (%d local samples)\n", *id, *server, role, parts[*id].Len())
 	if err := client.Run(*server); err != nil {
+		// A drain Goodbye is the server's graceful-shutdown path, not a
+		// client failure: exit clean so supervisors don't restart us into
+		// a closed port.
+		if errors.Is(err, asyncfilter.ErrServerGoodbye) {
+			fmt.Printf("aflclient %d: server is draining, exiting\n", *id)
+			return nil
+		}
 		return err
 	}
 	fmt.Printf("aflclient %d: server signalled completion\n", *id)

@@ -11,11 +11,21 @@
 // With -checkpoint, the server snapshots its full state (global model,
 // round counter, filter history, buffered updates, client sessions) to
 // the given file, restores from it at startup when it exists, and writes
-// a final snapshot on SIGINT/SIGTERM before exiting — kill the process
-// and rerun the same command to resume the deployment where it stopped.
+// a final snapshot before exiting — kill the process and rerun the same
+// command to resume the deployment where it stopped.
+//
+// SIGTERM triggers a graceful drain (bounded by -drain-timeout): clients
+// are told Goodbye, the in-flight round commits, the remaining buffer is
+// flushed into one final round and the final checkpoint is written.
+// SIGINT shuts down immediately (checkpointing current state as-is).
+// Overload knobs: -max-pending bounds the buffer (stalest updates are
+// shed first), -client-rate/-client-burst rate-limit each client,
+// -lease evicts silent clients (clients send heartbeats to stay alive),
+// -quarantine-after circuit-breaks clients the filter keeps rejecting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +61,15 @@ func run(args []string) error {
 
 		ckptPath  = fs.String("checkpoint", "", "checkpoint file: restore from it at startup, snapshot to it while running (\"\" disables)")
 		ckptEvery = fs.Int("checkpoint-every", 1, "snapshot every N aggregation rounds")
+
+		maxPending  = fs.Int("max-pending", 0, "bound on buffered updates; stalest are shed first beyond it (0 disables)")
+		clientRate  = fs.Float64("client-rate", 0, "per-client sustained update rate in updates/sec (0 disables)")
+		clientBurst = fs.Int("client-burst", 1, "per-client token-bucket burst for -client-rate")
+		lease       = fs.Duration("lease", 0, "evict clients silent for this long; heartbeats renew (0 disables)")
+		quarAfter   = fs.Int("quarantine-after", 0, "quarantine a client after this many consecutive filter rejections (0 disables)")
+		quarCool    = fs.Duration("quarantine-cooldown", 30*time.Second, "refusal window before a quarantined client's half-open probe")
+
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before hard shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,16 +99,22 @@ func run(args []string) error {
 	}
 
 	server, err := asyncfilter.NewServer(asyncfilter.ServerConfig{
-		InitialParams:   params,
-		AggregationGoal: *goal,
-		StalenessLimit:  *limit,
-		Rounds:          *rounds,
-		ReadTimeout:     *readTimeout,
-		WriteTimeout:    *writeTimeout,
-		MaxMessageBytes: *maxMsg,
-		RoundTimeout:    *roundTimeout,
-		CheckpointPath:  *ckptPath,
-		CheckpointEvery: *ckptEvery,
+		InitialParams:      params,
+		AggregationGoal:    *goal,
+		StalenessLimit:     *limit,
+		Rounds:             *rounds,
+		ReadTimeout:        *readTimeout,
+		WriteTimeout:       *writeTimeout,
+		MaxMessageBytes:    *maxMsg,
+		RoundTimeout:       *roundTimeout,
+		CheckpointPath:     *ckptPath,
+		CheckpointEvery:    *ckptEvery,
+		MaxPendingUpdates:  *maxPending,
+		ClientRateLimit:    *clientRate,
+		ClientBurst:        *clientBurst,
+		LeaseDuration:      *lease,
+		QuarantineAfter:    *quarAfter,
+		QuarantineCooldown: *quarCool,
 	}, filter)
 	if err != nil {
 		return err
@@ -111,9 +136,26 @@ func run(args []string) error {
 
 	select {
 	case sig := <-sigCh:
-		fmt.Printf("aflserver: %v at round %d, checkpointing and shutting down\n", sig, server.Version())
-		if err := server.Close(); err != nil {
-			return err
+		if sig == syscall.SIGTERM {
+			// SIGTERM asks for a graceful drain: clients get Goodbye, the
+			// in-flight round commits, the buffer flushes into one final
+			// round and a final checkpoint lands — all within the budget.
+			fmt.Printf("aflserver: SIGTERM at round %d, draining (budget %v)\n", server.Version(), *drainTimeout)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			err := server.Drain(ctx)
+			cancel()
+			if err != nil {
+				fmt.Printf("aflserver: drain cut short: %v\n", err)
+			} else {
+				stats := server.Stats()
+				fmt.Printf("aflserver: drained at round %d (%d clients, %d shed, %d rate-limited, %d checkpoints)\n",
+					server.Version(), stats.ClientsConnected, stats.DroppedShed, stats.DroppedRateLimited, stats.Checkpoints)
+			}
+		} else {
+			fmt.Printf("aflserver: %v at round %d, checkpointing and shutting down\n", sig, server.Version())
+			if err := server.Close(); err != nil {
+				return err
+			}
 		}
 		<-errCh
 		return nil

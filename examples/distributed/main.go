@@ -41,17 +41,28 @@ func newServer(params []float64, ckptPath string) (*asyncfilter.Server, error) {
 	// Production-style hardening: clients silent for a minute are
 	// disconnected, no message may exceed 64MB, and a round stuck below
 	// the aggregation goal for 30s aggregates whatever is buffered.
+	// Overload resilience: at most 24 updates may queue (stalest are shed
+	// first beyond that), each client is paced to 50 updates/s with a
+	// burst of 5, clients silent for 30s lose their lease (heartbeats
+	// renew it), and a client rejected by the filter 4 times in a row is
+	// quarantined until a half-open probe clears it.
 	return asyncfilter.NewServer(asyncfilter.ServerConfig{
-		InitialParams:   params,
-		AggregationGoal: 6,
-		StalenessLimit:  10,
-		Rounds:          rounds,
-		ReadTimeout:     time.Minute,
-		WriteTimeout:    15 * time.Second,
-		MaxMessageBytes: 64 << 20,
-		RoundTimeout:    30 * time.Second,
-		CheckpointPath:  ckptPath,
-		CheckpointEvery: 1,
+		InitialParams:      params,
+		AggregationGoal:    6,
+		StalenessLimit:     10,
+		Rounds:             rounds,
+		ReadTimeout:        time.Minute,
+		WriteTimeout:       15 * time.Second,
+		MaxMessageBytes:    64 << 20,
+		RoundTimeout:       30 * time.Second,
+		CheckpointPath:     ckptPath,
+		CheckpointEvery:    1,
+		MaxPendingUpdates:  24,
+		ClientRateLimit:    50,
+		ClientBurst:        5,
+		LeaseDuration:      30 * time.Second,
+		QuarantineAfter:    4,
+		QuarantineCooldown: 5 * time.Second,
 	}, filter)
 }
 
@@ -113,15 +124,16 @@ func main() {
 		// kill-and-resume demo, the server outage itself — on a budget of
 		// consecutive failures with jittered backoff.
 		opts := asyncfilter.ClientOptions{
-			ID:             i,
-			Data:           parts[i],
-			Model:          spec,
-			Train:          trainSpec,
-			Seed:           int64(i),
-			MaxRetries:     30,
-			RetryBaseDelay: 100 * time.Millisecond,
-			RetryMaxDelay:  2 * time.Second,
-			DialTimeout:    5 * time.Second,
+			ID:                i,
+			Data:              parts[i],
+			Model:             spec,
+			Train:             trainSpec,
+			Seed:              int64(i),
+			MaxRetries:        30,
+			RetryBaseDelay:    100 * time.Millisecond,
+			RetryMaxDelay:     2 * time.Second,
+			DialTimeout:       5 * time.Second,
+			HeartbeatInterval: 5 * time.Second,
 		}
 		if i < numMalicious {
 			opts.Attack = asyncfilter.AttackGD
@@ -190,4 +202,6 @@ func main() {
 		server.Version(), 100*acc, loss)
 	fmt.Printf("server stats: %d updates from %d clients (%d accepted, %d rejected, %d reconnects, %d watchdog rounds, %d checkpoints)\n",
 		stats.UpdatesReceived, stats.ClientsConnected, stats.Accepted, stats.Rejected, stats.Reconnects, stats.WatchdogRounds, stats.Checkpoints)
+	fmt.Printf("overload stats: %d shed, %d rate-limited, %d quarantined updates (%d quarantine entries, %d expired leases, %d heartbeats)\n",
+		stats.DroppedShed, stats.DroppedRateLimited, stats.DroppedQuarantined, stats.QuarantinedClients, stats.ExpiredLeases, stats.Heartbeats)
 }

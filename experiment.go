@@ -14,8 +14,9 @@ type Report interface {
 
 // ExperimentIDs lists every reproducible experiment of the paper's
 // evaluation section: "table2" … "table10" and "fig3", "fig4", "fig6",
-// "fig7". RunExperiment additionally accepts the extension experiment
-// "detection".
+// "fig7". RunExperiment additionally accepts the extension experiments
+// "detection" (filter precision/recall per attack) and "overload"
+// (admission-control throughput under a TCP client flood).
 func ExperimentIDs() []string {
 	return experiments.IDs()
 }
@@ -41,6 +42,11 @@ func RunExperiment(id string, scale ExperimentScale) (Report, error) {
 		// Extension experiment (not a paper table): detection precision,
 		// recall and false-positive rate per attack.
 		return experiments.RunDetectionTable("fashionmnist", s)
+	case "overload":
+		// Extension experiment: flood a real TCP server at ~10x its paced
+		// admission budget and report admitted/shed/rate-limited
+		// throughput of the overload-resilience layer.
+		return experiments.RunOverload(s)
 	case "fig3":
 		return experiments.RunEmbedding("fig3", 0, s)
 	case "fig4":

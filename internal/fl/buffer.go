@@ -1,6 +1,9 @@
 package fl
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Buffer is the FedBuff server-side update buffer: arriving client updates
 // accumulate until the aggregation goal is reached, and updates staler than
@@ -108,6 +111,72 @@ func (b *Buffer) RequeueAt(updates []*Update, version int) (dropped int) {
 		b.updates = append(b.updates, u)
 	}
 	return dropped
+}
+
+// OldestBase returns the smallest BaseVersion among buffered updates and
+// whether the buffer is non-empty. At any fixed server version the update
+// with the smallest BaseVersion is exactly the stalest one, so admission
+// control can compare an incoming update against the buffer without the
+// buffer knowing the current version.
+func (b *Buffer) OldestBase() (int, bool) {
+	if len(b.updates) == 0 {
+		return 0, false
+	}
+	oldest := b.updates[0].BaseVersion
+	for _, u := range b.updates[1:] {
+		if u.BaseVersion < oldest {
+			oldest = u.BaseVersion
+		}
+	}
+	return oldest, true
+}
+
+// Shed removes and returns the n stalest buffered updates, for
+// staleness-aware load shedding: under overload the stalest updates are
+// the least valuable to the model and the most hostile to the filter, so
+// they are the first to go. Staleness order is BaseVersion order — the
+// recorded Staleness fields were computed at different arrival versions
+// and are not mutually comparable, but at any fixed server version
+// ordering by ascending BaseVersion is exactly ordering by descending
+// true staleness. Ties (equal BaseVersion) shed the earlier arrival
+// first, and the returned victims are ordered stalest first. The
+// survivors keep their arrival order, and the fresh-arrival counter is
+// left untouched: shedding removes information, it must not re-arm or
+// disarm readiness on its own.
+func (b *Buffer) Shed(n int) []*Update {
+	if n <= 0 || len(b.updates) == 0 {
+		return nil
+	}
+	if n > len(b.updates) {
+		n = len(b.updates)
+	}
+	// Select the n victims by index: smallest BaseVersion first, earlier
+	// arrival breaking ties.
+	idx := make([]int, len(b.updates))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		return b.updates[idx[i]].BaseVersion < b.updates[idx[j]].BaseVersion
+	})
+	victim := make(map[int]bool, n)
+	shed := make([]*Update, 0, n)
+	for _, i := range idx[:n] {
+		victim[i] = true
+		shed = append(shed, b.updates[i])
+	}
+	kept := b.updates[:0]
+	for i, u := range b.updates {
+		if !victim[i] {
+			kept = append(kept, u)
+		}
+	}
+	// Clear the tail so shed updates are not retained by the backing array.
+	for i := len(kept); i < len(b.updates); i++ {
+		b.updates[i] = nil
+	}
+	b.updates = kept
+	return shed
 }
 
 // Stats reports lifetime counters: total updates offered and updates

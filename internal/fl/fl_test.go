@@ -355,6 +355,80 @@ func TestBufferRequeueAt(t *testing.T) {
 	}
 }
 
+func TestBufferOldestBase(t *testing.T) {
+	b, _ := NewBuffer(2, 0)
+	if _, ok := b.OldestBase(); ok {
+		t.Error("empty buffer reported an oldest base")
+	}
+	b.Add(&Update{BaseVersion: 7})
+	b.Add(&Update{BaseVersion: 3})
+	b.Add(&Update{BaseVersion: 9})
+	if oldest, ok := b.OldestBase(); !ok || oldest != 3 {
+		t.Errorf("OldestBase = %d, %v, want 3, true", oldest, ok)
+	}
+}
+
+func TestBufferShedStalestFirst(t *testing.T) {
+	b, _ := NewBuffer(2, 0)
+	// Arrival order deliberately scrambled relative to BaseVersion; the
+	// recorded Staleness fields are garbage on purpose — shedding must
+	// order by BaseVersion, not by the stored staleness (which was
+	// computed at different arrival versions and is not comparable).
+	for _, u := range []*Update{
+		{ClientID: 0, BaseVersion: 5, Staleness: 99},
+		{ClientID: 1, BaseVersion: 2, Staleness: 0},
+		{ClientID: 2, BaseVersion: 8, Staleness: 50},
+		{ClientID: 3, BaseVersion: 2, Staleness: 7},
+		{ClientID: 4, BaseVersion: 6, Staleness: 1},
+	} {
+		b.Add(u)
+	}
+	shed := b.Shed(3)
+	if len(shed) != 3 {
+		t.Fatalf("shed %d updates, want 3", len(shed))
+	}
+	// Victims: both BaseVersion-2 updates (earlier arrival first), then
+	// BaseVersion 5.
+	wantIDs := []int{1, 3, 0}
+	for i, u := range shed {
+		if u.ClientID != wantIDs[i] {
+			t.Errorf("shed[%d] = client %d (base %d), want client %d",
+				i, u.ClientID, u.BaseVersion, wantIDs[i])
+		}
+	}
+	// Survivors keep arrival order.
+	kept := b.Drain()
+	if len(kept) != 2 || kept[0].ClientID != 2 || kept[1].ClientID != 4 {
+		t.Errorf("survivors wrong: %+v", kept)
+	}
+}
+
+func TestBufferShedBounds(t *testing.T) {
+	b, _ := NewBuffer(2, 0)
+	if got := b.Shed(3); got != nil {
+		t.Errorf("shedding an empty buffer returned %v", got)
+	}
+	b.Add(&Update{BaseVersion: 1})
+	b.Add(&Update{BaseVersion: 2})
+	if got := b.Shed(0); got != nil {
+		t.Errorf("Shed(0) returned %v", got)
+	}
+	if got := b.Shed(10); len(got) != 2 || b.Len() != 0 {
+		t.Errorf("oversized shed returned %d, left %d buffered", len(got), b.Len())
+	}
+}
+
+func TestBufferShedDoesNotDisarmReady(t *testing.T) {
+	b, _ := NewBuffer(2, 0)
+	b.Add(&Update{BaseVersion: 0})
+	b.Add(&Update{BaseVersion: 1})
+	b.Add(&Update{BaseVersion: 2})
+	b.Shed(1)
+	if !b.Ready() {
+		t.Error("buffer at goal with fresh arrivals lost readiness after a shed")
+	}
+}
+
 func TestBufferAccessors(t *testing.T) {
 	b, _ := NewBuffer(7, 9)
 	if b.Goal() != 7 || b.StalenessLimit() != 9 {

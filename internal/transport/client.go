@@ -2,9 +2,11 @@ package transport
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"github.com/asyncfl/asyncfilter/internal/attack"
@@ -53,11 +55,22 @@ type ClientConfig struct {
 	RetryMaxDelay time.Duration
 	// DialTimeout bounds each connection attempt (0 = no timeout).
 	DialTimeout time.Duration
+	// HeartbeatInterval sends a heartbeat this often while the connection
+	// is up (0 disables), keeping the server-side lease alive through
+	// long local training and NACK backoff pauses. Set it well below the
+	// server's LeaseDuration.
+	HeartbeatInterval time.Duration
 	// Dial overrides how connections are established (nil = plain TCP).
 	// Tests plug in FaultDialer here to run a client through a flaky
 	// network.
 	Dial func(addr string) (net.Conn, error)
 }
+
+// ErrServerGoodbye is returned by Run and RunConn when the server said
+// Goodbye: it is draining and wants the client to reconnect elsewhere.
+// The caller decides where "elsewhere" is; Run does not retry the same
+// address.
+var ErrServerGoodbye = errors.New("transport: server is draining (goodbye)")
 
 // Client is a federated learning client speaking the transport protocol.
 type Client struct {
@@ -68,6 +81,9 @@ type Client struct {
 	TasksRun int
 	// Reconnects counts successful re-dials after a dropped connection.
 	Reconnects int
+	// Nacks counts typed NACK replies received from the server; each one
+	// paused the client for the server's RetryAfter hint.
+	Nacks int
 }
 
 // NewClient builds a client.
@@ -119,6 +135,11 @@ func (c *Client) Run(addr string) error {
 			if err == nil {
 				return nil // server signalled Done
 			}
+			if errors.Is(err, ErrServerGoodbye) {
+				// The server is draining; retrying the same address would
+				// just collect more Goodbyes. Surface the redirect.
+				return err
+			}
 			if c.TasksRun > tasksBefore {
 				failures = 0 // the connection made progress: refill budget
 			}
@@ -160,22 +181,128 @@ func (c *Client) backoff(n int) time.Duration {
 	return time.Duration(float64(d) * jitter)
 }
 
+// connWriter owns all writes on a client connection. Heartbeats must go
+// out while the main loop is busy training, and a gob encoder is not safe
+// for concurrent use, so every outbound message funnels through one
+// writer goroutine via a buffered queue — no lock is ever held around the
+// blocking encode. A failed encode closes the connection so the reader
+// side unblocks too.
+type connWriter struct {
+	queue chan *ClientMsg
+	dead  chan struct{}
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func startConnWriter(conn net.Conn) *connWriter {
+	w := &connWriter{
+		queue: make(chan *ClientMsg, 8),
+		dead:  make(chan struct{}),
+		stop:  make(chan struct{}),
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		defer close(w.dead)
+		enc := gob.NewEncoder(conn)
+		for {
+			select {
+			case <-w.stop:
+				return
+			case msg := <-w.queue:
+				if err := enc.Encode(msg); err != nil {
+					// Unblock the decode loop: a one-sided write failure
+					// must not leave the client hanging on a read.
+					_ = conn.Close()
+					return
+				}
+			}
+		}
+	}()
+	return w
+}
+
+// send enqueues a message, failing once the writer has died.
+func (w *connWriter) send(msg *ClientMsg) error {
+	select {
+	case w.queue <- msg:
+		return nil
+	case <-w.dead:
+		return errors.New("connection writer closed")
+	}
+}
+
+// trySend enqueues without blocking (heartbeats are droppable: a full
+// queue means real traffic is flowing, which renews the lease anyway).
+func (w *connWriter) trySend(msg *ClientMsg) {
+	select {
+	case w.queue <- msg:
+	default:
+	}
+}
+
+// close stops the writer and waits for it to exit.
+func (w *connWriter) close() {
+	close(w.stop)
+	w.wg.Wait()
+}
+
 // RunConn participates over an established connection (useful for tests
 // and custom transports). It returns nil only when the server signals
-// completion; any transport error is returned for the caller (Run) to
-// decide whether to reconnect.
+// completion; ErrServerGoodbye when the server is draining; any other
+// transport error is returned for the caller (Run) to decide whether to
+// reconnect.
 func (c *Client) RunConn(conn net.Conn) error {
-	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
-
-	hello := ClientMsg{Hello: &Hello{ClientID: c.cfg.ID, NumSamples: c.cfg.Data.Len()}}
-	if err := enc.Encode(&hello); err != nil {
-		return fmt.Errorf("transport: hello: %w", err)
-	}
 
 	m, err := model.New(c.cfg.Model)
 	if err != nil {
 		return fmt.Errorf("transport: model: %w", err)
+	}
+
+	// Without heartbeats the encoder is driven synchronously from the
+	// protocol loop, preserving the strict write-then-read operation order
+	// that deterministic fault-injection schedules count on. With
+	// heartbeats enabled, a single-writer goroutine owns the encoder so
+	// keepalives can go out while this loop is blocked in local training —
+	// concurrency by message passing, never a lock around the blocking
+	// encode.
+	var send func(*ClientMsg) error
+	if c.cfg.HeartbeatInterval > 0 {
+		w := startConnWriter(conn)
+		defer w.close()
+		send = w.send
+
+		hbStop := make(chan struct{})
+		defer close(hbStop)
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-w.dead:
+					return
+				case <-ticker.C:
+					w.trySend(&ClientMsg{Heartbeat: true})
+				}
+			}
+		}()
+	} else {
+		enc := gob.NewEncoder(conn)
+		send = func(msg *ClientMsg) error { return enc.Encode(msg) }
+	}
+
+	hello := &ClientMsg{Hello: &Hello{
+		ClientID:   c.cfg.ID,
+		NumSamples: c.cfg.Data.Len(),
+		ModelDim:   m.NumParams(),
+	}}
+	if err := send(hello); err != nil {
+		return fmt.Errorf("transport: hello: %w", err)
 	}
 
 	for {
@@ -186,8 +313,23 @@ func (c *Client) RunConn(conn net.Conn) error {
 		if msg.Done {
 			return nil
 		}
+		if msg.Goodbye {
+			return ErrServerGoodbye
+		}
+		if msg.Nack != 0 {
+			// Typed refusal: back off for the server's pacing hint
+			// instead of retrying hot. A Nack without a task (a refused
+			// Hello) is terminal for this connection.
+			c.Nacks++
+			if msg.Task == nil {
+				return fmt.Errorf("transport: server refused hello: %s", msg.Nack)
+			}
+			if msg.RetryAfter > 0 {
+				time.Sleep(msg.RetryAfter)
+			}
+		}
 		if msg.Task == nil {
-			continue
+			continue // Pong or empty envelope
 		}
 		if len(msg.Task.Params) != m.NumParams() {
 			return fmt.Errorf("transport: task has %d params, model needs %d", len(msg.Task.Params), m.NumParams())
@@ -211,11 +353,11 @@ func (c *Client) RunConn(conn net.Conn) error {
 		}
 		delta = crafted[0]
 		c.TasksRun++
-		out := ClientMsg{Update: &UpdateMsg{
+		out := &ClientMsg{Update: &UpdateMsg{
 			BaseVersion: msg.Task.Version,
 			Delta:       vecmath.Clone(delta),
 		}}
-		if err := enc.Encode(&out); err != nil {
+		if err := send(out); err != nil {
 			return fmt.Errorf("transport: send update: %w", err)
 		}
 	}

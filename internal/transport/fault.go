@@ -38,6 +38,28 @@ type FaultConfig struct {
 	// prefix of its buffer before resetting the connection, leaving the
 	// peer a truncated gob message.
 	PartialWriteProb float64
+	// DupWriteProb is the probability that a write's payload is
+	// transmitted twice back-to-back — a retransmitting middlebox
+	// delivering a duplicate message.
+	DupWriteProb float64
+	// ReorderWriteProb is the probability that a write is held back and
+	// transmitted after the next write instead, delivering two messages
+	// out of order. A held payload that never sees a next write is
+	// discarded on Close (it was "lost in flight").
+	ReorderWriteProb float64
+	// DropWriteProb is the probability that a write is silently swallowed
+	// while still reported as successful — the outbound half of an
+	// asymmetric partition: the peer stops hearing from us but we keep
+	// hearing from them.
+	DropWriteProb float64
+	// StallReadsAfterOps arms a one-shot inbound stall: once this many
+	// combined reads+writes have run (0 disables), the next read first
+	// blocks for StallDuration — the inbound half of an asymmetric
+	// partition, exercising read deadlines and lease expiry.
+	StallReadsAfterOps int
+	// StallDuration is how long the stalled read blocks before
+	// proceeding normally.
+	StallDuration time.Duration
 }
 
 // FaultConn wraps a net.Conn with injectable drops, delays, partial writes
@@ -47,10 +69,12 @@ type FaultConn struct {
 	net.Conn
 	cfg FaultConfig
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	ops    int
-	broken bool
+	mu      sync.Mutex
+	rng     *rand.Rand
+	ops     int
+	broken  bool
+	stalled bool   // the one-shot read stall already fired
+	held    []byte // payload parked by a reorder fault, awaiting the next write
 }
 
 // NewFaultConn wraps conn with fault injection.
@@ -75,6 +99,11 @@ func (f *FaultConn) fault(isWrite bool, n int) (int, error) {
 	var delay time.Duration
 	if f.cfg.DelayProb > 0 && f.rng.Float64() < f.cfg.DelayProb {
 		delay = f.cfg.Delay
+	}
+	if !isWrite && !f.stalled && f.cfg.StallReadsAfterOps > 0 &&
+		f.ops >= f.cfg.StallReadsAfterOps {
+		f.stalled = true
+		delay += f.cfg.StallDuration
 	}
 	reset := f.cfg.ResetAfterOps > 0 && f.ops >= f.cfg.ResetAfterOps
 	if !reset && f.cfg.ResetProb > 0 && f.rng.Float64() < f.cfg.ResetProb {
@@ -109,8 +138,33 @@ func (f *FaultConn) Read(p []byte) (int, error) {
 	return f.Conn.Read(p)
 }
 
+// writeShuffle rolls the delivery-mangling faults for one write: drop
+// (swallow silently), hold (park the payload for reordering), dup
+// (transmit twice). It also releases any previously held payload, which
+// the caller must transmit after the current one — that inversion is the
+// reorder. Decisions happen under the lock; all I/O stays with the
+// caller.
+func (f *FaultConn) writeShuffle(p []byte) (drop, hold, dup bool, release []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.DropWriteProb > 0 && f.rng.Float64() < f.cfg.DropWriteProb {
+		return true, false, false, nil
+	}
+	release = f.held
+	f.held = nil
+	if release == nil && f.cfg.ReorderWriteProb > 0 &&
+		f.rng.Float64() < f.cfg.ReorderWriteProb {
+		f.held = append([]byte(nil), p...)
+		return false, true, false, nil
+	}
+	dup = f.cfg.DupWriteProb > 0 && f.rng.Float64() < f.cfg.DupWriteProb
+	return false, false, dup, release
+}
+
 // Write implements net.Conn. A partial-write fault transmits a prefix,
-// closes the underlying connection and reports ErrInjectedFault.
+// closes the underlying connection and reports ErrInjectedFault. Drop,
+// reorder and dup faults mangle delivery while reporting success, the
+// way a lossy or retransmitting network path would.
 func (f *FaultConn) Write(p []byte) (int, error) {
 	limit, err := f.fault(true, len(p))
 	if err != nil {
@@ -121,13 +175,35 @@ func (f *FaultConn) Write(p []byte) (int, error) {
 		_ = f.Conn.Close()
 		return n, ErrInjectedFault
 	}
-	return f.Conn.Write(p)
+	drop, hold, dup, release := f.writeShuffle(p)
+	if drop || hold {
+		// Swallowed or parked: the caller sees an ordinary success, the
+		// peer sees nothing (yet).
+		return len(p), nil
+	}
+	n, err := f.Conn.Write(p)
+	if err != nil {
+		return n, err
+	}
+	if release != nil {
+		if _, err := f.Conn.Write(release); err != nil {
+			return n, err
+		}
+	}
+	if dup {
+		if _, err := f.Conn.Write(p); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
 }
 
-// Close implements net.Conn.
+// Close implements net.Conn. A payload still held for reordering is
+// discarded — it was lost in flight.
 func (f *FaultConn) Close() error {
 	f.mu.Lock()
 	f.broken = true
+	f.held = nil
 	f.mu.Unlock()
 	return f.Conn.Close()
 }

@@ -26,8 +26,14 @@ func newLimitReader(r io.Reader, max int64) *limitReader {
 	return &limitReader{r: r, max: max}
 }
 
-// reset starts a fresh message budget. Called before each Decode.
-func (l *limitReader) reset() { l.n = 0 }
+// reset starts a fresh message budget. Called before each Decode. The
+// trip flag is cleared too: an oversize message condemns that message
+// (and typically the connection), not every later message on a reader
+// that happens to be reused.
+func (l *limitReader) reset() {
+	l.n = 0
+	l.trip = false
+}
 
 // tripped reports whether a read exceeded the budget since the last reset.
 func (l *limitReader) tripped() bool { return l.trip }

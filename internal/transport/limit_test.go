@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// readUntilError drains the reader with small reads until it fails,
+// returning the terminal error and the number of bytes that got through.
+func readUntilError(lim *limitReader) (int, error) {
+	buf := make([]byte, 8)
+	total := 0
+	for {
+		n, err := lim.Read(buf)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+func TestLimitReaderTripsOnOversizeMessage(t *testing.T) {
+	lim := newLimitReader(strings.NewReader(strings.Repeat("x", 64)), 16)
+	got, err := readUntilError(lim)
+	if !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("oversize read error = %v, want ErrMessageTooLarge", err)
+	}
+	if got != 16 {
+		t.Errorf("read %d bytes before tripping, want 16", got)
+	}
+	if !lim.tripped() {
+		t.Error("tripped() = false after exceeding the budget")
+	}
+}
+
+func TestLimitReaderResetClearsTrip(t *testing.T) {
+	lim := newLimitReader(strings.NewReader(strings.Repeat("x", 64)), 16)
+	if _, err := readUntilError(lim); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("setup: oversize read error = %v", err)
+	}
+	if !lim.tripped() {
+		t.Fatal("setup: reader did not trip")
+	}
+
+	// reset starts the next message: both the byte budget and the trip
+	// flag must clear, or a reused reader would misreport every later
+	// message as oversize.
+	lim.reset()
+	if lim.tripped() {
+		t.Error("trip flag survived reset")
+	}
+	n, err := lim.Read(make([]byte, 8))
+	if err != nil || n != 8 {
+		t.Errorf("read after reset = (%d, %v), want a fresh 8-byte budget", n, err)
+	}
+	if lim.tripped() {
+		t.Error("in-budget read after reset reported a trip")
+	}
+}
+
+func TestLimitReaderZeroMaxDisablesGuard(t *testing.T) {
+	lim := newLimitReader(strings.NewReader(strings.Repeat("x", 256)), 0)
+	got, err := readUntilError(lim)
+	if errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("disabled guard tripped: %v", err)
+	}
+	if got != 256 {
+		t.Errorf("read %d bytes, want all 256", got)
+	}
+	if lim.tripped() {
+		t.Error("tripped() = true with the guard disabled")
+	}
+}

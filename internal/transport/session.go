@@ -1,23 +1,59 @@
 package transport
 
-import "net"
+import (
+	"net"
+	"time"
+)
 
 // clientSession is the server-side identity of one client across however
 // many TCP connections it opens. A client that reconnects after a network
 // fault resumes its existing session: its Hello weight is not
 // double-counted and the stale connection is torn down so at most one
-// handler speaks for a client ID at a time.
+// handler speaks for a client ID at a time. All fields besides id are
+// guarded by Server.mu.
 type clientSession struct {
 	id         int
 	numSamples int
 	// conn is the connection currently owned by this session (nil when
-	// the client is disconnected). Guarded by Server.mu.
+	// the client is disconnected).
 	conn net.Conn
+	// leaseExpiry is when the session's lease runs out; the lease sweeper
+	// evicts sessions past it. Zero when leases are disabled or the
+	// client is disconnected.
+	leaseExpiry time.Time
+	// tokens and lastRefill implement the per-client token-bucket rate
+	// limit: tokens accrue at ClientRateLimit per second up to the burst
+	// capacity, and each admitted update spends one.
+	tokens     float64
+	lastRefill time.Time
+	// consecRejects counts consecutive filter-rejected submissions; at
+	// QuarantineAfter the circuit breaker opens.
+	consecRejects int
+	// quarantinedUntil is when an open circuit breaker allows its
+	// half-open probe (zero = closed breaker).
+	quarantinedUntil time.Time
+	// halfOpen marks the probe state: the next filter verdict decides
+	// whether the breaker closes or re-opens.
+	halfOpen bool
 }
 
 // weight returns the aggregation weight for this client's updates.
 // Callers hold Server.mu.
 func (c *clientSession) weight() int { return c.numSamples }
+
+// refill accrues rate-limit tokens for the elapsed time since the last
+// refill, capped at the burst capacity. Callers hold Server.mu.
+func (c *clientSession) refill(now time.Time, rate, burst float64) {
+	if c.lastRefill.IsZero() {
+		c.tokens = burst
+	} else if elapsed := now.Sub(c.lastRefill); elapsed > 0 {
+		c.tokens += elapsed.Seconds() * rate
+		if c.tokens > burst {
+			c.tokens = burst
+		}
+	}
+	c.lastRefill = now
+}
 
 // trackConn registers a live connection for shutdown teardown. It reports
 // false when the server is already finished, in which case the caller
@@ -43,6 +79,7 @@ func (s *Server) untrackConn(conn net.Conn) {
 // contact. On reconnect the previous connection (if any) is closed so the
 // superseded handler exits, and the sample count is refreshed only from a
 // non-zero Hello so a hasty reconnect cannot zero the client's weight.
+// Registration starts (or renews) the session lease.
 func (s *Server) register(h *Hello, conn net.Conn) *clientSession {
 	s.mu.Lock()
 	sess, ok := s.sessions[h.ClientID]
@@ -58,6 +95,9 @@ func (s *Server) register(h *Hello, conn net.Conn) *clientSession {
 	}
 	old := sess.conn
 	sess.conn = conn
+	if s.cfg.LeaseDuration > 0 {
+		sess.leaseExpiry = time.Now().Add(s.cfg.LeaseDuration)
+	}
 	s.mu.Unlock()
 
 	if old != nil && old != conn {
@@ -73,5 +113,50 @@ func (s *Server) release(sess *clientSession, conn net.Conn) {
 	defer s.mu.Unlock()
 	if sess.conn == conn {
 		sess.conn = nil
+		sess.leaseExpiry = time.Time{}
+	}
+}
+
+// watchLeases is the lease sweeper: a dead client — one that stopped
+// sending updates and heartbeats without a TCP reset — is evicted within
+// roughly a lease period, freeing its connection and in-flight
+// accounting, instead of lingering until a blocking read happens to time
+// out. Started once from Serve when LeaseDuration > 0; exits when the
+// deployment completes, the server closes, or Serve exits (stop).
+func (s *Server) watchLeases(stop <-chan struct{}) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(clampTick(s.cfg.LeaseDuration / 4))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-stop:
+			return
+		case <-ticker.C:
+			s.evictExpiredLeases(time.Now())
+		}
+	}
+}
+
+// evictExpiredLeases closes the connections of sessions whose lease
+// expired. The connection close is performed outside s.mu; the handler
+// owning the connection observes the close as a read error and exits
+// through its usual teardown (release, untrackConn).
+func (s *Server) evictExpiredLeases(now time.Time) {
+	defer s.recoverPanic("lease sweep")
+	s.mu.Lock()
+	var victims []net.Conn
+	for _, sess := range s.sessions {
+		if sess.conn != nil && !sess.leaseExpiry.IsZero() && now.After(sess.leaseExpiry) {
+			victims = append(victims, sess.conn)
+			sess.conn = nil
+			sess.leaseExpiry = time.Time{}
+			s.stats.ExpiredLeases++
+		}
+	}
+	s.mu.Unlock()
+	for _, conn := range victims {
+		_ = conn.Close()
 	}
 }

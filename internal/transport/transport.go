@@ -20,6 +20,18 @@
 // buffer when crashed clients would otherwise stall a round, client-side
 // reconnect with exponential backoff (client.go), and a deterministic
 // fault-injection harness for tests (fault.go).
+//
+// On top of that sits an overload-resilience layer: a bounded in-flight
+// update budget with per-client token-bucket rate limits and typed NACK
+// replies (admission.go), staleness-aware load shedding that evicts the
+// stalest buffered updates first when the budget is exceeded, client
+// leases renewed by heartbeats with eviction of dead sessions
+// (session.go),
+// a per-client quarantine circuit breaker for clients whose recent
+// submissions were all filter-rejected, and a graceful drain path
+// (drain.go) that stops admissions, flushes the in-flight round, writes a
+// final checkpoint and sends clients a Goodbye so they can reconnect
+// elsewhere.
 package transport
 
 import (
@@ -42,6 +54,51 @@ type Hello struct {
 	ClientID int
 	// NumSamples is the client's local dataset size (aggregation weight).
 	NumSamples int
+	// ModelDim is the parameter dimension of the client's local model
+	// (0 = unknown). A non-zero mismatch against the live global model is
+	// rejected at Hello time with a NackMalformed instead of letting the
+	// client train a round it can never submit.
+	ModelDim int
+}
+
+// NackCode classifies why the server refused an update.
+type NackCode int
+
+// NackCode values.
+const (
+	// NackRateLimited: the client exceeded its per-client token-bucket
+	// rate limit; retry after RetryAfter.
+	NackRateLimited NackCode = iota + 1
+	// NackOverloaded: the in-flight update budget is full and the update
+	// was the stalest candidate, so staleness-aware shedding dropped it.
+	NackOverloaded
+	// NackQuarantined: the client's recent submissions were all
+	// filter-rejected and its circuit breaker is open; RetryAfter is the
+	// remaining cooldown.
+	NackQuarantined
+	// NackDraining: the server is draining and admits no new work.
+	NackDraining
+	// NackMalformed: the Hello advertised a model dimension that does not
+	// match the live global model.
+	NackMalformed
+)
+
+// String implements fmt.Stringer.
+func (c NackCode) String() string {
+	switch c {
+	case NackRateLimited:
+		return "rate-limited"
+	case NackOverloaded:
+		return "overloaded"
+	case NackQuarantined:
+		return "quarantined"
+	case NackDraining:
+		return "draining"
+	case NackMalformed:
+		return "malformed"
+	default:
+		return fmt.Sprintf("NackCode(%d)", int(c))
+	}
 }
 
 // Task carries the global model to train on.
@@ -60,17 +117,40 @@ type UpdateMsg struct {
 	Delta []float64
 }
 
-// ClientMsg is the client->server envelope.
+// ClientMsg is the client->server envelope. The new heartbeat field is a
+// plain bool (not a nested struct) on purpose: gob emits one extra wire
+// message per struct type it meets, and keeping the envelope flat keeps
+// the deterministic fault-injection schedules — which count I/O
+// operations — aligned across protocol revisions.
 type ClientMsg struct {
 	Hello  *Hello
 	Update *UpdateMsg
+	// Heartbeat keeps the client's lease alive while it is busy with
+	// local training or backing off from a NACK; the server renews the
+	// lease and answers with Pong.
+	Heartbeat bool
 }
 
-// ServerMsg is the server->client envelope.
+// ServerMsg is the server->client envelope. Exactly one reply is sent per
+// client message: Pong answers a Heartbeat, Task (optionally carrying a
+// Nack in the same envelope) answers an Update, and Done or Goodbye ends
+// the conversation.
 type ServerMsg struct {
 	Task *Task
+	// Nack, when non-zero, reports that the client's update (or Hello)
+	// was refused and why; a Task in the same envelope still carries the
+	// current model so the client can resume after backing off.
+	Nack NackCode
+	// RetryAfter is the server's pacing hint for a Nack (0 = client's
+	// choice).
+	RetryAfter time.Duration
+	// Pong acknowledges a Heartbeat (the lease was renewed).
+	Pong bool
 	// Done signals that training is complete and the client should exit.
 	Done bool
+	// Goodbye signals that this server is draining: the client should
+	// drop the connection and reconnect elsewhere.
+	Goodbye bool
 }
 
 // ServerConfig parameterizes a transport server.
@@ -112,6 +192,40 @@ type ServerConfig struct {
 	// graceful Close always checkpoint regardless of N. Only meaningful
 	// with CheckpointPath.
 	CheckpointEvery int
+	// MaxPendingUpdates bounds the in-flight update budget: the buffer
+	// never holds more than this many updates (0 disables). When a new
+	// update would exceed the budget the stalest buffered updates are
+	// shed to make room — unless the incoming update is itself the
+	// stalest candidate, in which case it is refused with NackOverloaded.
+	// Must be >= AggregationGoal when set, or the goal could never be
+	// reached.
+	MaxPendingUpdates int
+	// ClientRateLimit caps each client's sustained update rate in
+	// updates/second via a per-session token bucket (0 disables). Updates
+	// over budget are refused with NackRateLimited and a RetryAfter
+	// pacing hint.
+	ClientRateLimit float64
+	// ClientBurst is the token-bucket capacity (<= 0 selects 1). Only
+	// meaningful with ClientRateLimit.
+	ClientBurst int
+	// LeaseDuration arms client leases: every message from a client
+	// renews its session lease for this long, and a lease sweeper evicts
+	// sessions whose lease expired — closing their connection and freeing
+	// their in-flight accounting — so a client that dies without a TCP
+	// reset is noticed within a lease period (0 disables). Clients should
+	// heartbeat at a fraction of this interval.
+	LeaseDuration time.Duration
+	// QuarantineAfter opens a per-client circuit breaker after this many
+	// consecutive filter-rejected submissions: further updates from the
+	// client are refused with NackQuarantined until QuarantineCooldown
+	// passes, then a single half-open probe update is admitted — an
+	// accepted probe closes the breaker, a rejected one re-opens it
+	// (0 disables).
+	QuarantineAfter int
+	// QuarantineCooldown is how long a quarantined client is refused
+	// before the half-open probe (<= 0 selects 30s). Only meaningful with
+	// QuarantineAfter.
+	QuarantineCooldown time.Duration
 }
 
 // Validate checks the configuration.
@@ -137,6 +251,22 @@ func (c *ServerConfig) Validate() error {
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("transport: ServerConfig: CheckpointEvery = %d, need >= 0", c.CheckpointEvery)
 	}
+	if c.MaxPendingUpdates < 0 {
+		return fmt.Errorf("transport: ServerConfig: MaxPendingUpdates = %d, need >= 0", c.MaxPendingUpdates)
+	}
+	if c.MaxPendingUpdates > 0 && c.MaxPendingUpdates < c.AggregationGoal {
+		return fmt.Errorf("transport: ServerConfig: MaxPendingUpdates = %d below AggregationGoal = %d (the goal could never be reached)",
+			c.MaxPendingUpdates, c.AggregationGoal)
+	}
+	if c.ClientRateLimit < 0 {
+		return fmt.Errorf("transport: ServerConfig: ClientRateLimit = %v, need >= 0", c.ClientRateLimit)
+	}
+	if c.LeaseDuration < 0 {
+		return errors.New("transport: ServerConfig: negative LeaseDuration")
+	}
+	if c.QuarantineAfter < 0 {
+		return fmt.Errorf("transport: ServerConfig: QuarantineAfter = %d, need >= 0", c.QuarantineAfter)
+	}
 	return nil
 }
 
@@ -153,10 +283,16 @@ type Server struct {
 	buffer       *fl.Buffer
 	finished     bool
 	restored     bool
+	draining     bool
+	netClosed    bool
 	stats        ServerStats
 	sessions     map[int]*clientSession
 	conns        map[net.Conn]struct{}
 	lastProgress time.Time
+	// shedObserver, when non-nil, is invoked (outside s.mu) with the
+	// server version at shed time and the evicted updates. Test-only
+	// hook for asserting the stalest-first shedding invariant.
+	shedObserver func(version int, shed []*fl.Update)
 	// aggregating marks an aggregation round in flight. Rounds run the
 	// filter and combiner *outside* s.mu (they are O(buffer · dim) and
 	// must not stall every connection handler); the flag serializes rounds
@@ -167,10 +303,15 @@ type Server struct {
 	// round.
 	aggDone *sync.Cond
 
-	done     chan struct{}
-	listener net.Listener
-	wg       sync.WaitGroup
-	watchdog sync.Once
+	done         chan struct{}
+	listener     net.Listener
+	wg           sync.WaitGroup
+	watchdog     sync.Once
+	leaseSweeper sync.Once
+	drainOnce    sync.Once
+	// drained is closed when a Drain sequence has finished its flush and
+	// final checkpoint (possibly after the Drain call itself timed out).
+	drained chan struct{}
 }
 
 // ServerStats summarizes a finished deployment.
@@ -202,6 +343,28 @@ type ServerStats struct {
 	HandlerPanics int
 	// Checkpoints counts state snapshots successfully written.
 	Checkpoints int
+	// DroppedShed counts updates evicted by staleness-aware load
+	// shedding: the stalest buffered updates (or an incoming update that
+	// was itself the stalest candidate) dropped to keep the buffer within
+	// MaxPendingUpdates.
+	DroppedShed int
+	// DroppedRateLimited counts updates refused by the per-client
+	// token-bucket rate limit.
+	DroppedRateLimited int
+	// DroppedQuarantined counts updates refused from quarantined clients.
+	DroppedQuarantined int
+	// QuarantinedClients counts circuit-breaker openings (a client
+	// re-quarantined after a failed half-open probe counts again).
+	QuarantinedClients int
+	// ExpiredLeases counts sessions evicted by the lease sweeper because
+	// the client stopped sending (updates or heartbeats) for a full
+	// LeaseDuration.
+	ExpiredLeases int
+	// Heartbeats counts heartbeat messages received (each renews a lease
+	// and is answered with a Pong).
+	Heartbeats int
+	// NacksSent counts typed NACK replies sent to clients.
+	NacksSent int
 }
 
 // NewServer builds a server. filter nil selects pass-through (FedBuff);
@@ -229,6 +392,7 @@ func NewServer(cfg ServerConfig, filter fl.Filter, combiner fl.Combiner) (*Serve
 		sessions: make(map[int]*clientSession),
 		conns:    make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
+		drained:  make(chan struct{}),
 	}
 	s.aggDone = sync.NewCond(&s.mu)
 	if cfg.CheckpointPath != "" {
@@ -254,6 +418,13 @@ func (s *Server) Serve(lis net.Listener) error {
 		s.watchdog.Do(func() {
 			s.wg.Add(1)
 			go s.watchRounds(stop)
+		})
+	}
+
+	if s.cfg.LeaseDuration > 0 {
+		s.leaseSweeper.Do(func() {
+			s.wg.Add(1)
+			go s.watchLeases(stop)
 		})
 	}
 
@@ -317,9 +488,29 @@ func (s *Server) Close() error {
 		s.aggDone.Wait()
 	}
 	var snap *serverSnapshot
-	if s.cfg.CheckpointPath != "" {
+	// A draining server's final checkpoint belongs to the drain sequence,
+	// which also snapshots the filter; capturing here too would race it.
+	if s.cfg.CheckpointPath != "" && !s.draining {
 		snap = s.captureSnapshotLocked()
 	}
+	s.mu.Unlock()
+
+	if snap != nil {
+		s.writeSnapshot(snap)
+	}
+	return s.closeNetwork()
+}
+
+// closeNetwork tears down the listener and every live connection exactly
+// once; later calls are no-ops returning nil, so Close after Drain does
+// not report a spuriously double-closed listener.
+func (s *Server) closeNetwork() error {
+	s.mu.Lock()
+	if s.netClosed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.netClosed = true
 	lis := s.listener
 	open := make([]net.Conn, 0, len(s.conns))
 	for conn := range s.conns {
@@ -327,9 +518,6 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 
-	if snap != nil {
-		s.writeSnapshot(snap)
-	}
 	var err error
 	if lis != nil {
 		err = lis.Close()
@@ -402,35 +590,146 @@ func (s *Server) handle(conn net.Conn) {
 	s.armRead(conn)
 	lim.reset()
 	if err := dec.Decode(&hello); err != nil || hello.Hello == nil {
+		if hello.Hello == nil && s.isDraining() {
+			// The read was nudged awake by a starting drain (or the
+			// stream broke mid-drain): say Goodbye so the client stops
+			// retrying against a server on its way out.
+			s.farewell(conn, enc, dec, lim)
+		}
+		return
+	}
+	if !s.admitHello(hello.Hello) {
+		// The advertised model dimension cannot match this deployment:
+		// refuse at Hello time instead of letting the client train a
+		// round it can never submit.
+		s.send(conn, enc, &ServerMsg{Nack: NackMalformed})
 		return
 	}
 	sess := s.register(hello.Hello, conn)
 	defer s.release(sess, conn)
+	if s.isDraining() {
+		// A client connecting (or reconnecting) into a drain gets a
+		// polite redirect instead of silence.
+		s.farewell(conn, enc, dec, lim)
+		return
+	}
 
 	// Send the initial task.
 	if !s.sendTask(conn, enc) {
+		if s.isDraining() {
+			s.linger(conn, dec, lim)
+		}
 		return
 	}
 	for {
 		var msg ClientMsg
 		s.armRead(conn)
+		// Checked between arming and decoding on purpose: a drain that
+		// begins before this check is seen here, and one that begins
+		// after it re-arms the deadline to "now" (Drain nudges every
+		// live connection), so a handler can never sit out a drain
+		// blocked in Decode waiting for a client that is busy training.
+		if s.isDraining() {
+			s.farewell(conn, enc, dec, lim)
+			return
+		}
 		lim.reset()
 		if err := dec.Decode(&msg); err != nil {
 			if lim.tripped() {
 				s.mu.Lock()
 				s.stats.DroppedOversize++
 				s.mu.Unlock()
+				return
+			}
+			if s.isDraining() {
+				s.farewell(conn, enc, dec, lim)
 			}
 			return
+		}
+		if msg.Heartbeat {
+			if !s.heartbeat(sess) {
+				s.farewell(conn, enc, dec, lim)
+				return
+			}
+			if !s.send(conn, enc, &ServerMsg{Pong: true}) {
+				return
+			}
+			continue
 		}
 		if msg.Update == nil {
 			continue
 		}
-		s.receiveUpdate(sess, msg.Update)
+		verdict := s.receiveUpdate(sess, msg.Update)
+		if verdict.goodbye {
+			s.farewell(conn, enc, dec, lim)
+			return
+		}
+		if verdict.nack != 0 {
+			// The refusal and the current model travel in one envelope:
+			// the client backs off for RetryAfter, then resumes from the
+			// fresh task, keeping the protocol strictly request-reply.
+			if !s.sendTaskNack(conn, enc, verdict.nack, verdict.retryAfter) {
+				if s.isDraining() {
+					s.linger(conn, dec, lim)
+				}
+				return
+			}
+			continue
+		}
 		if !s.sendTask(conn, enc) {
+			if s.isDraining() {
+				s.linger(conn, dec, lim)
+			}
 			return
 		}
 	}
+}
+
+// admitHello reports whether a Hello's advertised model dimension is
+// compatible with the live global model (0 = not advertised, accepted).
+func (s *Server) admitHello(h *Hello) bool {
+	if h.ModelDim == 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h.ModelDim == len(s.global) {
+		return true
+	}
+	s.stats.DroppedMalformed++
+	s.stats.NacksSent++
+	return false
+}
+
+// isDraining reports whether Drain has stopped admissions.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// heartbeat renews a session's lease. It reports false when the server is
+// draining, in which case the caller should say Goodbye.
+func (s *Server) heartbeat(sess *clientSession) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Heartbeats++
+	if s.draining {
+		return false
+	}
+	if s.cfg.LeaseDuration > 0 {
+		sess.leaseExpiry = time.Now().Add(s.cfg.LeaseDuration)
+	}
+	return true
+}
+
+// send transmits one server message under the write deadline, reporting
+// whether the connection is still usable. Never called with s.mu held.
+func (s *Server) send(conn net.Conn, enc *gob.Encoder, msg *ServerMsg) bool {
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	return enc.Encode(msg) == nil
 }
 
 // armRead refreshes the read deadline before a blocking decode.
@@ -440,65 +739,85 @@ func (s *Server) armRead(conn net.Conn) {
 	}
 }
 
-// sendTask transmits the latest model, or Done when training finished.
-// It reports whether the connection should stay open.
+// drainLinger bounds how long a handler keeps a connection open after a
+// drain Goodbye so the peer can read it before the socket dies. Closing
+// immediately would race the client's next in-flight write: data arriving
+// on a closed socket triggers a TCP reset, which discards the queued
+// farewell from the peer's receive buffer and turns a polite redirect
+// into a reconnect storm against a dead address.
+const drainLinger = 5 * time.Second
+
+// farewell sends a drain Goodbye and lingers until the client has read it
+// and closed its end. In the lock-step protocol the queued Goodbye
+// answers the client's next request, so in-flight requests are decoded
+// and discarded here rather than replied to twice.
+func (s *Server) farewell(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *limitReader) {
+	if s.send(conn, enc, &ServerMsg{Goodbye: true}) {
+		s.linger(conn, dec, lim)
+	}
+}
+
+// linger drains and discards a connection's remaining inbound messages
+// until the peer closes (typically right after reading a Goodbye already
+// on the wire), the linger budget runs out, or drain teardown closes the
+// socket.
+func (s *Server) linger(conn net.Conn, dec *gob.Decoder, lim *limitReader) {
+	_ = conn.SetReadDeadline(time.Now().Add(drainLinger))
+	for {
+		lim.reset()
+		var msg ClientMsg
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+	}
+}
+
+// sendTask transmits the latest model, or Done/Goodbye when training
+// finished. It reports whether the connection should stay open.
 func (s *Server) sendTask(conn net.Conn, enc *gob.Encoder) bool {
+	return s.sendTaskNack(conn, enc, 0, 0)
+}
+
+// sendTaskNack transmits an optional NACK together with the latest model
+// in one envelope (or Done/Goodbye when the deployment ended). It reports
+// whether the connection should stay open.
+func (s *Server) sendTaskNack(conn net.Conn, enc *gob.Encoder, nack NackCode, retryAfter time.Duration) bool {
 	s.mu.Lock()
 	finished := s.finished
+	draining := s.draining
 	task := Task{Version: s.version, Params: vecmath.Clone(s.global)}
 	s.mu.Unlock()
-	if s.cfg.WriteTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	}
-	if finished {
-		_ = enc.Encode(&ServerMsg{Done: true})
+	if finished || draining {
+		s.send(conn, enc, &ServerMsg{Done: finished && !draining, Goodbye: draining})
 		return false
 	}
-	return enc.Encode(&ServerMsg{Task: &task}) == nil
+	return s.send(conn, enc, &ServerMsg{Task: &task, Nack: nack, RetryAfter: retryAfter})
 }
 
-// receiveUpdate buffers one update, then aggregates (outside the lock)
-// when the goal is hit.
-func (s *Server) receiveUpdate(sess *clientSession, msg *UpdateMsg) {
-	s.mu.Lock()
-	if s.finished {
-		s.mu.Unlock()
-		return
-	}
-	s.stats.UpdatesReceived++
-	if len(msg.Delta) != len(s.global) {
-		s.stats.DroppedMalformed++
-		s.mu.Unlock()
-		return
-	}
-	update := &fl.Update{
-		ClientID:    sess.id,
-		BaseVersion: msg.BaseVersion,
-		Staleness:   s.version - msg.BaseVersion,
-		Delta:       msg.Delta,
-		NumSamples:  sess.weight(),
-	}
-	added := s.buffer.Add(update)
-	if !added {
-		s.stats.DroppedStale++
-	} else {
-		s.lastProgress = time.Now()
-	}
-	s.mu.Unlock()
-	if added {
-		s.maybeAggregate(false)
-	}
-}
+// forceMode distinguishes why an aggregation round was forced below the
+// aggregation goal (or not forced at all).
+type forceMode int
+
+const (
+	// forceNone aggregates only when the buffer is Ready.
+	forceNone forceMode = iota
+	// forceWatchdog is a round-progress watchdog round on a partial
+	// buffer (counted in WatchdogRounds).
+	forceWatchdog
+	// forceDrain is the final flush of a graceful drain.
+	forceDrain
+)
 
 // maybeAggregate runs filter+aggregate rounds while the buffer is ready
-// (or once unconditionally when forced by the watchdog). The filter and
-// the combiner are O(buffer · dim) and run *outside* s.mu — holding the
-// lock across them would serialize every connection handler behind the
-// round and let a stalled filter wedge heartbeats and shutdown. Rounds
-// themselves stay strictly ordered: the aggregating flag admits one round
-// at a time, and a round that commits while the buffer is ready again
-// loops rather than handing off.
-func (s *Server) maybeAggregate(forced bool) {
+// (or once unconditionally when forced by the watchdog or a drain). The
+// filter and the combiner are O(buffer · dim) and run *outside* s.mu —
+// holding the lock across them would serialize every connection handler
+// behind the round and let a stalled filter wedge heartbeats and
+// shutdown. Rounds themselves stay strictly ordered: the aggregating flag
+// admits one round at a time, and a round that commits while the buffer
+// is ready again loops rather than handing off.
+func (s *Server) maybeAggregate(force forceMode) {
+	forced := force != forceNone
 	s.mu.Lock()
 	if s.aggregating || s.finished {
 		// An in-flight round re-checks readiness when it commits, so a
@@ -510,7 +829,7 @@ func (s *Server) maybeAggregate(forced bool) {
 		s.mu.Unlock()
 		return
 	}
-	if forced && s.buffer.Len() > 0 {
+	if force == forceWatchdog && s.buffer.Len() > 0 {
 		s.stats.WatchdogRounds++
 	}
 	s.aggregating = true
@@ -545,6 +864,7 @@ func (s *Server) maybeAggregate(forced bool) {
 		s.stats.Accepted += len(accepted)
 		s.stats.Deferred += len(deferred)
 		s.stats.Rejected += len(rejected)
+		s.noteFilterOutcomesLocked(accepted, rejected)
 		s.version++
 		s.stats.Rounds = s.version
 		s.stats.DroppedStale += s.buffer.RequeueAt(deferred, s.version)

@@ -1,6 +1,7 @@
 package asyncfilter
 
 import (
+	"context"
 	"net"
 	"time"
 
@@ -51,6 +52,31 @@ type ServerConfig struct {
 	// CheckpointEvery writes a snapshot every N aggregations (<= 1 means
 	// every aggregation). A final snapshot is always written on Close.
 	CheckpointEvery int
+	// MaxPendingUpdates bounds the update buffer: when admitting one more
+	// update would exceed it, the stalest buffered updates are shed first
+	// (0 disables). Must be at least AggregationGoal when set.
+	MaxPendingUpdates int
+	// ClientRateLimit caps each client's sustained update rate in updates
+	// per second via a token bucket (0 disables). Excess submissions are
+	// NACKed with a retry hint rather than dropped on the floor.
+	ClientRateLimit float64
+	// ClientBurst is the token-bucket depth for ClientRateLimit (<= 0
+	// defaults to 1): how many back-to-back updates a client may submit
+	// before the sustained rate applies.
+	ClientBurst int
+	// LeaseDuration expires clients silent for longer than this (0
+	// disables): their connection is closed and their session slot freed.
+	// Any client message — update or heartbeat — renews the lease.
+	LeaseDuration time.Duration
+	// QuarantineAfter quarantines a client once this many consecutive
+	// updates were rejected by the filter (0 disables): further updates
+	// are refused without filtering until QuarantineCooldown passes, then
+	// one probe update is admitted (half-open) to decide re-quarantine
+	// versus rehabilitation.
+	QuarantineAfter int
+	// QuarantineCooldown is how long a quarantined client is refused
+	// before the half-open probe (<= 0 defaults to 30s).
+	QuarantineCooldown time.Duration
 }
 
 // ServerStats reports a deployment's lifetime counters.
@@ -79,6 +105,23 @@ type ServerStats struct {
 	HandlerPanics int
 	// Checkpoints counts snapshots written successfully.
 	Checkpoints int
+	// DroppedShed counts updates shed under overload (stalest first) to
+	// respect MaxPendingUpdates.
+	DroppedShed int
+	// DroppedRateLimited counts updates NACKed by the per-client token
+	// bucket.
+	DroppedRateLimited int
+	// DroppedQuarantined counts updates refused from quarantined clients.
+	DroppedQuarantined int
+	// QuarantinedClients counts quarantine entries (a client re-entering
+	// quarantine after a failed half-open probe counts again).
+	QuarantinedClients int
+	// ExpiredLeases counts client sessions evicted for lease expiry.
+	ExpiredLeases int
+	// Heartbeats counts heartbeat messages received.
+	Heartbeats int
+	// NacksSent counts typed NACK replies sent to clients.
+	NacksSent int
 }
 
 // Server runs asynchronous federated learning over TCP with an optional
@@ -95,16 +138,22 @@ func NewServer(cfg ServerConfig, filter *Filter) (*Server, error) {
 		innerFilter = filter.inner
 	}
 	s, err := transport.NewServer(transport.ServerConfig{
-		InitialParams:   cfg.InitialParams,
-		AggregationGoal: cfg.AggregationGoal,
-		StalenessLimit:  cfg.StalenessLimit,
-		Rounds:          cfg.Rounds,
-		ReadTimeout:     cfg.ReadTimeout,
-		WriteTimeout:    cfg.WriteTimeout,
-		MaxMessageBytes: cfg.MaxMessageBytes,
-		RoundTimeout:    cfg.RoundTimeout,
-		CheckpointPath:  cfg.CheckpointPath,
-		CheckpointEvery: cfg.CheckpointEvery,
+		InitialParams:      cfg.InitialParams,
+		AggregationGoal:    cfg.AggregationGoal,
+		StalenessLimit:     cfg.StalenessLimit,
+		Rounds:             cfg.Rounds,
+		ReadTimeout:        cfg.ReadTimeout,
+		WriteTimeout:       cfg.WriteTimeout,
+		MaxMessageBytes:    cfg.MaxMessageBytes,
+		RoundTimeout:       cfg.RoundTimeout,
+		CheckpointPath:     cfg.CheckpointPath,
+		CheckpointEvery:    cfg.CheckpointEvery,
+		MaxPendingUpdates:  cfg.MaxPendingUpdates,
+		ClientRateLimit:    cfg.ClientRateLimit,
+		ClientBurst:        cfg.ClientBurst,
+		LeaseDuration:      cfg.LeaseDuration,
+		QuarantineAfter:    cfg.QuarantineAfter,
+		QuarantineCooldown: cfg.QuarantineCooldown,
 	}, innerFilter, nil)
 	if err != nil {
 		return nil, err
@@ -125,6 +174,15 @@ func (s *Server) Done() <-chan struct{} { return s.inner.Done() }
 // Close stops the server and disconnects all clients.
 func (s *Server) Close() error { return s.inner.Close() }
 
+// Drain gracefully retires the server: admissions stop (clients are told
+// Goodbye so they reconnect elsewhere), the in-flight round commits, the
+// remaining buffer is flushed into one final round, a final checkpoint is
+// written when checkpointing is configured, and the network is torn down.
+// When ctx expires first, the network is closed immediately and ctx's
+// error returned while the flush and checkpoint complete in the
+// background. Safe to call concurrently with Close and repeatedly.
+func (s *Server) Drain(ctx context.Context) error { return s.inner.Drain(ctx) }
+
 // FinalParams returns a copy of the current global parameters.
 func (s *Server) FinalParams() []float64 { return s.inner.FinalParams() }
 
@@ -139,19 +197,26 @@ func (s *Server) Restored() bool { return s.inner.Restored() }
 func (s *Server) Stats() ServerStats {
 	st := s.inner.Stats()
 	return ServerStats{
-		Rounds:           st.Rounds,
-		Accepted:         st.Accepted,
-		Deferred:         st.Deferred,
-		Rejected:         st.Rejected,
-		DroppedStale:     st.DroppedStale,
-		DroppedMalformed: st.DroppedMalformed,
-		DroppedOversize:  st.DroppedOversize,
-		UpdatesReceived:  st.UpdatesReceived,
-		WatchdogRounds:   st.WatchdogRounds,
-		ClientsConnected: st.ClientsConnected,
-		Reconnects:       st.Reconnects,
-		HandlerPanics:    st.HandlerPanics,
-		Checkpoints:      st.Checkpoints,
+		Rounds:             st.Rounds,
+		Accepted:           st.Accepted,
+		Deferred:           st.Deferred,
+		Rejected:           st.Rejected,
+		DroppedStale:       st.DroppedStale,
+		DroppedMalformed:   st.DroppedMalformed,
+		DroppedOversize:    st.DroppedOversize,
+		UpdatesReceived:    st.UpdatesReceived,
+		WatchdogRounds:     st.WatchdogRounds,
+		ClientsConnected:   st.ClientsConnected,
+		Reconnects:         st.Reconnects,
+		HandlerPanics:      st.HandlerPanics,
+		Checkpoints:        st.Checkpoints,
+		DroppedShed:        st.DroppedShed,
+		DroppedRateLimited: st.DroppedRateLimited,
+		DroppedQuarantined: st.DroppedQuarantined,
+		QuarantinedClients: st.QuarantinedClients,
+		ExpiredLeases:      st.ExpiredLeases,
+		Heartbeats:         st.Heartbeats,
+		NacksSent:          st.NacksSent,
 	}
 }
 
@@ -181,7 +246,16 @@ type ClientOptions struct {
 	RetryMaxDelay time.Duration
 	// DialTimeout bounds each connection attempt (0 = no timeout).
 	DialTimeout time.Duration
+	// HeartbeatInterval sends keepalive heartbeats this often while
+	// connected (0 disables), renewing the server-side lease through long
+	// local training. Set it well below the server's LeaseDuration.
+	HeartbeatInterval time.Duration
 }
+
+// ErrServerGoodbye is returned by Client.Run when the server is draining
+// and asked the client to go elsewhere; Run does not retry the same
+// address.
+var ErrServerGoodbye = transport.ErrServerGoodbye
 
 // Client participates in a TCP deployment.
 type Client struct {
@@ -191,16 +265,17 @@ type Client struct {
 // NewClient builds a client.
 func NewClient(opts ClientOptions) (*Client, error) {
 	c, err := transport.NewClient(transport.ClientConfig{
-		ID:             opts.ID,
-		Data:           dataOf(opts.Data),
-		Model:          opts.Model.internal(),
-		Trainer:        opts.Train.internal(),
-		Attack:         attack.Config{Name: opts.Attack},
-		Seed:           opts.Seed,
-		MaxRetries:     opts.MaxRetries,
-		RetryBaseDelay: opts.RetryBaseDelay,
-		RetryMaxDelay:  opts.RetryMaxDelay,
-		DialTimeout:    opts.DialTimeout,
+		ID:                opts.ID,
+		Data:              dataOf(opts.Data),
+		Model:             opts.Model.internal(),
+		Trainer:           opts.Train.internal(),
+		Attack:            attack.Config{Name: opts.Attack},
+		Seed:              opts.Seed,
+		MaxRetries:        opts.MaxRetries,
+		RetryBaseDelay:    opts.RetryBaseDelay,
+		RetryMaxDelay:     opts.RetryMaxDelay,
+		DialTimeout:       opts.DialTimeout,
+		HeartbeatInterval: opts.HeartbeatInterval,
 	})
 	if err != nil {
 		return nil, err
