@@ -16,6 +16,7 @@ import (
 	"github.com/asyncfl/asyncfilter/internal/defense"
 	"github.com/asyncfl/asyncfilter/internal/experiments"
 	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/obsv"
 	"github.com/asyncfl/asyncfilter/internal/sim"
 )
 
@@ -150,6 +151,30 @@ func BenchmarkOverload(b *testing.B) {
 		b.ReportMetric(float64(st.DroppedShed)/secs, "shed/s")
 		b.ReportMetric(float64(st.DroppedRateLimited)/secs, "ratelimited/s")
 	}
+}
+
+// BenchmarkObsvOverhead measures the cost of the observability layer on
+// the Table 2 experiment: the "enabled" variant attaches a live hub
+// (metrics registry + decision trace ring at the default depth) to every
+// filter in the run, the "disabled" variant is the plain experiment. The
+// acceptance bar for the layer is <5% slowdown; compare the two ns/op
+// figures (benchstat, or by eye on -benchtime=5x).
+func BenchmarkObsvOverhead(b *testing.B) {
+	spec, err := experiments.TableSpecByID("table2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, hub *obsv.Hub) {
+		for i := 0; i < b.N; i++ {
+			scale := benchScale()
+			scale.Obsv = hub
+			if _, err := experiments.RunTable(spec, scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, obsv.NewHub(0)) })
 }
 
 // --- Ablation benches (DESIGN.md §5) ---

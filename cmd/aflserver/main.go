@@ -22,6 +22,11 @@
 // shed first), -client-rate/-client-burst rate-limit each client,
 // -lease evicts silent clients (clients send heartbeats to stay alive),
 // -quarantine-after circuit-breaks clients the filter keeps rejecting.
+//
+// -obsv-addr serves live introspection over HTTP: /metrics (Prometheus
+// text mirroring the server's stats), /trace (recent filter decisions as
+// JSON), /healthz (drain/lifecycle state) and /debug/pprof. The listener
+// stays up through a drain so the final counters remain scrapeable.
 package main
 
 import (
@@ -70,6 +75,9 @@ func run(args []string) error {
 		quarCool    = fs.Duration("quarantine-cooldown", 30*time.Second, "refusal window before a quarantined client's half-open probe")
 
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before hard shutdown")
+
+		obsvAddr   = fs.String("obsv-addr", "", "serve /metrics, /trace, /healthz and /debug/pprof on this address (\"\" disables)")
+		traceDepth = fs.Int("trace-depth", 0, "filter-decision trace ring size for -obsv-addr (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,12 +123,17 @@ func run(args []string) error {
 		LeaseDuration:      *lease,
 		QuarantineAfter:    *quarAfter,
 		QuarantineCooldown: *quarCool,
+		ObsvAddr:           *obsvAddr,
+		TraceDepth:         *traceDepth,
 	}, filter)
 	if err != nil {
 		return err
 	}
 	if server.Restored() {
 		fmt.Printf("aflserver: restored from %s at round %d\n", *ckptPath, server.Version())
+	}
+	if addr := server.ObsvAddr(); addr != "" {
+		fmt.Printf("aflserver: introspection on http://%s (/metrics /trace /healthz /debug/pprof)\n", addr)
 	}
 
 	fmt.Printf("aflserver: listening on %s (dataset=%s defense=%s goal=%d rounds=%d)\n",

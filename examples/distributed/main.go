@@ -30,7 +30,7 @@ const (
 	rounds       = 6
 )
 
-func newServer(params []float64, ckptPath string) (*asyncfilter.Server, error) {
+func newServer(params []float64, ckptPath, obsvAddr string) (*asyncfilter.Server, error) {
 	// Each server instance gets a fresh filter: after a kill, the
 	// replacement's filter history comes from the checkpoint, not from
 	// shared memory.
@@ -63,12 +63,14 @@ func newServer(params []float64, ckptPath string) (*asyncfilter.Server, error) {
 		LeaseDuration:      30 * time.Second,
 		QuarantineAfter:    4,
 		QuarantineCooldown: 5 * time.Second,
+		ObsvAddr:           obsvAddr,
 	}, filter)
 }
 
 func main() {
 	ckptPath := flag.String("checkpoint", "", "checkpoint file for durable server state (\"\" disables)")
 	killAt := flag.Int("kill-at", 0, "kill the server after this round and resume it from the checkpoint (0 disables; requires -checkpoint)")
+	obsvAddr := flag.String("obsv-addr", "", "serve /metrics, /trace, /healthz and /debug/pprof on this address (\"\" disables)")
 	flag.Parse()
 	if *killAt > 0 && *ckptPath == "" {
 		log.Fatal("-kill-at requires -checkpoint (remove any stale checkpoint file from earlier runs)")
@@ -85,12 +87,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	server, err := newServer(params, *ckptPath)
+	server, err := newServer(params, *ckptPath, *obsvAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if server.Restored() {
 		fmt.Printf("restored from %s at round %d\n", *ckptPath, server.Version())
+	}
+	if a := server.ObsvAddr(); a != "" {
+		fmt.Printf("introspection on http://%s\n", a)
 	}
 
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -166,7 +171,7 @@ func main() {
 		}
 		// Restore a replacement from the checkpoint on the same address
 		// while the clients keep retrying.
-		replacement, err := newServer(params, *ckptPath)
+		replacement, err := newServer(params, *ckptPath, *obsvAddr)
 		if err != nil {
 			log.Fatal("restore:", err)
 		}

@@ -32,11 +32,20 @@ type ExperimentScale struct {
 	Repeats int
 	// Seed offsets all run seeds.
 	Seed int64
+	// Metrics, when non-nil, collects metrics and filter-decision traces
+	// from every run (see NewMetrics). Observation never changes an
+	// experiment outcome.
+	Metrics *Metrics
 }
 
 // RunExperiment reproduces one of the paper's tables or figures by id.
 func RunExperiment(id string, scale ExperimentScale) (Report, error) {
-	s := experiments.Scale{Rounds: scale.Rounds, Repeats: scale.Repeats, BaseSeed: scale.Seed}
+	s := experiments.Scale{
+		Rounds:   scale.Rounds,
+		Repeats:  scale.Repeats,
+		BaseSeed: scale.Seed,
+		Obsv:     hubOf(scale.Metrics),
+	}
 	switch id {
 	case "detection":
 		// Extension experiment (not a paper table): detection precision,

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// Property tests for the 1-D clustering the filter's attacker
+// identification rides on. The fixtures are deliberately well-separated
+// (the filter only acts when clusters separate by RejectThreshold
+// standard deviations anyway), so the optimal partition is unambiguous
+// and every property below must hold exactly.
+
+// shuffled returns a permutation of values plus the permutation itself,
+// drawn from a seed independent of the clustering seed.
+func shuffled(values []float64, seed int64) ([]float64, []int) {
+	r := randx.New(seed)
+	perm := r.Perm(len(values))
+	out := make([]float64, len(values))
+	for i, p := range perm {
+		out[i] = values[p]
+	}
+	return out, perm
+}
+
+// labelByValue maps each distinct input value to its assigned cluster,
+// failing if one value straddles two clusters.
+func labelByValue(t *testing.T, values []float64, assign []int) map[float64]int {
+	t.Helper()
+	m := make(map[float64]int)
+	for i, v := range values {
+		if prev, ok := m[v]; ok && prev != assign[i] {
+			t.Fatalf("value %v assigned to clusters %d and %d", v, prev, assign[i])
+		}
+		m[v] = assign[i]
+	}
+	return m
+}
+
+// wellSeparated is the canonical 3-group suspicion-score fixture: a
+// benign mass near zero, a middling group, and a small hot cluster —
+// the shape Eq. 7 scores produce under attack.
+func wellSeparated() []float64 {
+	return []float64{
+		0.1, 0.11, 0.09, 0.1, 0.12,
+		1.0, 1.02, 0.98, 1.01, 0.99,
+		10.0, 10.1, 9.9,
+	}
+}
+
+// Permutation invariance: reordering the input must not change which
+// values land in which (center-sorted) cluster.
+func TestKMeans1DPermutationInvariant(t *testing.T) {
+	base := wellSeparated()
+	ref, err := KMeans1D(base, 3, randx.New(7), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := labelByValue(t, base, ref.Assignments)
+
+	for trial := int64(0); trial < 20; trial++ {
+		vals, _ := shuffled(base, 100+trial)
+		res, err := KMeans1D(vals, 3, randx.New(7), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := labelByValue(t, vals, res.Assignments)
+		for v, label := range want {
+			if got[v] != label {
+				t.Fatalf("trial %d: value %v in cluster %d, want %d", trial, v, got[v], label)
+			}
+		}
+	}
+}
+
+// Determinism: the same input under the same randx seed must reproduce
+// the clustering exactly — assignments, centers, sizes and inertia.
+// (The filter's reproducibility guarantee and the checkpoint/restore
+// round-trip both lean on this.)
+func TestKMeans1DDeterministicUnderSeed(t *testing.T) {
+	values := wellSeparated()
+	first, err := KMeans1D(values, 3, randx.New(42), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		res, err := KMeans1D(values, 3, randx.New(42), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first.Assignments {
+			if res.Assignments[i] != first.Assignments[i] {
+				t.Fatalf("trial %d: assignment %d = %d, want %d", trial, i, res.Assignments[i], first.Assignments[i])
+			}
+		}
+		for c := range first.Centers {
+			if !vecmath.EqualApprox(res.Centers[c], first.Centers[c], 0) {
+				t.Fatalf("trial %d: center %d = %v, want %v", trial, c, res.Centers[c], first.Centers[c])
+			}
+			if res.Sizes[c] != first.Sizes[c] {
+				t.Fatalf("trial %d: size %d = %d, want %d", trial, c, res.Sizes[c], first.Sizes[c])
+			}
+		}
+		if !vecmath.ExactEqual(res.Inertia, first.Inertia) {
+			t.Fatalf("trial %d: inertia %v, want %v", trial, res.Inertia, first.Inertia)
+		}
+	}
+}
+
+// Cluster identity: on the crafted fixture, cluster 0 must hold exactly
+// the lowest-mean group and cluster k-1 exactly the highest-mean group —
+// the property the filter's accept-lowest/reject-highest policy assumes
+// of KMeans1D's center-sorted output.
+func TestKMeans1DLowestHighestIdentification(t *testing.T) {
+	values := wellSeparated()
+	for seed := int64(1); seed <= 10; seed++ {
+		res, err := KMeans1D(values, 3, randx.New(seed), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range values {
+			var want int
+			switch {
+			case v < 0.5:
+				want = 0
+			case v < 5:
+				want = 1
+			default:
+				want = 2
+			}
+			if res.Assignments[i] != want {
+				t.Fatalf("seed %d: value %v in cluster %d, want %d (assignments %v)",
+					seed, v, res.Assignments[i], want, res.Assignments)
+			}
+		}
+		if res.Sizes[0] != 5 || res.Sizes[1] != 5 || res.Sizes[2] != 3 {
+			t.Fatalf("seed %d: sizes %v, want [5 5 3]", seed, res.Sizes)
+		}
+		if !(res.Centers[0][0] < res.Centers[1][0] && res.Centers[1][0] < res.Centers[2][0]) {
+			t.Fatalf("seed %d: centers not ascending: %v", seed, res.Centers)
+		}
+	}
+}

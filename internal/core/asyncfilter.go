@@ -176,6 +176,11 @@ type AsyncFilter struct {
 	// Round diagnostics, refreshed by each Filter call.
 	lastScores []float64
 	rounds     int
+
+	// obs, when non-nil, receives one DecisionEvent per update and one
+	// FilterRoundEvent per Filter call. Emission is purely observational
+	// and never alters verdicts, estimator folding or RNG consumption.
+	obs fl.FilterObserver
 }
 
 type estimator interface {
@@ -226,7 +231,61 @@ func New(cfg Config) (*AsyncFilter, error) {
 	}, nil
 }
 
-var _ fl.Filter = (*AsyncFilter)(nil)
+var (
+	_ fl.Filter           = (*AsyncFilter)(nil)
+	_ fl.ObservableFilter = (*AsyncFilter)(nil)
+)
+
+// SetObserver implements fl.ObservableFilter. Call before the filter is
+// handed to a server; the filter is not safe for concurrent use.
+func (f *AsyncFilter) SetObserver(obs fl.FilterObserver) { f.obs = obs }
+
+// emit publishes one decision event per update plus the round summary.
+// decisions == nil means every update was accepted; assign == nil means
+// the batch was never clustered (events carry cluster -1); pre holds the
+// pre-amnesty verdicts so amnesty flips are visible in the events.
+func (f *AsyncFilter) emit(round int, updates []*fl.Update, groupOf []int, scores []float64, assign []int, decisions, pre []fl.Decision, wholesale bool) {
+	if f.obs == nil {
+		return
+	}
+	var acc, def, rej int
+	for i, u := range updates {
+		d := fl.Accept
+		if decisions != nil {
+			d = decisions[i]
+		}
+		switch d {
+		case fl.Defer:
+			def++
+		case fl.Reject:
+			rej++
+		default:
+			acc++
+		}
+		cl := -1
+		if assign != nil {
+			cl = assign[i]
+		}
+		f.obs.ObserveDecision(fl.DecisionEvent{
+			Round:    round,
+			ClientID: u.ClientID,
+			Group:    groupOf[i],
+			Cluster:  cl,
+			Score:    scores[i],
+			Decision: d,
+			Amnesty:  pre != nil && pre[i] != d,
+		})
+	}
+	f.obs.ObserveFilterRound(fl.FilterRoundEvent{
+		Round:     round,
+		Batch:     len(updates),
+		Accepted:  acc,
+		Deferred:  def,
+		Rejected:  rej,
+		Groups:    len(f.groups),
+		Wholesale: wholesale,
+	})
+}
 
 // Name implements fl.Filter.
 func (f *AsyncFilter) Name() string {
@@ -391,6 +450,7 @@ func (f *AsyncFilter) Filter(updates []*fl.Update, round int) (fl.FilterResult, 
 		fold(nil)
 		res := fl.AcceptAll(n)
 		res.Scores = scores
+		f.emit(round, updates, groupOf, scores, nil, nil, nil, true)
 		return res, nil
 	}
 
@@ -420,6 +480,7 @@ func (f *AsyncFilter) Filter(updates []*fl.Update, round int) (fl.FilterResult, 
 			decisions[i] = fl.Accept
 		}
 		fold(nil)
+		f.emit(round, updates, groupOf, scores, km.Assignments, decisions, nil, false)
 		return fl.FilterResult{Decisions: decisions, Scores: scores}, nil
 	}
 
@@ -459,8 +520,13 @@ func (f *AsyncFilter) Filter(updates []*fl.Update, round int) (fl.FilterResult, 
 			decisions[i] = f.cfg.MiddlePolicy
 		}
 	}
+	var preAmnesty []fl.Decision
+	if f.obs != nil {
+		preAmnesty = append([]fl.Decision(nil), decisions...)
+	}
 	f.applyAmnesty(updates, decisions)
 	fold(decisions)
+	f.emit(round, updates, groupOf, scores, km.Assignments, decisions, preAmnesty, false)
 	return fl.FilterResult{Decisions: decisions, Scores: scores}, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"github.com/asyncfl/asyncfilter/internal/fl"
@@ -11,7 +12,9 @@ import (
 
 // makeBatch builds an arrival batch with benign updates scattered around a
 // per-staleness center and malicious updates far from every center.
-// Returns the updates and the ground-truth malicious flags.
+// Returns the updates and the ground-truth malicious flags. Groups are
+// emitted in ascending staleness order so the same seed always yields the
+// same batch (the neutrality tests call this twice and diff the results).
 func makeBatch(seed int64, benignPerGroup map[int]int, malicious int, spread float64) ([]*fl.Update, []bool) {
 	r := randx.New(seed)
 	const dim = 12
@@ -19,7 +22,13 @@ func makeBatch(seed int64, benignPerGroup map[int]int, malicious int, spread flo
 	var updates []*fl.Update
 	var truth []bool
 	id := 0
-	for staleness, count := range benignPerGroup {
+	groups := make([]int, 0, len(benignPerGroup))
+	for staleness := range benignPerGroup {
+		groups = append(groups, staleness)
+	}
+	sort.Ints(groups)
+	for _, staleness := range groups {
+		count := benignPerGroup[staleness]
 		c, ok := centers[staleness]
 		if !ok {
 			c = randx.NormalVector(r, dim, 0, 3)

@@ -14,6 +14,7 @@ import (
 	"github.com/asyncfl/asyncfilter/internal/core"
 	"github.com/asyncfl/asyncfilter/internal/defense"
 	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/obsv"
 	"github.com/asyncfl/asyncfilter/internal/sim"
 	"github.com/asyncfl/asyncfilter/internal/stats"
 )
@@ -75,6 +76,12 @@ type Scale struct {
 	Repeats int
 	// BaseSeed offsets all run seeds.
 	BaseSeed int64
+	// Obsv, when non-nil, collects metrics and filter-decision traces
+	// from every run of the experiment: observable filters get a
+	// FilterSink attached, and the overload experiment instruments its
+	// transport server. Observation never changes an outcome (see
+	// TestObsvScaleNeutral).
+	Obsv *obsv.Hub
 }
 
 func (s Scale) withDefaults() Scale {
@@ -249,6 +256,13 @@ func runCell(spec TableSpec, filterName, attackName string, scale Scale) (Cell, 
 		filter, err := NewFilter(filterName, seed)
 		if err != nil {
 			return Cell{}, err
+		}
+		if scale.Obsv != nil {
+			// The fedbuff baseline has no filter (nil) and other defenses
+			// may not support observation; both assert ok == false.
+			if of, ok := filter.(fl.ObservableFilter); ok {
+				of.SetObserver(obsv.NewFilterSink(scale.Obsv))
+			}
 		}
 		s, err := sim.New(cfg, filter, nil)
 		if err != nil {

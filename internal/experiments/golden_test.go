@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/stats"
+	"github.com/asyncfl/asyncfilter/internal/transport"
+)
+
+// Golden-file tests pin the exact rendered output of every report type.
+// The fixtures are hand-built (no simulation), so the renderings are
+// fully deterministic; any intentional layout change is blessed with
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// and reviewed as a testdata diff.
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s rendering drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func goldenTable() *Table {
+	gd, lie := attack.GDName, attack.LIEName
+	return &Table{
+		ID:      "table2",
+		Title:   "golden fixture",
+		Attacks: []string{gd, lie, attack.NoneName},
+		Filters: []string{FilterFedBuff, FilterAsyncFilter},
+		Cells: map[string]map[string]Cell{
+			FilterFedBuff: {
+				gd:              {Accuracy: 0.1012, Std: 0.021},
+				lie:             {Accuracy: 0.5544},
+				attack.NoneName: {Accuracy: 0.9011, Std: 0.004},
+			},
+			FilterAsyncFilter: {
+				gd: {Accuracy: 0.8933, Std: 0.012, Detection: stats.Confusion{TP: 9, FP: 1, TN: 30, FN: 2}},
+				// lie cell deliberately missing: renders as an em dash.
+				attack.NoneName: {Accuracy: 0.9102},
+			},
+		},
+	}
+}
+
+func TestGoldenTableRender(t *testing.T) {
+	checkGolden(t, "table_render", goldenTable().Render())
+}
+
+func TestGoldenTableCSV(t *testing.T) {
+	checkGolden(t, "table_csv", goldenTable().CSV())
+}
+
+func TestGoldenScatter(t *testing.T) {
+	e := &EmbeddingResult{
+		ID:    "fig3",
+		Title: "golden embedding",
+		Points: []EmbeddingPoint{
+			{X: -10, Y: -10, Staleness: 0, ClientID: 1},
+			{X: 10, Y: 10, Staleness: 1, ClientID: 2},
+			{X: 0, Y: 0, Staleness: 12, ClientID: 3},
+			{X: 5, Y: -5, Staleness: 40, ClientID: 4},
+			{X: -5, Y: 5, Staleness: -1, ClientID: 5},
+		},
+	}
+	checkGolden(t, "scatter", e.Scatter(24, 12))
+	checkGolden(t, "embedding_csv", e.CSV())
+}
+
+func TestGoldenSweepCSV(t *testing.T) {
+	s := &SweepResult{ID: "fig6", Points: []SweepPoint{
+		{StalenessLimit: 5, Attack: attack.GDName, Mean: 0.83, Std: 0.03},
+		{StalenessLimit: 10, Attack: attack.GDName, Mean: 0.8512, Std: 0.0125},
+		{StalenessLimit: 10, Attack: attack.LIEName, Mean: 0.79, Std: 0},
+	}}
+	checkGolden(t, "sweep_csv", s.CSV())
+}
+
+func TestGoldenAblationCSV(t *testing.T) {
+	a := &AblationResult{ID: "fig7", Bars: []AblationBar{
+		{Attack: attack.LIEName, Variant: FilterAsyncFilter, Accuracy: 0.86, RejectedBenign: 2},
+		{Attack: attack.LIEName, Variant: FilterAsyncFilter2, Accuracy: 0.81, RejectedBenign: 5},
+	}}
+	checkGolden(t, "ablation_csv", a.CSV())
+}
+
+func TestGoldenDetectionCSV(t *testing.T) {
+	d := &DetectionResult{ID: "detection", Rows: []DetectionRow{{
+		Filter: FilterAsyncFilter, Attack: attack.GDName,
+		Confusion: stats.Confusion{TP: 3, FP: 1, TN: 10, FN: 1},
+		Accuracy:  0.9,
+	}}}
+	checkGolden(t, "detection_csv", d.CSV())
+}
+
+func TestGoldenOverloadRender(t *testing.T) {
+	o := &OverloadResult{
+		ID:      "overload",
+		Clients: 16,
+		Rounds:  40,
+		// Exact duration so the per-second throughput columns divide evenly.
+		Duration: 2 * time.Second,
+		Stats: transport.ServerStats{
+			UpdatesReceived:    1000,
+			DroppedShed:        300,
+			DroppedRateLimited: 200,
+			NacksSent:          500,
+			ClientsConnected:   16,
+		},
+	}
+	checkGolden(t, "overload_render", o.Render())
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/obsv"
+	"github.com/asyncfl/asyncfilter/internal/sim"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// Observation must be free of side effects on the science: the same
+// seeded simulation with and without a hub attached has to produce the
+// identical result — same accuracy and loss bit for bit, same
+// accept/reject ledger, and byte-identical serialized filter state (the
+// filter's moving averages feed every future decision, so any
+// observer-induced drift would compound).
+func TestObsvScaleNeutral(t *testing.T) {
+	run := func(hub *obsv.Hub) (*sim.Result, []byte) {
+		cfg, err := sim.Default("mnist")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Seed = 3
+		cfg.Rounds = 6
+		cfg.Attack = attack.Config{Name: attack.GDName}
+		filter, err := NewFilter(FilterAsyncFilter, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hub != nil {
+			filter.(fl.ObservableFilter).SetObserver(obsv.NewFilterSink(hub))
+		}
+		s, err := sim.New(cfg, filter, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		state, err := filter.(fl.StateSnapshotter).SnapshotState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, state
+	}
+
+	plain, plainState := run(nil)
+	hub := obsv.NewHub(0)
+	observed, observedState := run(hub)
+
+	if !vecmath.ExactEqual(plain.FinalAccuracy, observed.FinalAccuracy) {
+		t.Errorf("accuracy %v vs %v under observation", plain.FinalAccuracy, observed.FinalAccuracy)
+	}
+	if !vecmath.ExactEqual(plain.FinalLoss, observed.FinalLoss) {
+		t.Errorf("loss %v vs %v under observation", plain.FinalLoss, observed.FinalLoss)
+	}
+	if plain.Rounds != observed.Rounds || plain.Accepted != observed.Accepted || plain.Rejected != observed.Rejected {
+		t.Errorf("ledger differs: %d/%d/%d vs %d/%d/%d",
+			plain.Rounds, plain.Accepted, plain.Rejected,
+			observed.Rounds, observed.Accepted, observed.Rejected)
+	}
+	if len(plain.History) != len(observed.History) {
+		t.Fatalf("history length %d vs %d", len(plain.History), len(observed.History))
+	}
+	for i := range plain.History {
+		if !vecmath.ExactEqual(plain.History[i].Accuracy, observed.History[i].Accuracy) ||
+			!vecmath.ExactEqual(plain.History[i].Loss, observed.History[i].Loss) {
+			t.Errorf("history point %d differs", i)
+		}
+	}
+	if !bytes.Equal(plainState, observedState) {
+		t.Error("observation changed the serialized filter state")
+	}
+
+	// The hub was not idle: it saw one round event per filter call and a
+	// decision stream matching the ledger.
+	snap := hub.Registry.Snapshot()
+	if snap.Counters["afl_filter_rounds_total"] == 0 {
+		t.Error("hub recorded no filter rounds")
+	}
+	wantRejects := uint64(observed.Rejected)
+	if got := snap.Counters[`afl_filter_decisions_total{decision="reject"}`]; got != wantRejects {
+		t.Errorf("hub reject count = %d, want %d", got, wantRejects)
+	}
+}
+
+// The Scale.Obsv plumbing reaches runCell's filters: a table cell run
+// under a hub must register filter series, and the fedbuff baseline
+// (nil filter) must not crash on the attach path.
+func TestScaleObsvPlumbing(t *testing.T) {
+	spec, err := TableSpecByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := obsv.NewHub(64)
+	scale := Scale{Rounds: 3, Repeats: 1, BaseSeed: 1, Obsv: hub}
+	if _, err := runCell(spec, FilterAsyncFilter, attack.GDName, scale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCell(spec, FilterFedBuff, attack.GDName, scale); err != nil {
+		t.Fatalf("fedbuff cell under observation: %v", err)
+	}
+	snap := hub.Registry.Snapshot()
+	if snap.Counters["afl_filter_rounds_total"] == 0 {
+		t.Error("observed cell registered no filter rounds")
+	}
+	if hub.Tracer.Total() == 0 {
+		t.Error("observed cell traced no decisions")
+	}
+}

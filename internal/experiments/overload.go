@@ -105,6 +105,7 @@ func RunOverload(scale Scale) (*OverloadResult, error) {
 		ClientBurst:       overloadBurst,
 		WriteTimeout:      10 * time.Second,
 		ReadTimeout:       10 * time.Second,
+		Obsv:              scale.Obsv,
 	}, nil, slowCombiner{lag: overloadCombineLag})
 	if err != nil {
 		return nil, err

@@ -21,6 +21,9 @@ type Buffer struct {
 	// deferrals do not count: readiness requires new information (see
 	// Ready).
 	fresh int
+	// obs, when non-nil, receives one BufferEvent per mutating call.
+	// Purely observational: no emission may alter buffer behavior.
+	obs BufferObserver
 }
 
 // NewBuffer builds a buffer that signals readiness once goal updates are
@@ -33,6 +36,22 @@ func NewBuffer(goal, limit int) (*Buffer, error) {
 	return &Buffer{goal: goal, stalenessLimit: limit}, nil
 }
 
+// SetObserver attaches an observer that receives one BufferEvent per
+// mutating call (nil detaches). Call before the buffer is shared; the
+// buffer itself is not safe for concurrent use.
+func (b *Buffer) SetObserver(obs BufferObserver) { b.obs = obs }
+
+// notify emits a state-stamped event; deltas come from the caller.
+func (b *Buffer) notify(ev BufferEvent) {
+	if b.obs == nil {
+		return
+	}
+	ev.Pending = len(b.updates)
+	ev.Fresh = b.fresh
+	ev.Ready = b.Ready()
+	b.obs.ObserveBuffer(ev)
+}
+
 // Add offers an update to the buffer. It returns false when the update was
 // discarded for exceeding the staleness limit. The update is deep-copied
 // on ingest: the buffer must never alias caller-owned memory, or a
@@ -42,10 +61,12 @@ func (b *Buffer) Add(u *Update) bool {
 	b.received++
 	if b.stalenessLimit > 0 && u.Staleness > b.stalenessLimit {
 		b.droppedStale++
+		b.notify(BufferEvent{DroppedStale: 1})
 		return false
 	}
 	b.updates = append(b.updates, CloneUpdate(u))
 	b.fresh++
+	b.notify(BufferEvent{Added: 1})
 	return true
 }
 
@@ -72,6 +93,7 @@ func (b *Buffer) Drain() []*Update {
 	out := b.updates
 	b.updates = nil
 	b.fresh = 0
+	b.notify(BufferEvent{Drained: len(out)})
 	return out
 }
 
@@ -81,14 +103,20 @@ func (b *Buffer) Drain() []*Update {
 // dropped and counted. Requeued updates may grow the buffer past the goal
 // but do not by themselves make it Ready.
 func (b *Buffer) Requeue(updates []*Update) {
+	requeued, stale := 0, 0
 	for _, u := range updates {
 		u.Staleness++
 		if b.stalenessLimit > 0 && u.Staleness > b.stalenessLimit {
 			b.droppedStale++
+			stale++
 			continue
 		}
 		//lint:ignore vecalias requeued updates come from Drain, which already transferred ownership to the server; they were cloned on first ingest and no client alias remains
 		b.updates = append(b.updates, u)
+		requeued++
+	}
+	if requeued > 0 || stale > 0 {
+		b.notify(BufferEvent{Requeued: requeued, DroppedStale: stale})
 	}
 }
 
@@ -100,6 +128,7 @@ func (b *Buffer) Requeue(updates []*Update) {
 // number dropped is returned so callers can account for them. Like
 // Requeue, it never re-arms Ready by itself.
 func (b *Buffer) RequeueAt(updates []*Update, version int) (dropped int) {
+	requeued := 0
 	for _, u := range updates {
 		u.Staleness = version - u.BaseVersion
 		if b.stalenessLimit > 0 && u.Staleness > b.stalenessLimit {
@@ -109,6 +138,10 @@ func (b *Buffer) RequeueAt(updates []*Update, version int) (dropped int) {
 		}
 		//lint:ignore vecalias requeued updates come from Drain, which already transferred ownership to the server; they were cloned on first ingest and no client alias remains
 		b.updates = append(b.updates, u)
+		requeued++
+	}
+	if requeued > 0 || dropped > 0 {
+		b.notify(BufferEvent{Requeued: requeued, DroppedStale: dropped})
 	}
 	return dropped
 }
@@ -176,6 +209,7 @@ func (b *Buffer) Shed(n int) []*Update {
 		b.updates[i] = nil
 	}
 	b.updates = kept
+	b.notify(BufferEvent{Shed: len(shed)})
 	return shed
 }
 
@@ -220,4 +254,5 @@ func (b *Buffer) Restore(st BufferState) {
 	b.received = st.Received
 	b.droppedStale = st.DroppedStale
 	b.fresh = len(b.updates)
+	b.notify(BufferEvent{Added: len(b.updates)})
 }

@@ -1,0 +1,90 @@
+package fl
+
+// Observability contracts. These interfaces live in fl (not in the
+// obsv package) so that core and fl stay import-free of the
+// observability layer: obsv provides sink implementations, the filter
+// and buffer only hold an interface value that is nil when tracing is
+// disabled. Observer callbacks must be fast and must not call back into
+// the component that emitted the event — they may run with the caller's
+// locks held.
+//
+// Naming note: no observer method may be literally named "Filter" — the
+// lockio analyzer treats any call to a method of that name as a
+// potentially-blocking filter invocation.
+
+// DecisionEvent describes one filter verdict for one client update.
+type DecisionEvent struct {
+	// Round is the aggregation round the verdict was produced for.
+	Round int
+	// ClientID identifies the update's sender.
+	ClientID int
+	// Group is the staleness group the update was scored in.
+	Group int
+	// Cluster is the update's k-means cluster index (clusters sorted
+	// ascending by center), or -1 when the batch was accepted wholesale
+	// without clustering (below MinBatch).
+	Cluster int
+	// Score is the normalized suspicion score (Eq. 7).
+	Score float64
+	// Decision is the final verdict, after any amnesty adjustment.
+	Decision Decision
+	// Amnesty is true when a rejection was flipped to accept by the
+	// reject-cooldown amnesty rule.
+	Amnesty bool
+}
+
+// FilterRoundEvent summarizes one filter invocation over a batch.
+type FilterRoundEvent struct {
+	Round    int
+	Batch    int
+	Accepted int
+	Deferred int
+	Rejected int
+	// Groups is the number of staleness groups with live estimates
+	// after this round.
+	Groups int
+	// Wholesale is true when the batch bypassed clustering (MinBatch).
+	Wholesale bool
+}
+
+// FilterObserver receives filter decision telemetry.
+type FilterObserver interface {
+	ObserveDecision(DecisionEvent)
+	ObserveFilterRound(FilterRoundEvent)
+}
+
+// ObservableFilter is implemented by filters that can emit decision
+// telemetry. SetObserver must be called before the filter is shared
+// across goroutines (observers are not swappable mid-deployment).
+type ObservableFilter interface {
+	SetObserver(FilterObserver)
+}
+
+// BufferEvent is a snapshot of buffer state plus the deltas of the
+// mutation that produced it. Exactly one mutation happened per event;
+// the delta fields say which.
+type BufferEvent struct {
+	// Pending is the buffered update count after the mutation.
+	Pending int
+	// Fresh is the number of first-hand (non-requeued) updates.
+	Fresh int
+	// Ready reports whether the buffer has reached its aggregation goal.
+	Ready bool
+
+	// Added counts updates admitted by this mutation.
+	Added int
+	// DroppedStale counts updates dropped for exceeding the staleness
+	// limit by this mutation.
+	DroppedStale int
+	// Requeued counts deferred updates returned by the filter.
+	Requeued int
+	// Shed counts updates evicted by overload shedding.
+	Shed int
+	// Drained counts updates handed to an aggregation round.
+	Drained int
+}
+
+// BufferObserver receives buffer occupancy telemetry.
+type BufferObserver interface {
+	ObserveBuffer(BufferEvent)
+}

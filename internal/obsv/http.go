@@ -1,0 +1,147 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Health is what /healthz reports about a server's lifecycle state.
+type Health struct {
+	// Draining is true once a graceful drain has begun.
+	Draining bool `json:"draining"`
+	// Finished is true once the deployment has completed its rounds
+	// (or a drain flushed the final one).
+	Finished bool `json:"finished"`
+	// Restored is true when the server recovered its state from a
+	// checkpoint at startup.
+	Restored bool `json:"restored"`
+	// Rounds is the current committed round (model version).
+	Rounds int `json:"rounds"`
+}
+
+// recordView is the JSON shape of a trace Record: enums become strings,
+// kind-irrelevant fields are dropped.
+type recordView struct {
+	Seq       uint64 `json:"seq"`
+	UnixNanos int64  `json:"unix_nanos"`
+	Kind      string `json:"kind"`
+	Round     int    `json:"round"`
+
+	ClientID *int    `json:"client_id,omitempty"`
+	Group    *int    `json:"group,omitempty"`
+	Cluster  *int    `json:"cluster,omitempty"`
+	Score    *string `json:"score,omitempty"`
+	Decision string  `json:"decision,omitempty"`
+	Amnesty  bool    `json:"amnesty,omitempty"`
+
+	Batch        *int  `json:"batch,omitempty"`
+	Accepted     *int  `json:"accepted,omitempty"`
+	Deferred     *int  `json:"deferred,omitempty"`
+	Rejected     *int  `json:"rejected,omitempty"`
+	Wholesale    bool  `json:"wholesale,omitempty"`
+	LatencyNanos int64 `json:"latency_nanos,omitempty"`
+}
+
+func viewOf(r Record) recordView {
+	v := recordView{
+		Seq:       r.Seq,
+		UnixNanos: r.UnixNanos,
+		Kind:      r.Kind.String(),
+		Round:     r.Round,
+	}
+	switch r.Kind {
+	case KindDecision:
+		// Pointer fields so valid zero values (client 0, group 0,
+		// cluster 0) are not swallowed by omitempty.
+		cid, grp, cl := r.ClientID, r.Group, r.Cluster
+		v.ClientID, v.Group, v.Cluster = &cid, &grp, &cl
+		score := formatFloat(r.Score)
+		v.Score = &score
+		v.Decision = DecisionString(r.Decision)
+		v.Amnesty = r.Amnesty
+		v.Wholesale = r.Wholesale
+	case KindRound:
+		batch, acc, def, rej := r.Batch, r.Accepted, r.Deferred, r.Rejected
+		v.Batch, v.Accepted, v.Deferred, v.Rejected = &batch, &acc, &def, &rej
+		v.Wholesale = r.Wholesale
+		v.LatencyNanos = r.LatencyNanos
+	}
+	return v
+}
+
+// TraceJSON renders the tracer's last n records (n <= 0: all held) as
+// the same JSON document the /trace endpoint serves.
+func TraceJSON(tr *Tracer, n int) ([]byte, error) {
+	records := tr.Last(n)
+	views := make([]recordView, len(records))
+	for i, r := range records {
+		views[i] = viewOf(r)
+	}
+	return json.MarshalIndent(struct {
+		Total   uint64       `json:"total"`
+		Records []recordView `json:"records"`
+	}{Total: tr.Total(), Records: views}, "", "  ")
+}
+
+// Handler serves the introspection endpoints for a hub:
+//
+//	GET /metrics        Prometheus text exposition of the registry
+//	GET /trace?n=N      last N trace records as JSON (default: all held)
+//	GET /healthz        lifecycle state; 503 once draining or finished
+//	GET /debug/pprof/*  net/http/pprof
+//
+// health may be nil, in which case /healthz always reports a zero
+// Health with status 200.
+func Handler(hub *Hub, health func() Health) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = hub.Registry.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if raw := req.URL.Query().Get("n"); raw != "" {
+			parsed, err := strconv.Atoi(raw)
+			if err != nil || parsed < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		body, err := TraceJSON(hub.Tracer, n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+		_, _ = w.Write([]byte("\n"))
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		var h Health
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// A draining or finished server is no longer accepting work:
+		// report 503 so load-balancer-style checks rotate it out while
+		// humans can still read the JSON body.
+		if h.Draining || h.Finished {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

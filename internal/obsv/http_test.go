@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	hub := NewHub(16)
+	hub.Registry.Counter("afl_rounds_total").Add(3)
+	srv := httptest.NewServer(Handler(hub, nil))
+	defer srv.Close()
+
+	code, body := getBody(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(body, "# TYPE afl_rounds_total counter") ||
+		!strings.Contains(body, "afl_rounds_total 3") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+}
+
+func TestHandlerTrace(t *testing.T) {
+	hub := NewHub(16)
+	hub.Tracer.Record(Record{
+		Kind: KindDecision, Round: 2, ClientID: 0, Group: 1, Cluster: 2,
+		Score: 0.9, Decision: DecisionReject,
+	})
+	hub.Tracer.Record(Record{
+		Kind: KindRound, Round: 2, Batch: 8, Accepted: 6, Deferred: 1,
+		Rejected: 1, LatencyNanos: 1500,
+	})
+	srv := httptest.NewServer(Handler(hub, nil))
+	defer srv.Close()
+
+	code, body := getBody(t, srv, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var payload struct {
+		Total   uint64 `json:"total"`
+		Records []struct {
+			Seq      uint64 `json:"seq"`
+			Kind     string `json:"kind"`
+			Round    int    `json:"round"`
+			ClientID *int   `json:"client_id"`
+			Cluster  *int   `json:"cluster"`
+			Decision string `json:"decision"`
+			Batch    *int   `json:"batch"`
+			Rejected *int   `json:"rejected"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	if payload.Total != 2 || len(payload.Records) != 2 {
+		t.Fatalf("payload: %+v", payload)
+	}
+	dec := payload.Records[0]
+	if dec.Kind != "decision" || dec.Decision != "reject" || dec.ClientID == nil || *dec.ClientID != 0 {
+		t.Errorf("decision record: %+v", dec)
+	}
+	rnd := payload.Records[1]
+	if rnd.Kind != "round" || rnd.Batch == nil || *rnd.Batch != 8 || rnd.Rejected == nil || *rnd.Rejected != 1 {
+		t.Errorf("round record: %+v", rnd)
+	}
+
+	// ?n=1 trims to the newest record.
+	_, body = getBody(t, srv, "/trace?n=1")
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Records) != 1 || payload.Records[0].Kind != "round" {
+		t.Fatalf("trace?n=1: %+v", payload.Records)
+	}
+
+	// Bad n is a 400, not a panic.
+	if code, _ := getBody(t, srv, "/trace?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n status = %d, want 400", code)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	state := Health{Rounds: 4}
+	srv := httptest.NewServer(Handler(NewHub(4), func() Health { return state }))
+	defer srv.Close()
+
+	code, body := getBody(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthy status = %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Rounds != 4 || h.Draining {
+		t.Fatalf("health: %+v", h)
+	}
+
+	state.Draining = true
+	if code, _ := getBody(t, srv, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", code)
+	}
+
+	// nil health func serves a zero Health at 200.
+	srv2 := httptest.NewServer(Handler(NewHub(4), nil))
+	defer srv2.Close()
+	if code, _ := getBody(t, srv2, "/healthz"); code != http.StatusOK {
+		t.Fatalf("nil health status = %d", code)
+	}
+}
+
+func TestHandlerPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewHub(4), nil))
+	defer srv.Close()
+	code, body := getBody(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d\n%.200s", code, body)
+	}
+}

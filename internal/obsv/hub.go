@@ -1,0 +1,16 @@
+package obsv
+
+// Hub bundles a metrics registry with an event tracer — the unit of
+// observability a server or experiment run carries around. A nil *Hub
+// is the universal "observability disabled" value; instrumentation
+// sites nil-check the hub (or the sinks built from it) and skip.
+type Hub struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// NewHub returns a hub with a fresh registry and a tracer of the given
+// depth (DefaultTraceDepth when depth <= 0).
+func NewHub(traceDepth int) *Hub {
+	return &Hub{Registry: NewRegistry(), Tracer: NewTracer(traceDepth)}
+}

@@ -1,0 +1,346 @@
+// Package obsv is the observability layer: a stdlib-only metrics
+// registry (counters, gauges, histograms with atomic hot paths and
+// snapshot-on-read), a bounded ring-buffer event tracer for per-decision
+// and per-round records, and an HTTP introspection handler exposing
+// /metrics (Prometheus text format), /trace (JSON), /healthz and pprof.
+//
+// Design constraints:
+//   - Hot paths (Counter.Inc, Gauge.Set, Histogram.Observe, Tracer.Record)
+//     never allocate and never block on anything slower than a mutex.
+//   - Reads (WritePrometheus, Snapshot, Last) see a consistent point-in-time
+//     view without stalling writers.
+//   - Everything is safe for concurrent use; the package has no goroutines
+//     of its own.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use; Inc/Add are a single atomic op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set overwrites the value. It exists for OnCollect collectors that
+// mirror an externally-owned counter (e.g. transport.ServerStats) into
+// the registry just before a scrape; ordinary instrumentation should
+// only ever Inc/Add.
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value returns the current value.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 metric (queue depths, ratios).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta via a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Observe is
+// allocation-free: a linear scan over the (small) bound slice, one
+// atomic bucket increment, one atomic count increment and a CAS loop
+// for the sum. Bounds are upper-inclusive like Prometheus ("le").
+type Histogram struct {
+	bounds  []float64       // sorted ascending; immutable after New
+	buckets []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefLatencyBuckets covers round-commit latencies from sub-millisecond
+// simulator rounds to multi-minute stalled deployments.
+var DefLatencyBuckets = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// DefScoreBuckets covers normalized suspicion scores, which land in
+// [0, 1] by construction (Eq. 7) with most mass near the extremes.
+var DefScoreBuckets = []float64{
+	.05, .1, .2, .3, .4, .5, .6, .7, .8, .9, .95, 1,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	idx := len(h.bounds) // +Inf overflow bucket
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Buckets are per-bucket (not cumulative) counts aligned with Bounds;
+// the final extra entry is the +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.Sum(),
+		Bounds:  h.bounds, // immutable, safe to share
+		Buckets: make([]uint64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Registry holds named metrics and renders them. Metric handles are
+// get-or-create by full name — including any label suffix, so
+// `afl_nacks_total{code="rate-limited"}` and
+// `afl_nacks_total{code="overloaded"}` are distinct series that render
+// under one TYPE line. Handle lookup takes the registry mutex; callers
+// on hot paths should look up once and retain the handle.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds if needed. Bounds are fixed at creation;
+// a second registration under the same name returns the original
+// histogram and ignores the bounds argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// OnCollect registers fn to run before every WritePrometheus or
+// Snapshot, in registration order. Collectors bridge pull-model state
+// (e.g. Server.Stats) into the registry so a scrape always reflects the
+// authoritative source. fn runs on the scraping goroutine without the
+// registry mutex held, so it may call Counter/Gauge/Histogram.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+func (r *Registry) collect() {
+	r.mu.Lock()
+	fns := make([]func(), len(r.collectors))
+	copy(fns, r.collectors)
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// Snapshot is a point-in-time JSON-marshalable copy of every metric.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot runs the collectors and copies out every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.collect()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// baseName strips a trailing {label="..."} suffix, returning the metric
+// family name a TYPE comment applies to.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus runs the collectors and renders every metric in the
+// Prometheus text exposition format, sorted by name for deterministic
+// output. Labeled series of one family share a single TYPE line.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.collect()
+
+	r.mu.Lock()
+	counters := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h.snapshot()
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	writeFamily := func(names []string, typ string, value func(string) string) {
+		sort.Strings(names)
+		lastBase := ""
+		for _, name := range names {
+			if b := baseName(name); b != lastBase {
+				fmt.Fprintf(&sb, "# TYPE %s %s\n", b, typ)
+				lastBase = b
+			}
+			fmt.Fprintf(&sb, "%s %s\n", name, value(name))
+		}
+	}
+
+	cnames := make([]string, 0, len(counters))
+	for name := range counters {
+		cnames = append(cnames, name)
+	}
+	writeFamily(cnames, "counter", func(n string) string {
+		return strconv.FormatUint(counters[n], 10)
+	})
+
+	gnames := make([]string, 0, len(gauges))
+	for name := range gauges {
+		gnames = append(gnames, name)
+	}
+	writeFamily(gnames, "gauge", func(n string) string {
+		return formatFloat(gauges[n])
+	})
+
+	hnames := make([]string, 0, len(hists))
+	for name := range hists {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := hists[name]
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+		}
+		cum += h.Buckets[len(h.Buckets)-1]
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&sb, "%s_sum %s\n", name, formatFloat(h.Sum))
+		fmt.Fprintf(&sb, "%s_count %d\n", name, h.Count)
+	}
+
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

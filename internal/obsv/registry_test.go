@@ -1,0 +1,231 @@
+package obsv
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("get-or-create returned a different counter for the same name")
+	}
+	c.Set(42)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("after Set: %d, want 42", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(3.5)
+	g.Add(-1.5)
+	if got := g.Value(); got < 1.999 || got > 2.001 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+	if r.Gauge("depth") != g {
+		t.Fatal("get-or-create returned a different gauge for the same name")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	snap := h.snapshot()
+	// 0.5 and 1 land in le=1 (upper-inclusive), 5 in le=10, 50 in
+	// le=100, 500 overflows.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, snap.Buckets[i], w, snap.Buckets)
+		}
+	}
+	if snap.Sum < 556.4 || snap.Sum > 556.6 {
+		t.Fatalf("sum = %v, want 556.5", snap.Sum)
+	}
+}
+
+// A single observation must produce a coherent histogram — the
+// degenerate case that trips off-by-one cumulative-bucket logic.
+func TestHistogramSingleElement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("one", []float64{1, 2})
+	h.Observe(1.5)
+	snap := h.snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("count = %d, want 1", snap.Count)
+	}
+	if snap.Buckets[0] != 0 || snap.Buckets[1] != 1 || snap.Buckets[2] != 0 {
+		t.Fatalf("buckets = %v, want [0 1 0]", snap.Buckets)
+	}
+	if snap.Sum < 1.49 || snap.Sum > 1.51 {
+		t.Fatalf("sum = %v, want 1.5", snap.Sum)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`one_bucket{le="1"} 0`,
+		`one_bucket{le="2"} 1`,
+		`one_bucket{le="+Inf"} 1`,
+		"one_sum 1.5",
+		"one_count 1",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramUnsortedBoundsSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{10, 1})
+	h.Observe(5)
+	snap := h.snapshot()
+	if snap.Bounds[0] > snap.Bounds[1] {
+		t.Fatalf("bounds not sorted: %v", snap.Bounds)
+	}
+	if snap.Buckets[1] != 1 {
+		t.Fatalf("5 should land in le=10: %v", snap.Buckets)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`req_total{code="a"}`).Add(2)
+	r.Counter(`req_total{code="b"}`).Add(3)
+	r.Counter("plain_total").Inc()
+	r.Gauge("depth").Set(7)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// One TYPE line per family even with multiple labeled series.
+	if got := strings.Count(out, "# TYPE req_total counter"); got != 1 {
+		t.Errorf("TYPE req_total lines = %d, want 1\n%s", got, out)
+	}
+	for _, line := range []string{
+		`req_total{code="a"} 2`,
+		`req_total{code="b"} 3`,
+		"plain_total 1",
+		"# TYPE depth gauge",
+		"depth 7",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+
+	// Deterministic output: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("two renders of an unchanged registry differ")
+	}
+}
+
+func TestOnCollectRunsBeforeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mirrored_total")
+	source := 0
+	r.OnCollect(func() { c.Set(uint64(source)) })
+
+	source = 9
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mirrored_total 9") {
+		t.Fatalf("collector did not run before render:\n%s", sb.String())
+	}
+
+	source = 12
+	snap := r.Snapshot()
+	if snap.Counters["mirrored_total"] != 12 {
+		t.Fatalf("collector did not run before snapshot: %v", snap.Counters)
+	}
+}
+
+func TestSnapshotContents(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(3)
+	r.Gauge("g").Set(1.25)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+
+	snap := r.Snapshot()
+	if snap.Counters["c_total"] != 3 {
+		t.Errorf("counter snapshot: %v", snap.Counters)
+	}
+	if v := snap.Gauges["g"]; v < 1.24 || v > 1.26 {
+		t.Errorf("gauge snapshot: %v", snap.Gauges)
+	}
+	h := snap.Histograms["h"]
+	if h.Count != 1 || h.Buckets[0] != 1 {
+		t.Errorf("histogram snapshot: %+v", h)
+	}
+}
+
+// Hammer every metric type from many goroutines while concurrently
+// rendering; run under -race this is the registry's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			g := r.Gauge("g")
+			h := r.Histogram("h", []float64{1, 2, 4})
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 5))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+
+	if got := r.Counter("c_total").Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("g").Value(); math.Abs(got-workers*iters) > 0.5 {
+		t.Errorf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

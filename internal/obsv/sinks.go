@@ -1,0 +1,132 @@
+package obsv
+
+import (
+	"github.com/asyncfl/asyncfilter/internal/fl"
+)
+
+// FilterSink adapts a Hub into an fl.FilterObserver: each decision
+// event becomes a labeled counter bump, a score-histogram sample and a
+// trace record; each round event becomes counters/gauges and a trace
+// record. All metric handles are resolved once at construction so the
+// callback path is allocation-free map-lookup-free.
+type FilterSink struct {
+	hub *Hub
+
+	accepted  *Counter
+	deferred  *Counter
+	rejected  *Counter
+	amnesty   *Counter
+	rounds    *Counter
+	wholesale *Counter
+	scores    *Histogram
+	groups    *Gauge
+}
+
+var _ fl.FilterObserver = (*FilterSink)(nil)
+
+// NewFilterSink builds a filter sink over hub.
+func NewFilterSink(hub *Hub) *FilterSink {
+	r := hub.Registry
+	return &FilterSink{
+		hub:       hub,
+		accepted:  r.Counter(`afl_filter_decisions_total{decision="accept"}`),
+		deferred:  r.Counter(`afl_filter_decisions_total{decision="defer"}`),
+		rejected:  r.Counter(`afl_filter_decisions_total{decision="reject"}`),
+		amnesty:   r.Counter("afl_filter_amnesty_total"),
+		rounds:    r.Counter("afl_filter_rounds_total"),
+		wholesale: r.Counter("afl_filter_wholesale_rounds_total"),
+		scores:    r.Histogram("afl_filter_suspicion_score", DefScoreBuckets),
+		groups:    r.Gauge("afl_filter_groups"),
+	}
+}
+
+// ObserveDecision implements fl.FilterObserver.
+func (s *FilterSink) ObserveDecision(ev fl.DecisionEvent) {
+	switch ev.Decision {
+	case fl.Accept:
+		s.accepted.Inc()
+	case fl.Defer:
+		s.deferred.Inc()
+	case fl.Reject:
+		s.rejected.Inc()
+	}
+	if ev.Amnesty {
+		s.amnesty.Inc()
+	}
+	s.scores.Observe(ev.Score)
+	s.hub.Tracer.Record(Record{
+		Kind:      KindDecision,
+		Round:     ev.Round,
+		ClientID:  ev.ClientID,
+		Group:     ev.Group,
+		Cluster:   ev.Cluster,
+		Score:     ev.Score,
+		Decision:  int(ev.Decision),
+		Amnesty:   ev.Amnesty,
+		Wholesale: ev.Cluster < 0,
+	})
+}
+
+// ObserveFilterRound implements fl.FilterObserver.
+func (s *FilterSink) ObserveFilterRound(ev fl.FilterRoundEvent) {
+	s.rounds.Inc()
+	if ev.Wholesale {
+		s.wholesale.Inc()
+	}
+	s.groups.Set(float64(ev.Groups))
+	s.hub.Tracer.Record(Record{
+		Kind:      KindRound,
+		Round:     ev.Round,
+		Batch:     ev.Batch,
+		Accepted:  ev.Accepted,
+		Deferred:  ev.Deferred,
+		Rejected:  ev.Rejected,
+		Wholesale: ev.Wholesale,
+	})
+}
+
+// BufferSink adapts a Hub into an fl.BufferObserver: occupancy gauges
+// plus churn counters.
+type BufferSink struct {
+	pending      *Gauge
+	fresh        *Gauge
+	ready        *Gauge
+	added        *Counter
+	droppedStale *Counter
+	requeued     *Counter
+	shed         *Counter
+	drained      *Counter
+}
+
+var _ fl.BufferObserver = (*BufferSink)(nil)
+
+// NewBufferSink builds a buffer sink over hub.
+func NewBufferSink(hub *Hub) *BufferSink {
+	r := hub.Registry
+	return &BufferSink{
+		pending:      r.Gauge("afl_buffer_pending"),
+		fresh:        r.Gauge("afl_buffer_fresh"),
+		ready:        r.Gauge("afl_buffer_ready"),
+		added:        r.Counter("afl_buffer_added_total"),
+		droppedStale: r.Counter("afl_buffer_dropped_stale_total"),
+		requeued:     r.Counter("afl_buffer_requeued_total"),
+		shed:         r.Counter("afl_buffer_shed_total"),
+		drained:      r.Counter("afl_buffer_drained_total"),
+	}
+}
+
+// ObserveBuffer implements fl.BufferObserver.
+func (s *BufferSink) ObserveBuffer(ev fl.BufferEvent) {
+	s.pending.Set(float64(ev.Pending))
+	s.fresh.Set(float64(ev.Fresh))
+	ready := 0.0
+	if ev.Ready {
+		ready = 1.0
+	}
+	s.ready.Set(ready)
+	s.added.Add(uint64(ev.Added))
+	s.droppedStale.Add(uint64(ev.DroppedStale))
+	s.requeued.Add(uint64(ev.Requeued))
+	s.shed.Add(uint64(ev.Shed))
+	s.drained.Add(uint64(ev.Drained))
+}

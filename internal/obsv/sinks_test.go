@@ -1,0 +1,98 @@
+package obsv
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+)
+
+func TestFilterSinkTranslation(t *testing.T) {
+	hub := NewHub(16)
+	sink := NewFilterSink(hub)
+
+	sink.ObserveDecision(fl.DecisionEvent{
+		Round: 1, ClientID: 3, Group: 2, Cluster: 2, Score: 0.95,
+		Decision: fl.Reject,
+	})
+	sink.ObserveDecision(fl.DecisionEvent{
+		Round: 1, ClientID: 4, Group: 0, Cluster: 0, Score: 0.05,
+		Decision: fl.Accept, Amnesty: true,
+	})
+	sink.ObserveFilterRound(fl.FilterRoundEvent{
+		Round: 1, Batch: 2, Accepted: 1, Rejected: 1, Groups: 2,
+	})
+
+	snap := hub.Registry.Snapshot()
+	if snap.Counters[`afl_filter_decisions_total{decision="reject"}`] != 1 {
+		t.Errorf("reject counter: %v", snap.Counters)
+	}
+	if snap.Counters[`afl_filter_decisions_total{decision="accept"}`] != 1 {
+		t.Errorf("accept counter: %v", snap.Counters)
+	}
+	if snap.Counters["afl_filter_amnesty_total"] != 1 {
+		t.Errorf("amnesty counter: %v", snap.Counters)
+	}
+	if snap.Counters["afl_filter_rounds_total"] != 1 {
+		t.Errorf("rounds counter: %v", snap.Counters)
+	}
+	if g := snap.Gauges["afl_filter_groups"]; g < 1.9 || g > 2.1 {
+		t.Errorf("groups gauge = %v, want 2", g)
+	}
+	if snap.Histograms["afl_filter_suspicion_score"].Count != 2 {
+		t.Errorf("score histogram: %+v", snap.Histograms)
+	}
+
+	recs := hub.Tracer.Last(0)
+	if len(recs) != 3 {
+		t.Fatalf("trace records = %d, want 3", len(recs))
+	}
+	if recs[0].Kind != KindDecision || recs[0].Decision != DecisionReject || recs[0].ClientID != 3 {
+		t.Errorf("first record: %+v", recs[0])
+	}
+	if recs[2].Kind != KindRound || recs[2].Batch != 2 {
+		t.Errorf("round record: %+v", recs[2])
+	}
+}
+
+func TestFilterSinkWholesaleCluster(t *testing.T) {
+	hub := NewHub(16)
+	sink := NewFilterSink(hub)
+	sink.ObserveDecision(fl.DecisionEvent{
+		Round: 1, ClientID: 0, Cluster: -1, Score: 0, Decision: fl.Accept,
+	})
+	recs := hub.Tracer.Last(0)
+	if !recs[0].Wholesale || recs[0].Cluster != -1 {
+		t.Fatalf("wholesale record: %+v", recs[0])
+	}
+}
+
+func TestBufferSinkTranslation(t *testing.T) {
+	hub := NewHub(4)
+	sink := NewBufferSink(hub)
+
+	sink.ObserveBuffer(fl.BufferEvent{Pending: 3, Fresh: 2, Ready: false, Added: 1})
+	sink.ObserveBuffer(fl.BufferEvent{Pending: 4, Fresh: 3, Ready: true, Added: 1})
+	sink.ObserveBuffer(fl.BufferEvent{Pending: 0, Fresh: 0, Drained: 4})
+	sink.ObserveBuffer(fl.BufferEvent{Pending: 2, Requeued: 2, DroppedStale: 1})
+	sink.ObserveBuffer(fl.BufferEvent{Pending: 1, Shed: 1})
+
+	snap := hub.Registry.Snapshot()
+	if v := snap.Gauges["afl_buffer_pending"]; v < 0.9 || v > 1.1 {
+		t.Errorf("pending gauge = %v, want 1", v)
+	}
+	checks := map[string]uint64{
+		"afl_buffer_added_total":         2,
+		"afl_buffer_drained_total":       4,
+		"afl_buffer_requeued_total":      2,
+		"afl_buffer_dropped_stale_total": 1,
+		"afl_buffer_shed_total":          1,
+	}
+	for name, want := range checks {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if v := snap.Gauges["afl_buffer_ready"]; v > 0.1 {
+		t.Errorf("ready gauge = %v, want 0", v)
+	}
+}

@@ -1,0 +1,146 @@
+package obsv
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceDepth is the ring capacity used when a Tracer is created
+// with depth <= 0. At ~100 bytes per record that is ~400KB of fixed
+// memory holding the last few hundred rounds of an 8-goal deployment.
+const DefaultTraceDepth = 4096
+
+// Kind discriminates trace record types.
+type Kind uint8
+
+const (
+	// KindDecision is one filter verdict for one client update.
+	KindDecision Kind = iota + 1
+	// KindRound is one committed aggregation round.
+	KindRound
+)
+
+// String returns the JSON-facing name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDecision:
+		return "decision"
+	case KindRound:
+		return "round"
+	default:
+		return "unknown"
+	}
+}
+
+// Decision values mirror fl.Decision (obsv cannot import fl — the sinks
+// in this package translate). Zero means "not a decision record".
+const (
+	DecisionAccept = 1
+	DecisionDefer  = 2
+	DecisionReject = 3
+)
+
+// DecisionString renders a Decision* value for JSON output.
+func DecisionString(d int) string {
+	switch d {
+	case DecisionAccept:
+		return "accept"
+	case DecisionDefer:
+		return "defer"
+	case DecisionReject:
+		return "reject"
+	default:
+		return ""
+	}
+}
+
+// Record is one trace event. It is a flat value struct — no pointers,
+// no strings — so the ring buffer is a single contiguous allocation and
+// recording is a struct copy. Fields are kind-specific:
+//
+//   - KindDecision uses Round, ClientID, Group, Cluster (-1 when the
+//     filter accepted the batch wholesale without clustering), Score,
+//     Decision and Amnesty.
+//   - KindRound uses Round, Batch, Accepted, Deferred, Rejected,
+//     Wholesale and LatencyNanos (zero when latency is not tracked,
+//     e.g. simulator rounds).
+type Record struct {
+	Seq       uint64
+	UnixNanos int64
+	Kind      Kind
+
+	Round    int
+	ClientID int
+	Group    int
+	Cluster  int
+	Score    float64
+	Decision int
+	Amnesty  bool
+
+	Batch        int
+	Accepted     int
+	Deferred     int
+	Rejected     int
+	Wholesale    bool
+	LatencyNanos int64
+}
+
+// Tracer is a bounded ring buffer of Records. Record overwrites the
+// oldest entry once the ring is full; Last copies out the newest
+// entries. Safe for concurrent use.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Record
+	total uint64 // records ever written; next Seq
+}
+
+// NewTracer returns a tracer holding the last depth records
+// (DefaultTraceDepth when depth <= 0). The ring is allocated up front.
+func NewTracer(depth int) *Tracer {
+	if depth <= 0 {
+		depth = DefaultTraceDepth
+	}
+	return &Tracer{ring: make([]Record, depth)}
+}
+
+// Depth returns the ring capacity.
+func (t *Tracer) Depth() int { return len(t.ring) }
+
+// Record stamps rec with a sequence number and wall-clock time and
+// stores it, overwriting the oldest record when the ring is full.
+func (t *Tracer) Record(rec Record) {
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	rec.Seq = t.total
+	rec.UnixNanos = now
+	t.ring[t.total%uint64(len(t.ring))] = rec
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of records ever written (>= what the ring
+// still holds).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Last returns up to n of the most recent records, oldest first. n <= 0
+// means everything the ring still holds.
+func (t *Tracer) Last(n int) []Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	held := t.total
+	if held > uint64(len(t.ring)) {
+		held = uint64(len(t.ring))
+	}
+	if n > 0 && uint64(n) < held {
+		held = uint64(n)
+	}
+	out := make([]Record, held)
+	for i := uint64(0); i < held; i++ {
+		out[i] = t.ring[(t.total-held+i)%uint64(len(t.ring))]
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTracerDefaults(t *testing.T) {
+	if d := NewTracer(0).Depth(); d != DefaultTraceDepth {
+		t.Fatalf("default depth = %d, want %d", d, DefaultTraceDepth)
+	}
+	if d := NewTracer(-3).Depth(); d != DefaultTraceDepth {
+		t.Fatalf("negative depth = %d, want %d", d, DefaultTraceDepth)
+	}
+	if d := NewTracer(16).Depth(); d != 16 {
+		t.Fatalf("depth = %d, want 16", d)
+	}
+}
+
+func TestTracerLastOrderingAndWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Record{Kind: KindRound, Round: i})
+	}
+	if got := tr.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+
+	// The ring holds the last 4, oldest first.
+	recs := tr.Last(0)
+	if len(recs) != 4 {
+		t.Fatalf("len = %d, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Round != 6+i {
+			t.Errorf("recs[%d].Round = %d, want %d", i, r.Round, 6+i)
+		}
+		if r.Seq != uint64(6+i) {
+			t.Errorf("recs[%d].Seq = %d, want %d", i, r.Seq, 6+i)
+		}
+	}
+
+	// Last(2) trims to the newest two.
+	recs = tr.Last(2)
+	if len(recs) != 2 || recs[0].Round != 8 || recs[1].Round != 9 {
+		t.Fatalf("Last(2) = %+v", recs)
+	}
+
+	// Asking for more than held returns what is held.
+	if got := len(tr.Last(100)); got != 4 {
+		t.Fatalf("Last(100) len = %d, want 4", got)
+	}
+}
+
+func TestTracerBeforeWrap(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Record{Kind: KindDecision, ClientID: 7})
+	recs := tr.Last(0)
+	if len(recs) != 1 || recs[0].ClientID != 7 || recs[0].Seq != 0 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].UnixNanos == 0 {
+		t.Error("record not timestamped")
+	}
+}
+
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(Record{Kind: KindDecision, Round: i})
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = tr.Last(16)
+			_ = tr.Total()
+		}
+	}()
+	wg.Wait()
+	if got := tr.Total(); got != 8*500 {
+		t.Fatalf("total = %d, want %d", got, 8*500)
+	}
+	// Sequence numbers in the ring are strictly increasing.
+	recs := tr.Last(0)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs at %d: %d then %d", i, recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+}
+
+func TestKindAndDecisionStrings(t *testing.T) {
+	if KindDecision.String() != "decision" || KindRound.String() != "round" || Kind(99).String() != "unknown" {
+		t.Error("Kind.String mismatch")
+	}
+	if DecisionString(DecisionAccept) != "accept" ||
+		DecisionString(DecisionDefer) != "defer" ||
+		DecisionString(DecisionReject) != "reject" ||
+		DecisionString(0) != "" {
+		t.Error("DecisionString mismatch")
+	}
+}

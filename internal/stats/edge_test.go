@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// Edge cases pinned by the package's documented NaN policy and
+// empty-input contracts.
+
+func TestWelfordZeroValue(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || !vecmath.IsZero(w.Mean()) || !vecmath.IsZero(w.Variance()) ||
+		!vecmath.IsZero(w.SampleVariance()) || !vecmath.IsZero(w.StdDev()) {
+		t.Errorf("zero Welford: n=%d mean=%v var=%v", w.N(), w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(7.5)
+	if w.N() != 1 {
+		t.Errorf("n = %d", w.N())
+	}
+	if !vecmath.ExactEqual(w.Mean(), 7.5) {
+		t.Errorf("mean = %v, want 7.5", w.Mean())
+	}
+	// Variance of one observation is defined as 0, not NaN (the n-1
+	// divisor never runs for n < 2).
+	if !vecmath.IsZero(w.Variance()) || !vecmath.IsZero(w.SampleVariance()) {
+		t.Errorf("single-observation variance = %v / %v, want 0 / 0", w.Variance(), w.SampleVariance())
+	}
+}
+
+// A NaN observation permanently poisons the accumulator — documented
+// policy, screened upstream by vecmath.AllFinite at admission.
+func TestWelfordNaNPoisons(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(math.NaN())
+	w.Add(2)
+	if !math.IsNaN(w.Mean()) {
+		t.Errorf("mean after NaN = %v, want NaN", w.Mean())
+	}
+	if !math.IsNaN(w.Variance()) {
+		t.Errorf("variance after NaN = %v, want NaN", w.Variance())
+	}
+}
+
+func TestWelfordInf(t *testing.T) {
+	var w Welford
+	w.Add(math.Inf(1))
+	if !math.IsInf(w.Mean(), 1) {
+		t.Errorf("mean = %v, want +Inf", w.Mean())
+	}
+	w.Add(1)
+	// Inf - Inf arithmetic degrades to NaN; it must not mask itself.
+	if !math.IsNaN(w.Mean()) && !math.IsInf(w.Mean(), 0) {
+		t.Errorf("mean after Inf then finite = %v, want non-finite", w.Mean())
+	}
+}
+
+func TestMeanStdEmpty(t *testing.T) {
+	mean, std := MeanStd(nil)
+	if !vecmath.IsZero(mean) || !vecmath.IsZero(std) {
+		t.Errorf("MeanStd(nil) = %v, %v, want 0, 0", mean, std)
+	}
+}
+
+func TestQuantileSingleElement(t *testing.T) {
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := Quantile([]float64{3.25}, q); !vecmath.ExactEqual(got, 3.25) {
+			t.Errorf("Quantile(single, %v) = %v, want 3.25", q, got)
+		}
+	}
+	if got := Median([]float64{-2}); !vecmath.ExactEqual(got, -2) {
+		t.Errorf("Median(single) = %v", got)
+	}
+}
+
+func TestVectorMAEdges(t *testing.T) {
+	// Zero-dimensional accumulator is legal (degenerate models in tests).
+	m := NewVectorMA(0)
+	m.Add(nil)
+	if m.Count() != 1 || len(m.Mean()) != 0 {
+		t.Errorf("dim-0 VectorMA: count=%d mean=%v", m.Count(), m.Mean())
+	}
+
+	m = NewVectorMA(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("dimension mismatch did not panic")
+			}
+		}()
+		m.Add([]float64{1})
+	}()
+
+	// NaN poisons the affected coordinate permanently.
+	m.Add([]float64{1, math.NaN()})
+	m.Add([]float64{1, 5})
+	mean := m.Mean()
+	if !vecmath.ExactEqual(mean[0], 1) {
+		t.Errorf("mean[0] = %v, want 1", mean[0])
+	}
+	if !math.IsNaN(mean[1]) {
+		t.Errorf("mean[1] = %v, want NaN", mean[1])
+	}
+}
+
+func TestRestoreVectorMAValidation(t *testing.T) {
+	if _, err := RestoreVectorMA([]float64{1}, -1); err == nil {
+		t.Error("negative count accepted")
+	}
+	m, err := RestoreVectorMA([]float64{2, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored mean must be a copy, not an alias.
+	src := []float64{2, 4}
+	m2, _ := RestoreVectorMA(src, 1)
+	src[0] = 99
+	if !vecmath.ExactEqual(m2.Mean()[0], 2) {
+		t.Error("RestoreVectorMA aliased caller slice")
+	}
+	if m.Count() != 3 {
+		t.Errorf("count = %d", m.Count())
+	}
+}
+
+func TestEWMAValidationAndNaN(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		if _, err := NewEWMA(2, alpha); err == nil {
+			t.Errorf("alpha %v accepted", alpha)
+		}
+	}
+	e, err := NewEWMA(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Add([]float64{math.NaN()})
+	e.Add([]float64{1})
+	if !math.IsNaN(e.Mean()[0]) {
+		t.Errorf("EWMA recovered from NaN: %v", e.Mean())
+	}
+}
+
+func TestConfusionZeroValue(t *testing.T) {
+	var c Confusion
+	if !vecmath.IsZero(c.Precision()) || !vecmath.IsZero(c.Recall()) ||
+		!vecmath.IsZero(c.FPR()) || !vecmath.IsZero(c.F1()) {
+		t.Errorf("zero Confusion produced non-zero rates: %v", c.String())
+	}
+	if c.Total() != 0 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}

@@ -2,6 +2,15 @@
 // by the filters and the experiment harness: Welford mean/variance
 // accumulators, cumulative vector moving averages (AsyncFilter's per-group
 // estimator), quantiles, and detection confusion matrices.
+//
+// # NaN policy
+//
+// Accumulators do not screen their inputs: folding a NaN into a Welford,
+// VectorMA or EWMA permanently poisons the running state (every later
+// Mean/Variance read is NaN), matching IEEE propagation in vecmath. The
+// pipeline guards against this once, at update admission, with
+// vecmath.AllFinite. Quantile's result is unspecified when values contain
+// NaN (sort order of NaN is not meaningful); screen first.
 package stats
 
 import (

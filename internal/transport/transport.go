@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/obsv"
 	"github.com/asyncfl/asyncfilter/internal/vecmath"
 )
 
@@ -226,6 +227,13 @@ type ServerConfig struct {
 	// before the half-open probe (<= 0 selects 30s). Only meaningful with
 	// QuarantineAfter.
 	QuarantineCooldown time.Duration
+	// Obsv, when non-nil, attaches the observability layer: server stats
+	// are mirrored into the hub's registry on every scrape, admission
+	// NACKs / round latencies / buffer occupancy become metrics, and
+	// filter decisions stream into the hub's tracer when the filter
+	// supports observation. Purely observational — enabling it changes
+	// no aggregation outcome.
+	Obsv *obsv.Hub
 }
 
 // Validate checks the configuration.
@@ -293,6 +301,9 @@ type Server struct {
 	// server version at shed time and the evicted updates. Test-only
 	// hook for asserting the stalest-first shedding invariant.
 	shedObserver func(version int, shed []*fl.Update)
+	// obs holds the event-driven metric handles when ServerConfig.Obsv
+	// is set; nil otherwise (all methods are nil-receiver safe).
+	obs *serverObs
 	// aggregating marks an aggregation round in flight. Rounds run the
 	// filter and combiner *outside* s.mu (they are O(buffer · dim) and
 	// must not stall every connection handler); the flag serializes rounds
@@ -399,6 +410,11 @@ func NewServer(cfg ServerConfig, filter fl.Filter, combiner fl.Combiner) (*Serve
 		if err := s.restoreFromCheckpoint(cfg.CheckpointPath); err != nil {
 			return nil, err
 		}
+	}
+	// Observability wires up after any restore so the sinks observe the
+	// live buffer and filter rather than pre-restore instances.
+	if cfg.Obsv != nil {
+		s.wireObsv(cfg.Obsv)
 	}
 	return s, nil
 }
@@ -602,6 +618,7 @@ func (s *Server) handle(conn net.Conn) {
 		// The advertised model dimension cannot match this deployment:
 		// refuse at Hello time instead of letting the client train a
 		// round it can never submit.
+		s.obs.noteNack(NackMalformed)
 		s.send(conn, enc, &ServerMsg{Nack: NackMalformed})
 		return
 	}
@@ -665,6 +682,7 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		if verdict.nack != 0 {
+			s.obs.noteNack(verdict.nack)
 			// The refusal and the current model travel in one envelope:
 			// the client backs off for RetryAfter, then resumes from the
 			// fresh task, keeping the protocol strictly request-reply.
@@ -848,6 +866,7 @@ func (s *Server) maybeAggregate(force forceMode) {
 		round := s.version + 1
 		s.mu.Unlock()
 
+		roundStart := time.Now()
 		fres, err := s.filterBatch(updates, round)
 		if err != nil {
 			// A failing filter must not wedge the deployment: fall back to
@@ -888,6 +907,8 @@ func (s *Server) maybeAggregate(force forceMode) {
 		// Observer and checkpoint run unlocked too: the aggregating flag
 		// keeps the filter quiescent, so ObserveRound and SnapshotState see
 		// exactly this round's state, in order.
+		s.obs.roundCommitted(version, time.Since(roundStart),
+			len(updates), len(accepted), len(deferred), len(rejected))
 		if isObs {
 			s.observeRound(obs, version, obsGlobal, accepted)
 		}

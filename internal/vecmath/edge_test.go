@@ -1,0 +1,156 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases pinned by the package's documented NaN policy and
+// empty-input contracts.
+
+func TestEmptyInputs(t *testing.T) {
+	if got := Mean(nil); !IsZero(got) {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Variance(nil); !IsZero(got) {
+		t.Errorf("Variance(nil) = %v, want 0", got)
+	}
+	if got := Variance([]float64{5}); !IsZero(got) {
+		t.Errorf("Variance(single) = %v, want 0", got)
+	}
+	if got := StdDev(nil); !IsZero(got) {
+		t.Errorf("StdDev(nil) = %v, want 0", got)
+	}
+	if got := Sum(nil); !IsZero(got) {
+		t.Errorf("Sum(nil) = %v, want 0", got)
+	}
+	if got := ArgMin(nil); got != -1 {
+		t.Errorf("ArgMin(nil) = %d, want -1", got)
+	}
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %d, want -1", got)
+	}
+	if Clone(nil) != nil {
+		t.Error("Clone(nil) != nil")
+	}
+	if got := Norm2(nil); !IsZero(got) {
+		t.Errorf("Norm2(nil) = %v, want 0", got)
+	}
+	if !AllFinite(nil) {
+		t.Error("AllFinite(nil) = false")
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s(empty) did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Min", func() { Min(nil) })
+	mustPanic("Max", func() { Max(nil) })
+	mustPanic("MeanVector", func() { MeanVector(nil, nil) })
+	mustPanic("StdVector", func() { StdVector(nil, nil, nil) })
+	mustPanic("WeightedMeanVector", func() { WeightedMeanVector(nil, nil, nil) })
+	mustPanic("ClipNorm", func() { ClipNorm([]float64{1}, 0) })
+}
+
+// NaN and Inf must flow through arithmetic unmasked.
+func TestNaNInfPropagation(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+
+	if got := Sum([]float64{1, nan}); !math.IsNaN(got) {
+		t.Errorf("Sum with NaN = %v, want NaN", got)
+	}
+	if got := Sum([]float64{inf, -inf}); !math.IsNaN(got) {
+		t.Errorf("Sum(+Inf, -Inf) = %v, want NaN", got)
+	}
+	if got := Mean([]float64{nan, 1}); !math.IsNaN(got) {
+		t.Errorf("Mean with NaN = %v, want NaN", got)
+	}
+	if got := Dot([]float64{nan}, []float64{1}); !math.IsNaN(got) {
+		t.Errorf("Dot with NaN = %v, want NaN", got)
+	}
+	if got := Norm2([]float64{inf}); !math.IsInf(got, 1) {
+		t.Errorf("Norm2(+Inf) = %v, want +Inf", got)
+	}
+	if got := Distance([]float64{nan}, []float64{0}); !math.IsNaN(got) {
+		t.Errorf("Distance with NaN = %v, want NaN", got)
+	}
+	if got := Cosine([]float64{nan, 1}, []float64{1, 1}); !math.IsNaN(got) {
+		t.Errorf("Cosine with NaN = %v, want NaN", got)
+	}
+
+	dst := make([]float64, 2)
+	Add(dst, []float64{nan, 1}, []float64{1, 1})
+	if !math.IsNaN(dst[0]) || math.IsNaN(dst[1]) {
+		t.Errorf("Add with NaN = %v", dst)
+	}
+
+	if AllFinite([]float64{1, nan}) || AllFinite([]float64{1, inf}) || AllFinite([]float64{math.Inf(-1)}) {
+		t.Error("AllFinite accepted NaN or Inf")
+	}
+	if !AllFinite([]float64{0, -0, 1e308, -1e308}) {
+		t.Error("AllFinite rejected finite values")
+	}
+}
+
+// IEEE comparison semantics on the argmin/argmax helpers: NaN never
+// beats a later finite element, but wins from position 0.
+func TestArgMinMaxNaN(t *testing.T) {
+	nan := math.NaN()
+	if got := ArgMin([]float64{5, nan, 3}); got != 2 {
+		t.Errorf("ArgMin([5 NaN 3]) = %d, want 2", got)
+	}
+	if got := ArgMax([]float64{5, nan, 3}); got != 0 {
+		t.Errorf("ArgMax([5 NaN 3]) = %d, want 0", got)
+	}
+	if got := ArgMin([]float64{nan, 3}); got != 0 {
+		t.Errorf("ArgMin([NaN 3]) = %d, want 0 (documented IEEE artifact)", got)
+	}
+	if got := ArgMax([]float64{nan, 3}); got != 0 {
+		t.Errorf("ArgMax([NaN 3]) = %d, want 0 (documented IEEE artifact)", got)
+	}
+}
+
+// EqualApprox must never call two vectors equal through NaN.
+func TestEqualApproxNaN(t *testing.T) {
+	nan := math.NaN()
+	if EqualApprox([]float64{nan}, []float64{nan}, 1) {
+		t.Error("EqualApprox(NaN, NaN) = true")
+	}
+	if EqualApprox([]float64{1, nan}, []float64{1, 2}, 10) {
+		t.Error("EqualApprox with one NaN element = true")
+	}
+	if !EqualApprox([]float64{1, 2}, []float64{1.05, 1.95}, 0.1) {
+		t.Error("EqualApprox rejected in-tolerance vectors")
+	}
+	if EqualApprox([]float64{1}, []float64{1, 2}, 10) {
+		t.Error("EqualApprox accepted mismatched lengths")
+	}
+}
+
+func TestCosineZeroNorm(t *testing.T) {
+	if got := Cosine([]float64{0, 0}, []float64{1, 2}); !IsZero(got) {
+		t.Errorf("Cosine(zero, v) = %v, want 0", got)
+	}
+	if got := Cosine([]float64{1, 2}, []float64{0, 0}); !IsZero(got) {
+		t.Errorf("Cosine(v, zero) = %v, want 0", got)
+	}
+	// Drift outside [-1, 1] is clamped.
+	if got := Cosine([]float64{1e-300}, []float64{1e-300}); got > 1 || got < -1 {
+		t.Errorf("Cosine not clamped: %v", got)
+	}
+}
+
+func TestNormalizeZeroVector(t *testing.T) {
+	dst := []float64{9, 9}
+	Normalize(dst, []float64{0, 0})
+	if !IsZero(dst[0]) || !IsZero(dst[1]) {
+		t.Errorf("Normalize(zero) = %v, want zeros", dst)
+	}
+}

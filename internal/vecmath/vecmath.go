@@ -7,6 +7,17 @@
 // programming errors, not runtime conditions, so they are not reported as
 // errors. Allocation-free variants (Add, AXPY, ...) are preferred on hot
 // paths; convenience variants (Added, Scaled, ...) allocate.
+//
+// # NaN policy
+//
+// Arithmetic kernels follow IEEE 754: a NaN or Inf in the input
+// propagates into sums, norms, distances and means rather than being
+// masked (Sum of +Inf and -Inf is NaN, and so on). Nothing in this
+// package screens its inputs — updates arriving off the wire are
+// validated once at admission with AllFinite, after which the pipeline
+// assumes finite data. Order-comparison helpers inherit IEEE comparison
+// semantics, where every comparison against NaN is false; the resulting
+// per-function behavior is documented on ArgMin, ArgMax and EqualApprox.
 package vecmath
 
 import (
@@ -313,7 +324,10 @@ func WeightedMeanVector(dst []float64, vs [][]float64, w []float64) {
 }
 
 // ArgMin returns the index of the smallest element of v (-1 for empty v).
-// Ties resolve to the lowest index.
+// Ties resolve to the lowest index. NaN elements are never selected over a
+// later finite element (NaN comparisons are false), but a NaN at index 0
+// is returned when no later element compares smaller — screen with
+// AllFinite when the input may contain NaN.
 func ArgMin(v []float64) int {
 	if len(v) == 0 {
 		return -1
@@ -328,7 +342,8 @@ func ArgMin(v []float64) int {
 }
 
 // ArgMax returns the index of the largest element of v (-1 for empty v).
-// Ties resolve to the lowest index.
+// Ties resolve to the lowest index. NaN handling mirrors ArgMin: a NaN at
+// index 0 wins by default, later NaNs never do.
 func ArgMax(v []float64) int {
 	if len(v) == 0 {
 		return -1
@@ -386,13 +401,15 @@ func ExactEqual(a, b float64) bool {
 }
 
 // EqualApprox reports whether a and b have equal lengths and all elements
-// within tol of each other.
+// within tol of each other. A NaN in either vector makes the pair unequal
+// (|a-b| is NaN, which is not <= tol) — two vectors are never "approximately
+// equal" through NaN.
 func EqualApprox(a, b []float64, tol float64) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if math.Abs(a[i]-b[i]) > tol {
+		if !(math.Abs(a[i]-b[i]) <= tol) {
 			return false
 		}
 	}

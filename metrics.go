@@ -1,0 +1,53 @@
+package asyncfilter
+
+import (
+	"encoding/json"
+	"strings"
+
+	"github.com/asyncfl/asyncfilter/internal/obsv"
+)
+
+// Metrics is a handle on an observability hub: a metrics registry plus a
+// bounded ring buffer of filter-decision and round-commit trace records.
+// Attach one to a Server (ServerConfig.ObsvAddr builds one implicitly,
+// see Server.Metrics) or to an experiment run (ExperimentScale.Metrics)
+// and read it out in Prometheus text or JSON form at any time —
+// snapshots are safe concurrently with a live deployment.
+type Metrics struct {
+	hub *obsv.Hub
+}
+
+// NewMetrics builds a standalone hub. traceDepth bounds the trace ring
+// (<= 0 selects the default depth of a few thousand records).
+func NewMetrics(traceDepth int) *Metrics {
+	return &Metrics{hub: obsv.NewHub(traceDepth)}
+}
+
+// hubOf unwraps a public handle (nil-safe: a nil *Metrics means
+// observability is disabled).
+func hubOf(m *Metrics) *obsv.Hub {
+	if m == nil {
+		return nil
+	}
+	return m.hub
+}
+
+// PrometheusText renders every registered series in the Prometheus text
+// exposition format — the same document the /metrics endpoint serves.
+func (m *Metrics) PrometheusText() string {
+	var b strings.Builder
+	_ = m.hub.Registry.WritePrometheus(&b)
+	return b.String()
+}
+
+// JSON renders a point-in-time snapshot of every counter, gauge and
+// histogram as a JSON object.
+func (m *Metrics) JSON() ([]byte, error) {
+	return json.MarshalIndent(m.hub.Registry.Snapshot(), "", "  ")
+}
+
+// TraceJSON renders the last n trace records (n <= 0: all currently
+// held) as JSON — the same document the /trace endpoint serves.
+func (m *Metrics) TraceJSON(n int) ([]byte, error) {
+	return obsv.TraceJSON(m.hub.Tracer, n)
+}

@@ -2,13 +2,16 @@ package asyncfilter
 
 import (
 	"context"
+	"fmt"
 	"net"
+	"net/http"
 	"time"
 
 	"github.com/asyncfl/asyncfilter/internal/attack"
 	"github.com/asyncfl/asyncfilter/internal/dataset"
 	"github.com/asyncfl/asyncfilter/internal/fl"
 	"github.com/asyncfl/asyncfilter/internal/model"
+	"github.com/asyncfl/asyncfilter/internal/obsv"
 	"github.com/asyncfl/asyncfilter/internal/sim"
 	"github.com/asyncfl/asyncfilter/internal/transport"
 )
@@ -77,6 +80,17 @@ type ServerConfig struct {
 	// QuarantineCooldown is how long a quarantined client is refused
 	// before the half-open probe (<= 0 defaults to 30s).
 	QuarantineCooldown time.Duration
+	// ObsvAddr, when non-empty, enables the observability layer and
+	// serves live introspection on this address: /metrics (Prometheus
+	// text), /trace (recent filter decisions as JSON), /healthz
+	// (lifecycle state) and /debug/pprof. Use "host:0" for an ephemeral
+	// port and read it back with Server.ObsvAddr. The listener survives
+	// Drain (so the drained counters stay scrapeable) and closes with
+	// Close ("" disables observability entirely).
+	ObsvAddr string
+	// TraceDepth bounds the filter-decision trace ring when ObsvAddr is
+	// set (<= 0 selects the default depth).
+	TraceDepth int
 }
 
 // ServerStats reports a deployment's lifetime counters.
@@ -127,7 +141,10 @@ type ServerStats struct {
 // Server runs asynchronous federated learning over TCP with an optional
 // AsyncFilter guarding aggregation.
 type Server struct {
-	inner *transport.Server
+	inner   *transport.Server
+	metrics *Metrics
+	obsvLis net.Listener
+	obsvSrv *http.Server
 }
 
 // NewServer builds a TCP aggregation server. filter nil selects FedBuff
@@ -136,6 +153,10 @@ func NewServer(cfg ServerConfig, filter *Filter) (*Server, error) {
 	var innerFilter fl.Filter
 	if filter != nil {
 		innerFilter = filter.inner
+	}
+	var metrics *Metrics
+	if cfg.ObsvAddr != "" {
+		metrics = NewMetrics(cfg.TraceDepth)
 	}
 	s, err := transport.NewServer(transport.ServerConfig{
 		InitialParams:      cfg.InitialParams,
@@ -154,12 +175,45 @@ func NewServer(cfg ServerConfig, filter *Filter) (*Server, error) {
 		LeaseDuration:      cfg.LeaseDuration,
 		QuarantineAfter:    cfg.QuarantineAfter,
 		QuarantineCooldown: cfg.QuarantineCooldown,
+		Obsv:               hubOf(metrics),
 	}, innerFilter, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{inner: s}, nil
+	srv := &Server{inner: s, metrics: metrics}
+	if cfg.ObsvAddr != "" {
+		lis, err := net.Listen("tcp", cfg.ObsvAddr)
+		if err != nil {
+			_ = s.Close()
+			return nil, fmt.Errorf("asyncfilter: observability listener: %w", err)
+		}
+		srv.obsvLis = lis
+		srv.obsvSrv = &http.Server{Handler: obsv.Handler(metrics.hub, func() obsv.Health {
+			return obsv.Health{
+				Draining: s.Draining(),
+				Finished: s.Finished(),
+				Restored: s.Restored(),
+				Rounds:   s.Version(),
+			}
+		})}
+		go func() { _ = srv.obsvSrv.Serve(lis) }()
+	}
+	return srv, nil
 }
+
+// ObsvAddr returns the bound address of the introspection listener, or
+// "" when observability is disabled. With ServerConfig.ObsvAddr
+// "host:0" this is where the ephemeral port landed.
+func (s *Server) ObsvAddr() string {
+	if s.obsvLis == nil {
+		return ""
+	}
+	return s.obsvLis.Addr().String()
+}
+
+// Metrics returns the server's observability handle, or nil when
+// ServerConfig.ObsvAddr was empty.
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Serve accepts client connections until the configured rounds complete
 // or Close is called.
@@ -171,8 +225,14 @@ func (s *Server) ListenAndServe(addr string) error { return s.inner.ListenAndSer
 // Done is closed when the configured rounds have completed.
 func (s *Server) Done() <-chan struct{} { return s.inner.Done() }
 
-// Close stops the server and disconnects all clients.
-func (s *Server) Close() error { return s.inner.Close() }
+// Close stops the server, disconnects all clients and tears down the
+// introspection listener.
+func (s *Server) Close() error {
+	if s.obsvSrv != nil {
+		_ = s.obsvSrv.Close()
+	}
+	return s.inner.Close()
+}
 
 // Drain gracefully retires the server: admissions stop (clients are told
 // Goodbye so they reconnect elsewhere), the in-flight round commits, the

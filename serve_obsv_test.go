@@ -1,0 +1,202 @@
+package asyncfilter
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A public-API deployment with ObsvAddr set must serve live
+// introspection: Prometheus text on /metrics, decision records on
+// /trace, lifecycle state on /healthz, and the same data through the
+// Metrics handle without HTTP.
+func TestServerObservability(t *testing.T) {
+	spec, err := ModelSpecFor(MNIST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := InitialParams(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter, err := NewFilter(FilterConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewServer(ServerConfig{
+		InitialParams:   params,
+		AggregationGoal: 6,
+		StalenessLimit:  10,
+		Rounds:          2,
+		ObsvAddr:        "127.0.0.1:0",
+		TraceDepth:      256,
+	}, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + server.ObsvAddr()
+	if server.ObsvAddr() == "" {
+		t.Fatal("ObsvAddr empty with observability enabled")
+	}
+	if server.Metrics() == nil {
+		t.Fatal("Metrics nil with observability enabled")
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = server.Serve(lis) }()
+
+	train, _, err := GenerateData(MNIST, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := train.PartitionDirichlet(8, 40, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSpec, err := TrainSpecFor(MNIST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSpec.Epochs = 1
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		opts := ClientOptions{ID: i, Data: parts[i], Model: spec, Train: trainSpec, Seed: int64(i)}
+		if i >= 6 {
+			opts.Attack = AttackGD
+		}
+		client, err := NewClient(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = client.Run(lis.Addr().String())
+		}()
+	}
+	select {
+	case <-server.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("deployment timed out")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	st := server.Stats()
+	code, metrics := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if st.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", st.Rounds)
+	}
+	if !strings.Contains(metrics, "afl_rounds_total 2") {
+		t.Errorf("/metrics does not mirror %d rounds:\n%s", st.Rounds, metrics)
+	}
+	if !strings.Contains(metrics, "afl_round_latency_seconds_count 2") {
+		t.Error("/metrics missing round latency samples")
+	}
+	// The handle renders the same exposition without HTTP.
+	if direct := server.Metrics().PrometheusText(); direct == "" || !strings.Contains(direct, "afl_rounds_total") {
+		t.Error("Metrics().PrometheusText() missing series")
+	}
+	if body, err := server.Metrics().JSON(); err != nil || !strings.Contains(string(body), "afl_rounds_total") {
+		t.Errorf("Metrics().JSON() = %s, %v", body, err)
+	}
+
+	code, trace := get("/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	var payload struct {
+		Total   uint64            `json:"total"`
+		Records []json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(trace), &payload); err != nil {
+		t.Fatalf("trace unmarshal: %v", err)
+	}
+	if payload.Total == 0 || len(payload.Records) == 0 {
+		t.Error("/trace empty after a filtered deployment")
+	}
+	direct, err := server.Metrics().TraceJSON(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(direct) {
+		t.Error("Metrics().TraceJSON() invalid JSON")
+	}
+
+	// Finished deployment: health reports 503 with the final round.
+	code, hbody := get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("finished /healthz status = %d, want 503", code)
+	}
+	if !strings.Contains(hbody, `"rounds": 2`) && !strings.Contains(hbody, `"rounds":2`) {
+		t.Errorf("healthz body %q missing final round", hbody)
+	}
+
+	if err := server.Close(); err != nil {
+		t.Logf("close: %v", err)
+	}
+	wg.Wait()
+
+	// Close tears the introspection listener down.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("introspection listener still serving after Close")
+	}
+}
+
+// Without ObsvAddr the observability layer must stay fully disabled.
+func TestServerObservabilityDisabled(t *testing.T) {
+	params := make([]float64, 8)
+	server, err := NewServer(ServerConfig{
+		InitialParams:   params,
+		AggregationGoal: 2,
+		Rounds:          1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	if server.ObsvAddr() != "" {
+		t.Errorf("ObsvAddr = %q, want empty", server.ObsvAddr())
+	}
+	if server.Metrics() != nil {
+		t.Error("Metrics non-nil with observability disabled")
+	}
+}
+
+// An unusable observability address must fail construction instead of
+// silently serving nothing.
+func TestServerObservabilityBadAddr(t *testing.T) {
+	params := make([]float64, 8)
+	if _, err := NewServer(ServerConfig{
+		InitialParams:   params,
+		AggregationGoal: 2,
+		Rounds:          1,
+		ObsvAddr:        "256.256.256.256:0",
+	}, nil); err == nil {
+		t.Fatal("unusable ObsvAddr accepted")
+	}
+}
