@@ -8,6 +8,17 @@
 //	aflserver -listen :9000 -defense fedbuff    # undefended baseline
 //	aflserver -listen :9000 -checkpoint srv.ckpt  # durable, crash-recoverable
 //
+// Two-tier topology (DESIGN.md §12): -role root runs the top-tier
+// aggregator that edge servers report to; -role edge runs an edge
+// aggregator that admits clients, filters locally and forwards batches
+// to -root-addr. Edges ride out a dead root in degraded mode (bounded
+// buffering, /healthz says "degraded"), and a checkpointed root
+// (-checkpoint) can be killed and restarted without double-counting:
+//
+//	aflserver -role root -listen :9100 -rounds 40 -edge-lease 5s
+//	aflserver -role edge -listen :9000 -root-addr host:9100 -edge-id 0
+//	aflserver -role edge -listen :9001 -root-addr host:9100 -edge-id 1
+//
 // With -checkpoint, the server snapshots its full state (global model,
 // round counter, filter history, buffered updates, client sessions) to
 // the given file, restores from it at startup when it exists, and writes
@@ -51,6 +62,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("aflserver", flag.ContinueOnError)
 	var (
+		role    = fs.String("role", "single", "deployment role: single (flat server), edge (forwards to -root-addr) or root (top tier)")
 		listen  = fs.String("listen", "127.0.0.1:9000", "listen address")
 		preset  = fs.String("dataset", asyncfilter.MNIST, "dataset preset (fixes the model architecture)")
 		defense = fs.String("defense", asyncfilter.DefenseAsyncFilter, "asyncfilter or fedbuff")
@@ -75,6 +87,12 @@ func run(args []string) error {
 		quarCool    = fs.Duration("quarantine-cooldown", 30*time.Second, "refusal window before a quarantined client's half-open probe")
 
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before hard shutdown")
+
+		rootAddr   = fs.String("root-addr", "", "edge role: the root server's address")
+		edgeID     = fs.Int("edge-id", 0, "edge role: unique edge id")
+		heartbeat  = fs.Duration("heartbeat", 0, "edge role: uplink heartbeat interval (0 = 500ms); keep well below the root's -edge-lease")
+		maxBatches = fs.Int("max-pending-batches", 0, "edge role: degraded-mode batch buffer bound (0 = 64)")
+		edgeLease  = fs.Duration("edge-lease", 5*time.Second, "root role: evict edges silent this long and hand their filter state to survivors (0 disables failover)")
 
 		obsvAddr   = fs.String("obsv-addr", "", "serve /metrics, /trace, /healthz and /debug/pprof on this address (\"\" disables)")
 		traceDepth = fs.Int("trace-depth", 0, "filter-decision trace ring size for -obsv-addr (0 = default)")
@@ -106,7 +124,7 @@ func run(args []string) error {
 		return fmt.Errorf("unsupported defense %q for the TCP server (want asyncfilter or fedbuff)", *defense)
 	}
 
-	server, err := asyncfilter.NewServer(asyncfilter.ServerConfig{
+	serverCfg := asyncfilter.ServerConfig{
 		InitialParams:      params,
 		AggregationGoal:    *goal,
 		StalenessLimit:     *limit,
@@ -125,7 +143,48 @@ func run(args []string) error {
 		QuarantineCooldown: *quarCool,
 		ObsvAddr:           *obsvAddr,
 		TraceDepth:         *traceDepth,
-	}, filter)
+	}
+
+	switch *role {
+	case "single":
+		// fall through to the flat deployment below
+	case "edge":
+		return runEdge(edgeOptions{
+			listen:     *listen,
+			rootAddr:   *rootAddr,
+			edgeID:     *edgeID,
+			heartbeat:  *heartbeat,
+			maxBatches: *maxBatches,
+			seed:       *seed,
+			server:     serverCfg,
+			filter:     filter,
+		})
+	case "root":
+		return runRoot(rootOptions{
+			listen: *listen,
+			filter: filter,
+			spec:   spec,
+			preset: *preset,
+			seed:   *seed,
+			cfg: asyncfilter.RootServerConfig{
+				InitialParams:     params,
+				Rounds:            *rounds,
+				StalenessLimit:    *limit,
+				ReadTimeout:       *readTimeout,
+				WriteTimeout:      *writeTimeout,
+				MaxMessageBytes:   *maxMsg,
+				EdgeLeaseDuration: *edgeLease,
+				CheckpointPath:    *ckptPath,
+				CheckpointEvery:   *ckptEvery,
+				ObsvAddr:          *obsvAddr,
+				TraceDepth:        *traceDepth,
+			},
+		})
+	default:
+		return fmt.Errorf("unknown -role %q (want single, edge or root)", *role)
+	}
+
+	server, err := asyncfilter.NewServer(serverCfg, filter)
 	if err != nil {
 		return err
 	}
@@ -190,6 +249,143 @@ func run(args []string) error {
 		return err
 	}
 	acc, loss, err := asyncfilter.EvaluateParams(server.FinalParams(), spec, test)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aflserver: final accuracy %.2f%% (loss %.4f)\n", 100*acc, loss)
+	return nil
+}
+
+// edgeOptions carries the parsed flags for -role edge.
+type edgeOptions struct {
+	listen     string
+	rootAddr   string
+	edgeID     int
+	heartbeat  time.Duration
+	maxBatches int
+	seed       int64
+	server     asyncfilter.ServerConfig
+	filter     *asyncfilter.Filter
+}
+
+// runEdge serves clients locally and forwards filtered batches to the
+// root until a signal arrives or the root declares the deployment done.
+func runEdge(opts edgeOptions) error {
+	if opts.rootAddr == "" {
+		return fmt.Errorf("-role edge requires -root-addr")
+	}
+	// The root's round budget ends the deployment; the edge's own round
+	// flag would cut the uplink short, so Rounds 0 selects unbounded.
+	opts.server.Rounds = 0
+	edge, err := asyncfilter.NewEdgeServer(asyncfilter.EdgeServerConfig{
+		EdgeID:            opts.edgeID,
+		RootAddr:          opts.rootAddr,
+		Server:            opts.server,
+		HeartbeatEvery:    opts.heartbeat,
+		MaxPendingBatches: opts.maxBatches,
+		Seed:              opts.seed,
+	}, opts.filter)
+	if err != nil {
+		return err
+	}
+	if addr := edge.ObsvAddr(); addr != "" {
+		fmt.Printf("aflserver: edge introspection on http://%s (/healthz reports degraded when the uplink is down)\n", addr)
+	}
+	fmt.Printf("aflserver: edge %d listening on %s, forwarding to %s (goal=%d)\n",
+		opts.edgeID, opts.listen, opts.rootAddr, opts.server.AggregationGoal)
+	errCh := make(chan error, 1)
+	go func() { errCh <- edge.ListenAndServe(opts.listen) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	// The edge has no Done channel of its own: it retires when the root
+	// reports the deployment complete, which it learns over the uplink.
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case sig := <-sigCh:
+			fmt.Printf("aflserver: edge %d: %v, shutting down\n", opts.edgeID, sig)
+			err := edge.Close()
+			<-errCh
+			return err
+		case err := <-errCh:
+			_ = edge.Close()
+			return err
+		case <-ticker.C:
+			if edge.RootDone() {
+				st := edge.Stats()
+				fmt.Printf("aflserver: edge %d done at local round %d (%d batches committed, %d acked, %d shed, %d uplink sessions, %d handoffs merged)\n",
+					opts.edgeID, edge.Version(), st.BatchesCommitted, st.BatchesAcked, st.BatchesShed, st.UplinkSessions, st.HandoffsMerged)
+				err := edge.Close()
+				<-errCh
+				return err
+			}
+		}
+	}
+}
+
+// rootOptions carries the parsed flags for -role root.
+type rootOptions struct {
+	listen string
+	preset string
+	seed   int64
+	spec   asyncfilter.ModelSpec
+	filter *asyncfilter.Filter
+	cfg    asyncfilter.RootServerConfig
+}
+
+// runRoot serves edge aggregators until the configured rounds complete
+// or a signal arrives; Close always checkpoints (when configured), so a
+// rerun of the same command resumes the deployment.
+func runRoot(opts rootOptions) error {
+	root, err := asyncfilter.NewRootServer(opts.cfg, opts.filter)
+	if err != nil {
+		return err
+	}
+	if root.Restored() {
+		fmt.Printf("aflserver: root restored from %s at round %d\n", opts.cfg.CheckpointPath, root.Version())
+	}
+	if addr := root.ObsvAddr(); addr != "" {
+		fmt.Printf("aflserver: root introspection on http://%s (/metrics /trace /healthz /debug/pprof)\n", addr)
+	}
+	fmt.Printf("aflserver: root listening on %s (dataset=%s rounds=%d edge-lease=%v)\n",
+		opts.listen, opts.preset, opts.cfg.Rounds, opts.cfg.EdgeLeaseDuration)
+	errCh := make(chan error, 1)
+	go func() { errCh <- root.ListenAndServe(opts.listen) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case sig := <-sigCh:
+		// Closing does not mark the deployment finished: edges treat the
+		// vanished root as a partition and buffer until it comes back.
+		fmt.Printf("aflserver: root: %v at round %d, checkpointing and shutting down\n", sig, root.Version())
+		err := root.Close()
+		<-errCh
+		return err
+	case <-root.Done():
+	}
+	st := root.Stats()
+	fmt.Printf("aflserver: root completed %d rounds (%d edges, %d reconnects, %d expired leases, %d batches replayed, %d lost, %d handoffs delivered)\n",
+		st.Rounds, st.EdgesConnected, st.EdgeReconnects, st.ExpiredEdgeLeases, st.BatchesReplayed, st.BatchesLost, st.HandoffsDelivered)
+	finalParams := root.FinalParams()
+	if err := root.Close(); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+
+	_, test, err := asyncfilter.GenerateData(opts.preset, opts.seed)
+	if err != nil {
+		return err
+	}
+	acc, loss, err := asyncfilter.EvaluateParams(finalParams, opts.spec, test)
 	if err != nil {
 		return err
 	}

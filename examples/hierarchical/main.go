@@ -1,0 +1,236 @@
+// Hierarchical deployment: a two-tier AsyncFilter topology running as
+// goroutines over loopback TCP — one root aggregator, two edge
+// aggregators, and twelve federated clients (three of them malicious).
+// Each edge admits its half of the fleet, runs a local AsyncFilter pass,
+// and forwards filtered batches upstream with idempotent batch ids; the
+// root applies each batch to the fleet-wide model exactly once and
+// maintains the shard map that edges relay to their clients.
+//
+// Adding -kill-edge-at N turns the run into a failover demo: edge 0 is
+// killed once the root has applied N batches. Its clients ride out the
+// outage on their reconnect budgets and re-home to edge 1 using the
+// shard map they learned at admission, the root expires edge 0's lease
+// and hands its filter state to edge 1 (so the poisoning history the
+// dead edge accumulated is not lost), and the deployment completes on
+// the surviving edge alone.
+//
+//	go run ./examples/hierarchical
+//	go run ./examples/hierarchical -kill-edge-at 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	asyncfilter "github.com/asyncfl/asyncfilter"
+)
+
+const (
+	numClients   = 12
+	numMalicious = 3
+	numEdges     = 2
+	// Each edge aggregates 6 filtered updates into one batch; the root
+	// applies 12 batches fleet-wide and declares the deployment done.
+	edgeGoal   = 6
+	rootRounds = 12
+)
+
+// newEdge builds one edge aggregator: a full client-facing server (its
+// own AsyncFilter, hardened timeouts) plus the uplink to the root. Edges
+// heartbeat every 200ms, well inside the root's 2s lease.
+func newEdge(id int, rootAddr string, params []float64) (*asyncfilter.EdgeServer, error) {
+	filter, err := asyncfilter.NewFilter(asyncfilter.FilterConfig{Seed: int64(1 + id)})
+	if err != nil {
+		return nil, err
+	}
+	return asyncfilter.NewEdgeServer(asyncfilter.EdgeServerConfig{
+		EdgeID:   id,
+		RootAddr: rootAddr,
+		Server: asyncfilter.ServerConfig{
+			InitialParams:   params,
+			AggregationGoal: edgeGoal,
+			StalenessLimit:  10,
+			ReadTimeout:     time.Minute,
+			WriteTimeout:    15 * time.Second,
+			MaxMessageBytes: 64 << 20,
+			RoundTimeout:    30 * time.Second,
+			// Pace each client to a couple of updates per second so the
+			// deployment runs at a human-followable speed — and, in the
+			// failover demo, outlives the dead edge's lease.
+			ClientRateLimit: 2,
+			ClientBurst:     2,
+		},
+		HeartbeatEvery: 200 * time.Millisecond,
+		Seed:           int64(id),
+	}, filter)
+}
+
+func main() {
+	killEdgeAt := flag.Int("kill-edge-at", 0, "kill edge 0 after the root applies this many batches (0 disables)")
+	flag.Parse()
+	if *killEdgeAt >= rootRounds {
+		log.Fatalf("-kill-edge-at %d must be below the %d-round deployment", *killEdgeAt, rootRounds)
+	}
+
+	spec, err := asyncfilter.ModelSpecFor(asyncfilter.MNIST)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := asyncfilter.InitialParams(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The root trusts the edges' filtering (nil filter): in this topology
+	// the AsyncFilter pass runs where the updates arrive. Edges silent for
+	// 1s lose their lease, which re-homes their clients and hands their
+	// filter state to the survivors.
+	root, err := asyncfilter.NewRootServer(asyncfilter.RootServerConfig{
+		InitialParams:     params,
+		Rounds:            rootRounds,
+		StalenessLimit:    10,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      15 * time.Second,
+		MaxMessageBytes:   64 << 20,
+		EdgeLeaseDuration: time.Second,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rootLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rootAddr := rootLis.Addr().String()
+	go func() {
+		if err := root.Serve(rootLis); err != nil {
+			log.Println("root serve:", err)
+		}
+	}()
+	fmt.Printf("root listening on %s (%d rounds, edge lease 1s)\n", rootAddr, rootRounds)
+
+	edges := make([]*asyncfilter.EdgeServer, numEdges)
+	edgeAddrs := make([]string, numEdges)
+	for i := range edges {
+		edge, err := newEdge(i, rootAddr, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		edges[i] = edge
+		edgeAddrs[i] = lis.Addr().String()
+		go func() {
+			// The killed edge's listener error at -kill-edge-at is expected.
+			_ = edge.Serve(lis)
+		}()
+		fmt.Printf("edge %d listening on %s (aggregation goal %d)\n", i, edgeAddrs[i], edgeGoal)
+	}
+
+	train, test, err := asyncfilter.GenerateData(asyncfilter.MNIST, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := train.PartitionDirichlet(numClients, 150, 0.1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainSpec, err := asyncfilter.TrainSpecFor(asyncfilter.MNIST)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clients := make([]*asyncfilter.Client, numClients)
+	var wg sync.WaitGroup
+	for i := 0; i < numClients; i++ {
+		// The retry budget is what lets a client survive its home edge
+		// dying: failed dials burn it, a completed task refills it, and the
+		// shard map learned at admission points retries at the survivors.
+		opts := asyncfilter.ClientOptions{
+			ID:                i,
+			Data:              parts[i],
+			Model:             spec,
+			Train:             trainSpec,
+			Seed:              int64(i),
+			MaxRetries:        15,
+			RetryBaseDelay:    50 * time.Millisecond,
+			RetryMaxDelay:     500 * time.Millisecond,
+			DialTimeout:       5 * time.Second,
+			HeartbeatInterval: 5 * time.Second,
+		}
+		if i < numMalicious {
+			opts.Attack = asyncfilter.AttackGD
+			fmt.Printf("client %2d: MALICIOUS (gd attack), homed at edge %d\n", i, i%numEdges)
+		} else {
+			fmt.Printf("client %2d: honest (%d local samples), homed at edge %d\n", i, parts[i].Len(), i%numEdges)
+		}
+		client, err := asyncfilter.NewClient(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clients[i] = client
+		home := edgeAddrs[i%numEdges]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Edges are closed when the root finishes (and edge 0 is killed
+			// outright in the failover demo); exit errors are expected.
+			_ = client.Run(home)
+		}()
+	}
+
+	if *killEdgeAt > 0 {
+		for root.Version() < *killEdgeAt {
+			time.Sleep(5 * time.Millisecond)
+		}
+		st := edges[0].Stats()
+		fmt.Printf("\nKILLING edge 0 at root round %d (%d batches committed, %d acked)\n",
+			root.Version(), st.BatchesCommitted, st.BatchesAcked)
+		if err := edges[0].Close(); err != nil {
+			log.Println("close edge 0:", err)
+		}
+	}
+
+	<-root.Done()
+	final := root.FinalParams()
+	// The edges learn Done on their next uplink exchange and finish their
+	// local servers, so every client exits cleanly on its next task request
+	// — wait for that before tearing the processes down.
+	wg.Wait()
+	for i, edge := range edges {
+		if *killEdgeAt > 0 && i == 0 {
+			continue // already killed
+		}
+		es := edge.Stats()
+		ss := edge.ServerStats()
+		fmt.Printf("edge %d: %d local rounds → %d batches acked (%d updates seen, %d rejected, %d handoffs merged)\n",
+			i, es.BatchesCommitted, es.BatchesAcked, ss.UpdatesReceived, ss.Rejected, es.HandoffsMerged)
+		if err := edge.Close(); err != nil {
+			log.Println("close edge:", err)
+		}
+	}
+	if err := root.Close(); err != nil {
+		log.Println("close root:", err)
+	}
+
+	rehomed := 0
+	for _, c := range clients {
+		rehomed += c.Rehomes()
+	}
+	rs := root.Stats()
+	acc, loss, err := asyncfilter.EvaluateParams(final, spec, test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nroot applied %d batches from %d edges (%d replayed, %d lost, %d reconnects)\n",
+		rs.BatchesApplied, rs.EdgesConnected, rs.BatchesReplayed, rs.BatchesLost, rs.EdgeReconnects)
+	fmt.Printf("failover: %d expired edge leases, %d filter handoffs delivered, %d client re-homings\n",
+		rs.ExpiredEdgeLeases, rs.HandoffsDelivered, rehomed)
+	fmt.Printf("final accuracy %.2f%% (test loss %.4f)\n", 100*acc, loss)
+}

@@ -15,8 +15,10 @@ type Report interface {
 // ExperimentIDs lists every reproducible experiment of the paper's
 // evaluation section: "table2" … "table10" and "fig3", "fig4", "fig6",
 // "fig7". RunExperiment additionally accepts the extension experiments
-// "detection" (filter precision/recall per attack) and "overload"
-// (admission-control throughput under a TCP client flood).
+// "detection" (filter precision/recall per attack), "overload"
+// (admission-control throughput under a TCP client flood), "shard"
+// (per-shard vs merged filter state across edge aggregators, per attack)
+// and "hierarchy" (single-server vs two-tier deployment over real TCP).
 func ExperimentIDs() []string {
 	return experiments.IDs()
 }
@@ -56,6 +58,17 @@ func RunExperiment(id string, scale ExperimentScale) (Report, error) {
 		// admission budget and report admitted/shed/rate-limited
 		// throughput of the overload-resilience layer.
 		return experiments.RunOverload(s)
+	case "shard":
+		// Extension experiment: AsyncFilter detection quality when the
+		// client population is partitioned across edge aggregators —
+		// single fleet-wide state vs independent per-shard state vs the
+		// count-weighted merged state the topology handoffs converge to.
+		return experiments.RunShardComparison("fashionmnist", s)
+	case "hierarchy":
+		// Extension experiment: the same clients and attack mix against a
+		// flat server and against the two-tier edge/root topology, over
+		// real loopback TCP.
+		return experiments.RunHierarchy(s)
 	case "fig3":
 		return experiments.RunEmbedding("fig3", 0, s)
 	case "fig4":

@@ -50,22 +50,71 @@ var (
 	ErrVersion = errors.New("checkpoint: unsupported snapshot format version")
 )
 
-// Save atomically writes state to path: the snapshot is encoded and
-// checksummed into a temporary file in path's directory, synced, and
-// renamed over path. A crash at any point leaves either the previous
-// snapshot or the new one, never a torn mix.
-func Save(path string, state any) error {
+// Encode serializes state into the checkpoint container format — the same
+// magic, format version, length header and CRC trailer Save writes to
+// disk, as an in-memory byte slice. The hierarchical deployments use it to
+// carry filter-state handoffs over the wire with the same corruption
+// guarantees a snapshot file gets: a truncated or bit-flipped payload is
+// detected by Decode before any state is touched.
+func Encode(state any) ([]byte, error) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(state); err != nil {
-		return fmt.Errorf("checkpoint: encode state: %w", err)
+		return nil, fmt.Errorf("checkpoint: encode state: %w", err)
 	}
-
 	buf := make([]byte, 0, headerSize+payload.Len()+crcSize)
 	buf = append(buf, magic...)
 	buf = binary.BigEndian.AppendUint32(buf, FormatVersion)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(payload.Len()))
 	buf = append(buf, payload.Bytes()...)
 	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[len(magic):]))
+	return buf, nil
+}
+
+// Decode validates a checkpoint container produced by Encode (or read back
+// from a Save file) and decodes its payload into state, which must be a
+// pointer to the encoded type. Damage surfaces as ErrCorrupt or
+// ErrVersion without touching state. where names the container's origin in
+// error messages.
+func Decode(raw []byte, state any, where string) error {
+	if len(raw) < headerSize+crcSize {
+		return fmt.Errorf("%w: %s holds %d bytes, header alone needs %d",
+			ErrCorrupt, where, len(raw), headerSize+crcSize)
+	}
+	if string(raw[:len(magic)]) != magic {
+		return fmt.Errorf("%w: %s has no checkpoint magic", ErrCorrupt, where)
+	}
+	version := binary.BigEndian.Uint32(raw[len(magic) : len(magic)+4])
+	if version != FormatVersion {
+		return fmt.Errorf("%w: %s has format version %d, this build reads %d",
+			ErrVersion, where, version, FormatVersion)
+	}
+	payloadLen := binary.BigEndian.Uint64(raw[len(magic)+4 : headerSize])
+	if uint64(len(raw)) != uint64(headerSize)+payloadLen+crcSize {
+		return fmt.Errorf("%w: %s declares %d payload bytes but holds %d total",
+			ErrCorrupt, where, payloadLen, len(raw))
+	}
+	body := raw[len(magic) : len(raw)-crcSize]
+	want := binary.BigEndian.Uint32(raw[len(raw)-crcSize:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return fmt.Errorf("%w: %s CRC mismatch (stored %08x, computed %08x)",
+			ErrCorrupt, where, want, got)
+	}
+	payload := raw[headerSize : len(raw)-crcSize]
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(state); err != nil {
+		return fmt.Errorf("%w: %s payload does not decode: %v", ErrCorrupt, where, err)
+	}
+	return nil
+}
+
+// Save atomically writes state to path: the snapshot is encoded and
+// checksummed into a temporary file in path's directory, synced, and
+// renamed over path. A crash at any point leaves either the previous
+// snapshot or the new one, never a torn mix.
+func Save(path string, state any) error {
+	buf, err := Encode(state)
+	if err != nil {
+		return err
+	}
 
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
@@ -104,32 +153,5 @@ func Load(path string, state any) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: read %s: %w", path, err)
 	}
-	if len(raw) < headerSize+crcSize {
-		return fmt.Errorf("%w: %s holds %d bytes, header alone needs %d",
-			ErrCorrupt, path, len(raw), headerSize+crcSize)
-	}
-	if string(raw[:len(magic)]) != magic {
-		return fmt.Errorf("%w: %s has no checkpoint magic", ErrCorrupt, path)
-	}
-	version := binary.BigEndian.Uint32(raw[len(magic) : len(magic)+4])
-	if version != FormatVersion {
-		return fmt.Errorf("%w: %s has format version %d, this build reads %d",
-			ErrVersion, path, version, FormatVersion)
-	}
-	payloadLen := binary.BigEndian.Uint64(raw[len(magic)+4 : headerSize])
-	if uint64(len(raw)) != uint64(headerSize)+payloadLen+crcSize {
-		return fmt.Errorf("%w: %s declares %d payload bytes but holds %d total",
-			ErrCorrupt, path, payloadLen, len(raw))
-	}
-	body := raw[len(magic) : len(raw)-crcSize]
-	want := binary.BigEndian.Uint32(raw[len(raw)-crcSize:])
-	if got := crc32.ChecksumIEEE(body); got != want {
-		return fmt.Errorf("%w: %s CRC mismatch (stored %08x, computed %08x)",
-			ErrCorrupt, path, want, got)
-	}
-	payload := raw[headerSize : len(raw)-crcSize]
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(state); err != nil {
-		return fmt.Errorf("%w: %s payload does not decode: %v", ErrCorrupt, path, err)
-	}
-	return nil
+	return Decode(raw, state, path)
 }

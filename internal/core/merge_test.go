@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// smallBatch builds n < MinBatch updates (accepted wholesale, so every
+// delta folds into its group estimator) with deterministic distinct deltas
+// spread across the given staleness levels.
+func smallBatch(rng interface {
+	Intn(int) int
+	NormFloat64() float64
+}, n, dim int, staleness []int, firstClient int) []*fl.Update {
+	updates := make([]*fl.Update, n)
+	for i := range updates {
+		delta := make([]float64, dim)
+		for j := range delta {
+			delta[j] = rng.NormFloat64()
+		}
+		updates[i] = &fl.Update{
+			ClientID:   firstClient + i,
+			Staleness:  staleness[i%len(staleness)],
+			Delta:      delta,
+			NumSamples: 10,
+		}
+	}
+	return updates
+}
+
+// TestMergeMatchesSingleFilter is the per-shard vs merged equivalence the
+// root depends on: two filters each see a disjoint share of the update
+// stream; merging one's snapshot into the other reproduces (for the CMA
+// estimator, exactly up to float associativity) the group estimators of a
+// single filter that saw the whole stream.
+func TestMergeMatchesSingleFilter(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	single, _ := New(cfg)
+
+	rng := randx.New(42)
+	dim := 6
+	round := 0
+	for batch := 0; batch < 6; batch++ {
+		round++
+		updates := smallBatch(rng, 4, dim, []int{0, 1, 2}, batch*10)
+		if _, err := single.Filter(cloneBatch(updates), round); err != nil {
+			t.Fatal(err)
+		}
+		shard := a
+		if batch%2 == 1 {
+			shard = b
+		}
+		if _, err := shard.Filter(cloneBatch(updates), round); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := a.Merge(b.Snapshot()); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got, want := a.GroupCount(), single.GroupCount(); got != want {
+		t.Fatalf("merged filter has %d groups, single has %d", got, want)
+	}
+	for k, est := range single.groups {
+		mergedEst := a.groups[k]
+		if mergedEst == nil {
+			t.Fatalf("merged filter missing group %d", k)
+		}
+		if mergedEst.Count() != est.Count() {
+			t.Errorf("group %d: merged count %d, single count %d", k, mergedEst.Count(), est.Count())
+		}
+		if !vecmath.EqualApprox(mergedEst.Mean(), est.Mean(), 1e-9) {
+			t.Errorf("group %d: merged mean diverges from single-filter mean", k)
+		}
+	}
+}
+
+// TestMergeIntoFresh checks the cold-start path a successor edge takes on
+// handoff: merging a snapshot into a filter that has never run adopts the
+// donor's groups, dimensionality and rounds wholesale.
+func TestMergeIntoFresh(t *testing.T) {
+	cfg := DefaultConfig()
+	donor, _ := New(cfg)
+	rng := randx.New(7)
+	if _, err := donor.Filter(smallBatch(rng, 4, 5, []int{0, 2}, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	st := donor.Snapshot()
+
+	fresh, _ := New(cfg)
+	if err := fresh.Merge(st); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if fresh.dim != 5 {
+		t.Fatalf("merged dim = %d, want 5", fresh.dim)
+	}
+	if fresh.GroupCount() != donor.GroupCount() {
+		t.Fatalf("merged groups = %d, want %d", fresh.GroupCount(), donor.GroupCount())
+	}
+	for k, est := range donor.groups {
+		got := fresh.groups[k]
+		if got == nil || got.Count() != est.Count() || !vecmath.EqualApprox(got.Mean(), est.Mean(), 0) {
+			t.Fatalf("group %d not adopted faithfully", k)
+		}
+	}
+	if fresh.rounds != donor.rounds {
+		t.Fatalf("merged rounds = %d, want %d", fresh.rounds, donor.rounds)
+	}
+}
+
+// TestMergeAmnestyAndErrors covers amnesty max-merge, the dimension guard
+// and the all-or-nothing contract.
+func TestMergeAmnestyAndErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	f, _ := New(cfg)
+	f.dim = 3
+	f.amnesty[1] = 1
+	f.amnesty[2] = 5
+
+	st := FilterState{
+		Dim: 3,
+		Amnesty: []AmnestyCredit{
+			{ClientID: 1, Credits: 4}, // higher than live: adopted
+			{ClientID: 2, Credits: 2}, // lower than live: kept
+			{ClientID: 3, Credits: 2}, // new client: adopted
+		},
+	}
+	if err := f.Merge(st); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if f.amnesty[1] != 4 || f.amnesty[2] != 5 || f.amnesty[3] != 2 {
+		t.Fatalf("amnesty after merge = %v", f.amnesty)
+	}
+
+	// Dim mismatch refuses without touching state.
+	bad := FilterState{Dim: 7, Groups: []GroupState{{Staleness: 0, Mean: make([]float64, 7), Count: 1}}}
+	if err := f.Merge(bad); err == nil {
+		t.Fatal("Merge with mismatched dim succeeded")
+	}
+	if f.dim != 3 || len(f.groups) != 0 {
+		t.Fatalf("failed merge mutated state: dim=%d groups=%d", f.dim, len(f.groups))
+	}
+
+	// A corrupt group inside an otherwise valid snapshot leaves the filter
+	// untouched too.
+	bad = FilterState{Dim: 3, Groups: []GroupState{
+		{Staleness: 0, Mean: make([]float64, 3), Count: 2},
+		{Staleness: 1, Mean: make([]float64, 2), Count: 2}, // wrong dim
+	}}
+	if err := f.Merge(bad); err == nil {
+		t.Fatal("Merge with corrupt group succeeded")
+	}
+	if len(f.groups) != 0 {
+		t.Fatalf("failed merge installed %d groups", len(f.groups))
+	}
+}
+
+// TestMergeStateBytes exercises the fl.StateMerger path end to end.
+func TestMergeStateBytes(t *testing.T) {
+	cfg := DefaultConfig()
+	donor, _ := New(cfg)
+	rng := randx.New(11)
+	if _, err := donor.Filter(smallBatch(rng, 5, 4, []int{0, 1}, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := donor.SnapshotState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m fl.StateMerger = target
+	if err := m.MergeState(blob); err != nil {
+		t.Fatalf("MergeState: %v", err)
+	}
+	if err := m.MergeState([]byte("not a snapshot")); err == nil {
+		t.Fatal("MergeState accepted garbage")
+	}
+}

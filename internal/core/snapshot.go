@@ -145,7 +145,10 @@ func (f *AsyncFilter) restoreEstimator(g GroupState) (estimator, error) {
 	}
 }
 
-var _ fl.StateSnapshotter = (*AsyncFilter)(nil)
+var (
+	_ fl.StateSnapshotter = (*AsyncFilter)(nil)
+	_ fl.StateMerger      = (*AsyncFilter)(nil)
+)
 
 // SnapshotState implements fl.StateSnapshotter by gob-encoding Snapshot.
 func (f *AsyncFilter) SnapshotState() ([]byte, error) {

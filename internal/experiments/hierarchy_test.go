@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardComparisonRows runs the shard experiment at a reduced round
+// count and checks its shape: every paper attack crossed with all three
+// sharding modes, rendered with one row each.
+func TestShardComparisonRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 12 simulations")
+	}
+	res, err := RunShardComparison("fashionmnist", Scale{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacks := robustnessAttacks()
+	if want := len(attacks) * 3; len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	modes := map[string]int{}
+	for _, row := range res.Rows {
+		modes[row.Mode]++
+		if row.Accuracy <= 0 {
+			t.Errorf("%s/%s: accuracy %v, want > 0", row.Attack, row.Mode, row.Accuracy)
+		}
+	}
+	for _, mode := range []string{"single", "per-shard", "merged"} {
+		if modes[mode] != len(attacks) {
+			t.Errorf("mode %s has %d rows, want %d", mode, modes[mode], len(attacks))
+		}
+	}
+	out := res.Render()
+	for _, label := range []string{"GD", "LIE", "Min-Max", "Min-Sum", "merged"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("render lost %q:\n%s", label, out)
+		}
+	}
+}
+
+// TestHierarchyLegs runs the hierarchy benchmark at a reduced round count
+// over real loopback TCP: both legs must complete, commit rounds, and see
+// client updates.
+func TestHierarchyLegs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two TCP deployments")
+	}
+	res, err := RunHierarchy(Scale{Rounds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Legs) != 2 {
+		t.Fatalf("legs = %d, want 2", len(res.Legs))
+	}
+	for _, leg := range res.Legs {
+		if leg.Rounds == 0 {
+			t.Errorf("%s: no rounds committed", leg.System)
+		}
+		if leg.UpdatesReceived == 0 {
+			t.Errorf("%s: no updates received", leg.System)
+		}
+		if leg.Duration <= 0 {
+			t.Errorf("%s: duration %v", leg.System, leg.Duration)
+		}
+	}
+	single, twoTier := res.Legs[0], res.Legs[1]
+	if single.System != "single" || twoTier.System != "two-tier" {
+		t.Fatalf("leg order = %q, %q", single.System, twoTier.System)
+	}
+	if single.BatchesApplied != 0 {
+		t.Errorf("single leg reports edge batches: %+v", single)
+	}
+	if twoTier.BatchesApplied == 0 {
+		t.Errorf("two-tier leg applied no edge batches: %+v", twoTier)
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/core"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/sim"
+	"github.com/asyncfl/asyncfilter/internal/stats"
+	"github.com/asyncfl/asyncfilter/internal/topology"
+)
+
+// shardEdges is the simulated edge count: with the paper's 40-update
+// aggregation goal each shard sees ~10-update sub-batches, enough for the
+// per-shard filters to cluster but with only a quarter of the evidence
+// the merged filter accumulates.
+const shardEdges = 4
+
+// ShardRow is one (attack, sharding mode) detection measurement.
+type ShardRow struct {
+	Attack string
+	// Mode is "single" (one filter sees everything), "per-shard"
+	// (independent filter state per edge) or "merged" (per-edge filtering
+	// over count-weighted shared state).
+	Mode string
+	// Confusion is the aggregated decision matrix (reject = flagged).
+	Confusion stats.Confusion
+	// Accuracy is the final model accuracy for context.
+	Accuracy float64
+}
+
+// ShardResult is the extension experiment behind the two-tier topology:
+// how much detection quality the per-edge filters lose when the client
+// population is partitioned across edge aggregators, and how much of it
+// the count-weighted merged state (the handoff/merge machinery of
+// internal/topology) wins back.
+type ShardResult struct {
+	ID    string
+	Title string
+	Rows  []ShardRow
+}
+
+// Render prints the shard-comparison table.
+func (s *ShardResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n\n", s.ID, s.Title)
+	b.WriteString("| Attack | Mode | Precision | Recall | FPR | Accuracy |\n|---|---|---|---|---|---|\n")
+	for _, row := range s.Rows {
+		fmt.Fprintf(&b, "| %s | %s | %.2f | %.2f | %.3f | %.1f%% |\n",
+			attackLabel(row.Attack), row.Mode,
+			row.Confusion.Precision(), row.Confusion.Recall(), row.Confusion.FPR(),
+			100*row.Accuracy)
+	}
+	return b.String()
+}
+
+// shardModes enumerates the compared filter arrangements.
+func shardModes(seed int64) []struct {
+	name  string
+	build func() (fl.Filter, error)
+} {
+	edgeFilter := func() (fl.Filter, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		return core.New(cfg)
+	}
+	return []struct {
+		name  string
+		build func() (fl.Filter, error)
+	}{
+		{"single", edgeFilter},
+		{"per-shard", func() (fl.Filter, error) {
+			return topology.NewShardedFilter(topology.PerShard, shardEdges, edgeFilter)
+		}},
+		{"merged", func() (fl.Filter, error) {
+			return topology.NewShardedFilter(topology.Merged, shardEdges, edgeFilter)
+		}},
+	}
+}
+
+// RunShardComparison measures AsyncFilter's detection quality on the
+// given preset under each paper attack when the client population is
+// split across shardEdges edge aggregators: a single fleet-wide filter
+// (the upper bound), fully independent per-shard filter state (a
+// partitioned two-tier deployment that never reconciles), and per-shard
+// filtering over merged state (what the topology handoff machinery
+// converges to).
+func RunShardComparison(preset string, scale Scale) (*ShardResult, error) {
+	scale = scale.withDefaults()
+	res := &ShardResult{
+		ID: "shard",
+		Title: fmt.Sprintf("Per-shard vs merged filter state on %s, %d edges (extension experiment)",
+			preset, shardEdges),
+	}
+	for _, atkName := range robustnessAttacks() {
+		for _, mode := range shardModes(scale.BaseSeed) {
+			cfg, err := sim.Default(preset)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Seed = scale.BaseSeed
+			cfg.Attack = attack.Config{Name: atkName}
+			if scale.Rounds > 0 {
+				cfg.Rounds = scale.Rounds
+			}
+			filter, err := mode.build()
+			if err != nil {
+				return nil, err
+			}
+			s, err := sim.New(cfg, filter, nil)
+			if err != nil {
+				return nil, err
+			}
+			r, err := s.Run()
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, ShardRow{
+				Attack:    atkName,
+				Mode:      mode.name,
+				Confusion: r.Detection,
+				Accuracy:  r.FinalAccuracy,
+			})
+		}
+	}
+	return res, nil
+}

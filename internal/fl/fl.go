@@ -233,6 +233,18 @@ type StateSnapshotter interface {
 	RestoreState(data []byte) error
 }
 
+// StateMerger is implemented by filters whose detection state can absorb
+// another instance's snapshot instead of replacing its own — the
+// hierarchical deployments need it twice: a root folds per-edge snapshots
+// into its global view, and an edge that inherits a crashed peer's clients
+// folds the handed-off state into its running filter so the re-homed
+// clients keep their learned group estimates. MergeState must be
+// all-or-nothing: on error the filter keeps its prior state untouched.
+// data is the same opaque payload a StateSnapshotter produces.
+type StateMerger interface {
+	MergeState(data []byte) error
+}
+
 // Decision is a filter's verdict for one update.
 type Decision int
 

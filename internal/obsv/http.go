@@ -14,11 +14,36 @@ type Health struct {
 	// Finished is true once the deployment has completed its rounds
 	// (or a drain flushed the final one).
 	Finished bool `json:"finished"`
+	// Degraded is true while the server is partition-tolerant but
+	// impaired: a hierarchical edge whose upstream root link is down
+	// keeps admitting, filtering and buffering, so it still serves —
+	// /healthz stays 200 — but operators and orchestrators should see
+	// the impairment. Distinct from Draining, which refuses work (503).
+	Degraded bool `json:"degraded"`
+	// Status is the single-word state summary: "ok", "degraded",
+	// "draining" or "finished". Filled in by the handler.
+	Status string `json:"status,omitempty"`
 	// Restored is true when the server recovered its state from a
 	// checkpoint at startup.
 	Restored bool `json:"restored"`
 	// Rounds is the current committed round (model version).
 	Rounds int `json:"rounds"`
+}
+
+// status summarizes the lifecycle into one word. Draining/finished win
+// over degraded: a server on its way out is not coming back, regardless
+// of its upstream link.
+func (h Health) status() string {
+	switch {
+	case h.Finished:
+		return "finished"
+	case h.Draining:
+		return "draining"
+	case h.Degraded:
+		return "degraded"
+	default:
+		return "ok"
+	}
 }
 
 // recordView is the JSON shape of a trace Record: enums become strings,
@@ -127,10 +152,15 @@ func Handler(hub *Hub, health func() Health) http.Handler {
 		if health != nil {
 			h = health()
 		}
+		h.Status = h.status()
 		w.Header().Set("Content-Type", "application/json")
 		// A draining or finished server is no longer accepting work:
 		// report 503 so load-balancer-style checks rotate it out while
-		// humans can still read the JSON body.
+		// humans can still read the JSON body. A degraded server (edge
+		// running partition-tolerant without its root) still accepts
+		// work and must NOT be rotated out — that would amplify a root
+		// outage into a client outage — so it stays 200 with the
+		// impairment visible in the body.
 		if h.Draining || h.Finished {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}

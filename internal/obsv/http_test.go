@@ -115,11 +115,39 @@ func TestHandlerHealthz(t *testing.T) {
 	if h.Rounds != 4 || h.Draining {
 		t.Fatalf("health: %+v", h)
 	}
+	if h.Status != "ok" {
+		t.Fatalf("healthy Status = %q, want ok", h.Status)
+	}
 
+	// Degraded (an edge running without its root) is impaired but still
+	// accepting work: 200 with the state visible in the body, so health
+	// checks do not rotate out the only servers still taking clients.
+	state.Degraded = true
+	code, body = getBody(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("degraded status = %d, want 200", code)
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Degraded || h.Status != "degraded" {
+		t.Fatalf("degraded health: %+v", h)
+	}
+
+	// Draining refuses work and wins over degraded: 503.
 	state.Draining = true
-	if code, _ := getBody(t, srv, "/healthz"); code != http.StatusServiceUnavailable {
+	code, body = getBody(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable {
 		t.Fatalf("draining status = %d, want 503", code)
 	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("draining Status = %q, want draining", h.Status)
+	}
+	state.Draining = false
+	state.Degraded = false
 
 	// nil health func serves a zero Health at 200.
 	srv2 := httptest.NewServer(Handler(NewHub(4), nil))

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/vecmath"
+)
+
+// TestVectorMAMergeExact is the property the hierarchical root relies on:
+// splitting an observation stream across two accumulators and merging them
+// yields the same mean and count as one accumulator that saw everything.
+func TestVectorMAMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		dim := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(40)
+		single := NewVectorMA(dim)
+		a := NewVectorMA(dim)
+		b := NewVectorMA(dim)
+		for i := 0; i < n; i++ {
+			x := randx.NormalVector(rng, dim, 0, 1)
+			single.Add(x)
+			if rng.Intn(2) == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		if a.Count() != single.Count() {
+			t.Fatalf("trial %d: merged count %d, want %d", trial, a.Count(), single.Count())
+		}
+		if !vecmath.EqualApprox(a.Mean(), single.Mean(), 1e-9) {
+			t.Fatalf("trial %d: merged mean %v, want %v", trial, a.Mean(), single.Mean())
+		}
+	}
+}
+
+// TestVectorMAMergeEmpty checks both empty-side edge cases.
+func TestVectorMAMergeEmpty(t *testing.T) {
+	a := NewVectorMA(2)
+	b := NewVectorMA(2)
+	b.Add([]float64{2, 4})
+	a.Merge(b) // empty receiver adopts the other side
+	if a.Count() != 1 || !vecmath.EqualApprox(a.Mean(), []float64{2, 4}, 0) {
+		t.Fatalf("empty receiver: count=%d mean=%v", a.Count(), a.Mean())
+	}
+	a.Merge(NewVectorMA(2)) // empty argument is a no-op
+	if a.Count() != 1 || !vecmath.EqualApprox(a.Mean(), []float64{2, 4}, 0) {
+		t.Fatalf("empty argument: count=%d mean=%v", a.Count(), a.Mean())
+	}
+}
+
+// TestVectorMAMergeDimMismatch checks the dimension guard panics, matching
+// Add's contract.
+func TestVectorMAMergeDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge with mismatched dims did not panic")
+		}
+	}()
+	NewVectorMA(2).Merge(NewVectorMA(3))
+}

@@ -96,6 +96,28 @@ func (m *VectorMA) Add(x []float64) {
 // before any Add the mean is the zero vector.
 func (m *VectorMA) Mean() []float64 { return m.mean }
 
+// Merge folds another accumulator into this one. Because the cumulative
+// moving average is a count-weighted mean of its observations, the merge
+// is exact: the result equals the average this accumulator would hold had
+// it also seen every vector folded into o, in any interleaving. This is
+// what lets a root aggregator combine per-edge group estimators into the
+// global view a single server would have computed. o is left untouched.
+func (m *VectorMA) Merge(o *VectorMA) {
+	if len(o.mean) != len(m.mean) {
+		panic(fmt.Sprintf("stats: VectorMA.Merge: dim %d != %d", len(o.mean), len(m.mean)))
+	}
+	if o.count == 0 {
+		return
+	}
+	total := float64(m.count + o.count)
+	wm := float64(m.count) / total
+	wo := float64(o.count) / total
+	for i := range m.mean {
+		m.mean[i] = m.mean[i]*wm + o.mean[i]*wo
+	}
+	m.count += o.count
+}
+
 // Count returns the number of vectors folded in.
 func (m *VectorMA) Count() int { return m.count }
 

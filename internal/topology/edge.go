@@ -1,0 +1,590 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/obsv"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/transport"
+)
+
+// Edge uplink defaults.
+const (
+	defaultUplinkRetryBase  = 50 * time.Millisecond
+	defaultUplinkRetryMax   = 2 * time.Second
+	defaultMaxPendingBatch  = 64
+	defaultUplinkHeartbeat  = 500 * time.Millisecond
+	defaultUplinkIOTimeout  = 30 * time.Second
+	defaultUplinkMaxMsgSize = 64 << 20
+)
+
+// EdgeConfig parameterizes one edge aggregator of a two-tier deployment.
+type EdgeConfig struct {
+	// EdgeID identifies this edge to the root (unique per deployment,
+	// >= 0).
+	EdgeID int
+	// RootAddr is the root server's upstream listen address.
+	RootAddr string
+	// ClientAddr is the client-facing address advertised to the root for
+	// the shard map. It must be the address clients can actually dial —
+	// typically the listener address passed to Serve.
+	ClientAddr string
+	// Server configures the edge's client-facing transport server. The
+	// OnRoundCommitted hook is owned by the edge (it feeds the uplink) and
+	// must be left nil.
+	Server transport.ServerConfig
+	// UplinkReadTimeout / UplinkWriteTimeout bound each blocking I/O
+	// operation on the root link (0 selects 30s).
+	UplinkReadTimeout  time.Duration
+	UplinkWriteTimeout time.Duration
+	// UplinkMaxMessageBytes caps a single decoded root reply (0 selects
+	// 64 MiB).
+	UplinkMaxMessageBytes int64
+	// RetryBaseDelay / RetryMaxDelay pace the uplink's exponential
+	// backoff-plus-jitter reconnects (0 selects 50ms / 2s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// HeartbeatEvery is the idle-link heartbeat interval keeping the
+	// root-side lease alive between batches (0 selects 500ms). Set it well
+	// below the root's EdgeLeaseDuration.
+	HeartbeatEvery time.Duration
+	// MaxPendingBatches bounds the degraded-mode batch buffer: an edge cut
+	// off from its root keeps committing local rounds, and once the buffer
+	// is full the oldest — stalest — batch is shed to admit the new one
+	// (0 selects 64).
+	MaxPendingBatches int
+	// Dial overrides how the uplink connects (nil = plain TCP). Tests plug
+	// in transport.FaultDialer to run the edge through a flaky network.
+	Dial func(addr string) (net.Conn, error)
+	// Seed drives the uplink's backoff jitter.
+	Seed int64
+	// Obsv, when non-nil, attaches per-edge labeled metrics: uplink
+	// health, pending-buffer depth, batches sent/shed, handoffs merged.
+	Obsv *obsv.Hub
+}
+
+// EdgeStats summarizes an edge's upstream behaviour (the client-facing
+// side is covered by the embedded transport server's own ServerStats).
+type EdgeStats struct {
+	// BatchesCommitted counts local rounds committed (and therefore
+	// enqueued for the root); BatchesSent counts transmissions including
+	// replays; BatchesAcked counts distinct batches the root acknowledged;
+	// BatchesShed counts batches dropped oldest-first because the
+	// degraded-mode buffer was full.
+	BatchesCommitted, BatchesSent, BatchesAcked, BatchesShed int
+	// UplinkSessions counts established root sessions (the first one and
+	// every reconnect); UplinkFailures counts failed dials and broken
+	// sessions.
+	UplinkSessions, UplinkFailures int
+	// HandoffsMerged counts dead peers' filter snapshots merged into the
+	// local filter; HandoffErrors counts handoffs that failed to decode or
+	// merge.
+	HandoffsMerged, HandoffErrors int
+	// SnapshotErrors counts local filter snapshots that failed (the batch
+	// is forwarded without detection state).
+	SnapshotErrors int
+}
+
+// Edge is one edge aggregator: a full transport server facing clients,
+// plus an uplink that forwards every committed batch to the root, adopts
+// the root's global model, relays shard-map pushes to clients and merges
+// filter-state handoffs. Create with NewEdge, start with Serve.
+type Edge struct {
+	cfg    EdgeConfig
+	server *transport.Server
+
+	mu        sync.Mutex
+	pending   []*transport.BatchMsg
+	nextBatch uint64
+	linkUp    bool
+	rootDone  bool
+	shardSeen int
+	stats     EdgeStats
+
+	notify chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	rng    *rand.Rand
+	label  string
+}
+
+// NewEdge builds an edge aggregator. filter/combiner parameterize the
+// edge's local AsyncFilter pass exactly as for transport.NewServer.
+func NewEdge(cfg EdgeConfig, filter fl.Filter, combiner fl.Combiner) (*Edge, error) {
+	if cfg.EdgeID < 0 {
+		return nil, fmt.Errorf("topology: EdgeConfig: EdgeID = %d, need >= 0", cfg.EdgeID)
+	}
+	if cfg.RootAddr == "" {
+		return nil, errors.New("topology: EdgeConfig: empty RootAddr")
+	}
+	if cfg.Server.OnRoundCommitted != nil {
+		return nil, errors.New("topology: EdgeConfig: Server.OnRoundCommitted is owned by the edge")
+	}
+	if cfg.UplinkReadTimeout == 0 {
+		cfg.UplinkReadTimeout = defaultUplinkIOTimeout
+	}
+	if cfg.UplinkWriteTimeout == 0 {
+		cfg.UplinkWriteTimeout = defaultUplinkIOTimeout
+	}
+	if cfg.UplinkMaxMessageBytes == 0 {
+		cfg.UplinkMaxMessageBytes = defaultUplinkMaxMsgSize
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = defaultUplinkRetryBase
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = defaultUplinkRetryMax
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = defaultUplinkHeartbeat
+	}
+	if cfg.MaxPendingBatches <= 0 {
+		cfg.MaxPendingBatches = defaultMaxPendingBatch
+	}
+	e := &Edge{
+		cfg:       cfg,
+		nextBatch: 1,
+		notify:    make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		rng:       randx.New(cfg.Seed + int64(cfg.EdgeID)*7919),
+		label:     "{edge=" + strconv.Quote(strconv.Itoa(cfg.EdgeID)) + "}",
+	}
+	cfg.Server.OnRoundCommitted = e.commitRound
+	server, err := transport.NewServer(cfg.Server, filter, combiner)
+	if err != nil {
+		return nil, err
+	}
+	e.server = server
+	return e, nil
+}
+
+// Server exposes the edge's client-facing transport server (stats,
+// drain, final params).
+func (e *Edge) Server() *transport.Server { return e.server }
+
+// Stats returns the edge's upstream counters.
+func (e *Edge) Stats() EdgeStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// LinkUp reports whether the root link is currently established.
+func (e *Edge) LinkUp() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.linkUp
+}
+
+// Health reports the edge's lifecycle state for /healthz: an edge whose
+// root link is down is Degraded — still serving clients (HTTP 200), but
+// partition-tolerant rather than healthy.
+func (e *Edge) Health() obsv.Health {
+	e.mu.Lock()
+	degraded := !e.linkUp && !e.rootDone
+	e.mu.Unlock()
+	return obsv.Health{
+		Degraded: degraded,
+		Restored: e.server.Restored(),
+		Rounds:   e.server.Version(),
+	}
+}
+
+// Serve starts the uplink and serves clients on lis until the edge's
+// rounds complete or Close is called.
+func (e *Edge) Serve(lis net.Listener) error {
+	e.mu.Lock()
+	if e.cfg.ClientAddr == "" {
+		e.cfg.ClientAddr = lis.Addr().String()
+	}
+	e.mu.Unlock()
+	e.wg.Add(1)
+	go e.uplink()
+	return e.server.Serve(lis)
+}
+
+// Close stops the uplink and the client-facing server.
+func (e *Edge) Close() error {
+	e.mu.Lock()
+	select {
+	case <-e.stop:
+	default:
+		close(e.stop)
+	}
+	e.mu.Unlock()
+	err := e.server.Close()
+	e.wg.Wait()
+	return err
+}
+
+// commitRound is the transport server's OnRoundCommitted hook: it turns
+// one committed local round into an upstream batch. It runs while the
+// round slot is held (filter quiescent), which is what makes the filter
+// snapshot attached here consistent with exactly this round.
+func (e *Edge) commitRound(version int, accepted []*fl.Update) {
+	if len(accepted) == 0 {
+		return
+	}
+	snap, err := snapshotFilter(e.server.Filter())
+	if err != nil {
+		e.mu.Lock()
+		e.stats.SnapshotErrors++
+		e.mu.Unlock()
+		snap = nil
+	}
+	e.mu.Lock()
+	batch := &transport.BatchMsg{
+		BatchID:     e.nextBatch,
+		EdgeVersion: version,
+		Updates:     accepted,
+		FilterState: snap,
+	}
+	e.nextBatch++
+	e.pending = append(e.pending, batch)
+	e.stats.BatchesCommitted++
+	// Degraded-mode bound: shed the oldest (stalest) batches first. The
+	// shed updates were already applied to the edge's local model — what
+	// is lost is only their contribution to the root's view.
+	for len(e.pending) > e.cfg.MaxPendingBatches {
+		e.pending = e.pending[1:]
+		e.stats.BatchesShed++
+		e.noteCounterLocked("afl_edge_batches_shed_total")
+	}
+	e.noteGaugeLocked("afl_edge_pending_batches", float64(len(e.pending)))
+	e.mu.Unlock()
+
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+}
+
+// uplink is the edge->root connection loop: dial with exponential
+// backoff plus jitter, run a session, reconnect on any failure until the
+// edge closes or the root reports the deployment done.
+func (e *Edge) uplink() {
+	defer e.wg.Done()
+	attempt := 0
+	for {
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		conn, err := e.dialRoot()
+		if err != nil {
+			attempt++
+			e.noteUplinkFailure()
+			if !e.sleepBackoff(attempt) {
+				return
+			}
+			continue
+		}
+		uc := transport.NewUpstreamConn(conn, e.cfg.UplinkMaxMessageBytes, e.cfg.UplinkReadTimeout, e.cfg.UplinkWriteTimeout)
+		err = e.session(uc)
+		_ = uc.Close()
+		e.setLinkUp(false)
+		if err == nil {
+			// Root said Done: the fleet deployment completed; stop
+			// forwarding (the edge keeps serving its own clients).
+			return
+		}
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		attempt++
+		e.noteUplinkFailure()
+		if !e.sleepBackoff(attempt) {
+			return
+		}
+	}
+}
+
+func (e *Edge) dialRoot() (net.Conn, error) {
+	if e.cfg.Dial != nil {
+		return e.cfg.Dial(e.cfg.RootAddr)
+	}
+	return net.DialTimeout("tcp", e.cfg.RootAddr, e.cfg.UplinkWriteTimeout)
+}
+
+// sleepBackoff pauses before reconnect attempt n, reporting false when
+// the edge shut down while sleeping.
+func (e *Edge) sleepBackoff(n int) bool {
+	e.mu.Lock()
+	jitter := 0.5 + e.rng.Float64()
+	e.mu.Unlock()
+	delay := transport.BackoffDelay(jitter, e.cfg.RetryBaseDelay, e.cfg.RetryMaxDelay, n)
+	select {
+	case <-e.stop:
+		return false
+	case <-time.After(delay):
+		return true
+	}
+}
+
+// errRootDraining distinguishes a root Goodbye (reconnect later) from a
+// terminal Done.
+var errRootDraining = errors.New("topology: root is draining")
+
+// session drives one established root connection: Hello, reconcile, then
+// forward pending batches in order, heartbeating while idle. It returns
+// nil only when the root reports the deployment done.
+func (e *Edge) session(uc *transport.UpstreamConn) error {
+	e.mu.Lock()
+	hello := &transport.EdgeMsg{Hello: &transport.EdgeHello{
+		EdgeID:     e.cfg.EdgeID,
+		ModelDim:   len(e.cfg.Server.InitialParams),
+		ClientAddr: e.cfg.ClientAddr,
+		NextBatch:  e.nextBatch,
+	}}
+	e.mu.Unlock()
+	if err := uc.WriteEdge(hello); err != nil {
+		return fmt.Errorf("topology: edge hello: %w", err)
+	}
+	reply, err := uc.ReadRoot()
+	if err != nil {
+		return fmt.Errorf("topology: edge hello reply: %w", err)
+	}
+	if err := e.handleReply(reply); err != nil {
+		return err
+	}
+	e.setLinkUp(true)
+	e.mu.Lock()
+	e.stats.UplinkSessions++
+	e.mu.Unlock()
+	e.noteCounter("afl_edge_uplink_sessions_total")
+	if reply.Done {
+		e.setRootDone()
+		return nil
+	}
+
+	// lastSent is the highest batch id transmitted this session; each
+	// iteration sends the first pending batch above it. Pending is sorted
+	// by id and only shrinks from the front (acks) or sheds from the front
+	// (degraded overflow), so id-based tracking survives both — a fresh
+	// session restarts at zero and replays everything unacknowledged in
+	// order.
+	lastSent := uint64(0)
+	heartbeat := time.NewTimer(e.cfg.HeartbeatEvery)
+	defer heartbeat.Stop()
+	for {
+		batch := e.nextToSend(&lastSent)
+		var msg *transport.EdgeMsg
+		if batch != nil {
+			msg = &transport.EdgeMsg{Batch: batch}
+		} else {
+			select {
+			case <-e.stop:
+				return errors.New("topology: edge closing")
+			case <-e.notify:
+				continue
+			case <-heartbeat.C:
+				msg = &transport.EdgeMsg{Heartbeat: true}
+			}
+		}
+		if err := uc.WriteEdge(msg); err != nil {
+			return fmt.Errorf("topology: edge send: %w", err)
+		}
+		if msg.Batch != nil {
+			e.mu.Lock()
+			e.stats.BatchesSent++
+			e.mu.Unlock()
+			e.noteCounter("afl_edge_batches_sent_total")
+		}
+		reply, err := uc.ReadRoot()
+		if err != nil {
+			return fmt.Errorf("topology: edge receive: %w", err)
+		}
+		if err := e.handleReply(reply); err != nil {
+			return err
+		}
+		if reply.Done {
+			e.setRootDone()
+			return nil
+		}
+		if !heartbeat.Stop() {
+			select {
+			case <-heartbeat.C:
+			default:
+			}
+		}
+		heartbeat.Reset(e.cfg.HeartbeatEvery)
+	}
+}
+
+// nextToSend returns the first pending batch above the session's
+// last-sent id, or nil when everything buffered has been transmitted.
+func (e *Edge) nextToSend(lastSent *uint64) *transport.BatchMsg {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, b := range e.pending {
+		if b.BatchID > *lastSent {
+			*lastSent = b.BatchID
+			return b
+		}
+	}
+	return nil
+}
+
+// handleReply folds one root reply into the edge: model adoption, ack
+// bookkeeping, shard-map relay, handoff merge. A Nack or Goodbye surfaces
+// as an error so the session reconnects (and re-Hellos) after backoff.
+func (e *Edge) handleReply(reply *transport.RootMsg) error {
+	if reply.Nack != 0 {
+		return fmt.Errorf("topology: root refused: %s", reply.Nack)
+	}
+	if reply.Goodbye {
+		return errRootDraining
+	}
+	if reply.Task != nil {
+		if err := e.server.AdoptGlobal(reply.Task.Params); err != nil {
+			return fmt.Errorf("topology: adopt root model: %w", err)
+		}
+	}
+	e.applyAck(reply.Ack)
+	if reply.Shards != nil {
+		e.applyShards(reply.Shards)
+	}
+	if len(reply.Handoff) > 0 {
+		e.mergeHandoff(reply.Handoff)
+	}
+	return nil
+}
+
+// applyAck drops acknowledged batches from the pending queue and
+// resynchronizes the batch counter when the root's watermark is ahead
+// (this edge restarted with a fresh counter).
+func (e *Edge) applyAck(ack uint64) {
+	if ack == 0 {
+		return
+	}
+	e.mu.Lock()
+	for len(e.pending) > 0 && e.pending[0].BatchID <= ack {
+		e.pending = e.pending[1:]
+		e.stats.BatchesAcked++
+	}
+	if e.nextBatch <= ack {
+		e.nextBatch = ack + 1
+	}
+	e.noteGaugeLocked("afl_edge_pending_batches", float64(len(e.pending)))
+	e.mu.Unlock()
+}
+
+// applyShards relays a validated, newer shard map to this edge's clients.
+func (e *Edge) applyShards(m *transport.ShardMap) {
+	if err := m.Validate(); err != nil {
+		log.Printf("topology: edge %d: rejecting shard map: %v", e.cfg.EdgeID, err)
+		return
+	}
+	e.mu.Lock()
+	stale := m.Version <= e.shardSeen
+	if !stale {
+		e.shardSeen = m.Version
+	}
+	e.mu.Unlock()
+	if stale {
+		return
+	}
+	e.server.SetShardAddrs(m.Addrs())
+}
+
+// mergeHandoff folds a dead peer's filter snapshot into the running local
+// filter, holding the round slot so the merge cannot race a Filter call.
+func (e *Edge) mergeHandoff(blob []byte) {
+	merger, ok := e.server.Filter().(fl.StateMerger)
+	if !ok {
+		e.mu.Lock()
+		e.stats.HandoffErrors++
+		e.mu.Unlock()
+		log.Printf("topology: edge %d: filter %T cannot merge handoffs", e.cfg.EdgeID, e.server.Filter())
+		return
+	}
+	state, err := decodeHandoff(blob)
+	if err == nil {
+		e.server.WithFilterQuiescent(func() {
+			err = merger.MergeState(state)
+		})
+	}
+	e.mu.Lock()
+	if err != nil {
+		e.stats.HandoffErrors++
+	} else {
+		e.stats.HandoffsMerged++
+		e.noteCounterLocked("afl_edge_handoffs_merged_total")
+	}
+	e.mu.Unlock()
+	if err != nil {
+		log.Printf("topology: edge %d: handoff merge failed: %v", e.cfg.EdgeID, err)
+	}
+}
+
+func (e *Edge) setLinkUp(up bool) {
+	e.mu.Lock()
+	e.linkUp = up
+	v := 0.0
+	if up {
+		v = 1.0
+	}
+	e.noteGaugeLocked("afl_edge_uplink_up", v)
+	e.mu.Unlock()
+}
+
+// RootDone reports whether the root has declared the deployment
+// complete: the uplink has retired, though the edge keeps serving
+// clients until Close.
+func (e *Edge) RootDone() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rootDone
+}
+
+func (e *Edge) setRootDone() {
+	e.mu.Lock()
+	already := e.rootDone
+	e.rootDone = true
+	e.mu.Unlock()
+	if !already {
+		// The deployment is over fleet-wide: finish the local server so
+		// clients get Done on their next request instead of burning their
+		// reconnect budgets once the edge is closed.
+		e.server.Finish()
+	}
+}
+
+func (e *Edge) noteUplinkFailure() {
+	e.mu.Lock()
+	e.stats.UplinkFailures++
+	e.noteCounterLocked("afl_edge_uplink_failures_total")
+	e.mu.Unlock()
+}
+
+// noteCounter / noteCounterLocked / noteGaugeLocked bump per-edge labeled
+// metrics; no-ops without an attached hub. The registry's own atomics make
+// the increments safe with or without e.mu held.
+func (e *Edge) noteCounter(name string) {
+	if e.cfg.Obsv != nil {
+		e.cfg.Obsv.Registry.Counter(name + e.label).Inc()
+	}
+}
+
+func (e *Edge) noteCounterLocked(name string) {
+	if e.cfg.Obsv != nil {
+		e.cfg.Obsv.Registry.Counter(name + e.label).Inc()
+	}
+}
+
+func (e *Edge) noteGaugeLocked(name string, v float64) {
+	if e.cfg.Obsv != nil {
+		e.cfg.Obsv.Registry.Gauge(name + e.label).Set(v)
+	}
+}

@@ -1,0 +1,200 @@
+package topology
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/transport"
+)
+
+// TestRootCheckpointRestart kills a checkpointing root mid-deployment and
+// restores a successor from its snapshot: the watermark survives, so an
+// edge replaying its unacknowledged batches is answered with bare acks
+// instead of double-counting, and new batches continue the round count.
+func TestRootCheckpointRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "root.ckpt")
+	cfg := RootConfig{
+		InitialParams:  make([]float64, rootTestDim),
+		Rounds:         10,
+		CheckpointPath: path,
+	}
+
+	root1, addr1 := startRoot(t, cfg, nil)
+	edge := dialRootT(t, addr1)
+	if reply := edge.hello(0, 1); reply.Nack != 0 {
+		t.Fatalf("hello refused: %v", reply.Nack)
+	}
+	if reply := edge.batch(1, testUpdate(0, 0.5)); reply.Nack != 0 {
+		t.Fatalf("batch 1 refused: %v", reply.Nack)
+	}
+	reply := edge.batch(2, testUpdate(1, 0.25))
+	if reply.Nack != 0 || reply.Task.Version != 2 {
+		t.Fatalf("batch 2 reply = %+v", reply)
+	}
+	paramsBefore := root1.FinalParams()
+	if err := root1.Close(); err != nil {
+		t.Fatalf("close root1: %v", err)
+	}
+
+	// The successor restores model, version, and — critically — the
+	// per-edge watermark.
+	root2, err := NewRoot(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root2.Restored() {
+		t.Fatal("root2 did not restore from checkpoint")
+	}
+	if got := root2.Version(); got != 2 {
+		t.Fatalf("restored version = %d, want 2", got)
+	}
+	after := root2.FinalParams()
+	for i := range after {
+		if after[i] != paramsBefore[i] {
+			t.Fatalf("restored params[%d] = %v, want %v", i, after[i], paramsBefore[i])
+		}
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- root2.Serve(lis) }()
+	t.Cleanup(func() {
+		_ = root2.Close()
+		if err := <-serveErr; err != nil {
+			t.Errorf("root2 serve: %v", err)
+		}
+	})
+
+	// A restored edge is not live until it re-Hellos (its old address may
+	// be stale), so the shard map starts empty.
+	if m := root2.ShardMap(); len(m.Edges) != 0 {
+		t.Errorf("restored shard map = %+v, want empty until re-Hello", m.Edges)
+	}
+
+	edge2 := dialRootT(t, lis.Addr().String())
+	hello := edge2.hello(0, 3)
+	if hello.Nack != 0 {
+		t.Fatalf("re-hello refused: %v", hello.Nack)
+	}
+	if hello.Ack != 2 {
+		t.Fatalf("re-hello ack = %d, want restored watermark 2", hello.Ack)
+	}
+	if hello.Task == nil || hello.Task.Version != 2 {
+		t.Fatalf("re-hello task = %+v, want version 2", hello.Task)
+	}
+
+	// The edge conservatively replays everything unacknowledged; the
+	// restored watermark turns both into bare acks.
+	for id := uint64(1); id <= 2; id++ {
+		reply := edge2.batch(id, testUpdate(0, 0.5))
+		if reply.Nack != 0 || reply.Ack != 2 {
+			t.Fatalf("replay %d reply = %+v, want ack 2", id, reply)
+		}
+	}
+	if got := root2.Version(); got != 2 {
+		t.Errorf("version after replays = %d, want 2 (no double-count)", got)
+	}
+	if stats := root2.Stats(); stats.BatchesReplayed != 2 {
+		t.Errorf("BatchesReplayed = %d, want 2", stats.BatchesReplayed)
+	}
+
+	// Fresh batches continue where the first incarnation stopped.
+	reply = edge2.batch(3, testUpdate(2, 0.1))
+	if reply.Nack != 0 || reply.Ack != 3 || reply.Task.Version != 3 {
+		t.Fatalf("batch 3 reply = %+v, want version 3", reply)
+	}
+}
+
+// TestRootCheckpointPreservesHandoffs verifies that a queued handoff
+// survives a root restart and is still delivered to the successor edge.
+func TestRootCheckpointPreservesHandoffs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "root.ckpt")
+	cfg := RootConfig{
+		InitialParams:     make([]float64, rootTestDim),
+		Rounds:            100,
+		EdgeLeaseDuration: 150 * time.Millisecond,
+		CheckpointPath:    path,
+	}
+	root1, addr1 := startRoot(t, cfg, nil)
+
+	// Edge 0 reports filter state, then goes silent; edge 1 survives.
+	dying := dialRootT(t, addr1)
+	if reply := dying.hello(0, 1); reply.Nack != 0 {
+		t.Fatalf("hello refused: %v", reply.Nack)
+	}
+	state, err := encodeHandoff([]byte("edge0-averages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply := dying.roundTrip(&transport.EdgeMsg{Batch: &transport.BatchMsg{
+		BatchID: 1, Updates: []*fl.Update{testUpdate(0, 0.1)}, FilterState: state,
+	}}); reply.Nack != 0 {
+		t.Fatalf("batch refused: %v", reply.Nack)
+	}
+	survivor := dialRootT(t, addr1)
+	if reply := survivor.hello(1, 1); reply.Nack != 0 {
+		t.Fatalf("hello refused: %v", reply.Nack)
+	}
+
+	// Wait for the sweeper to capture the dead edge's snapshot, then kill
+	// the root before the survivor picks it up (no further survivor
+	// traffic). Depending on sweep timing the snapshot is either queued to
+	// the still-live survivor or — if the silent survivor's lease expired
+	// in the same sweep — parked as an orphan; both must survive the
+	// restart.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rs := root1.Stats()
+		if rs.HandoffsQueued > 0 || rs.HandoffsOrphaned > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("handoff never captured: %+v", rs)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := root1.Close(); err != nil {
+		t.Fatalf("close root1: %v", err)
+	}
+
+	root2, err := NewRoot(cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root2.Restored() {
+		t.Fatal("root2 did not restore")
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = root2.Serve(lis) }()
+	t.Cleanup(func() { _ = root2.Close() })
+
+	survivor2 := dialRootT(t, lis.Addr().String())
+	reply := survivor2.hello(1, 2)
+	if reply.Nack != 0 {
+		t.Fatalf("survivor re-hello refused: %v", reply.Nack)
+	}
+	// The queued handoff rides one of the next replies.
+	var handoff []byte
+	if len(reply.Handoff) > 0 {
+		handoff = reply.Handoff
+	} else {
+		hb := survivor2.roundTrip(&transport.EdgeMsg{Heartbeat: true})
+		handoff = hb.Handoff
+	}
+	inner, err := decodeHandoff(handoff)
+	if err != nil {
+		t.Fatalf("handoff after restart: %v", err)
+	}
+	if string(inner) != "edge0-averages" {
+		t.Errorf("handoff = %q, want the dead edge's retained state", inner)
+	}
+}

@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"fmt"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+)
+
+// ShardMode selects how a ShardedFilter maintains detection state across
+// shards.
+type ShardMode int
+
+const (
+	// PerShard gives every shard its own independent filter: each edge
+	// sees only its own clients' scores, exactly like a two-tier
+	// deployment with no statistics sharing. Small shards routinely fall
+	// under the filter's MinBatch and are accepted wholesale — the
+	// starved-shard failure mode the merged variant exists to fix.
+	PerShard ShardMode = iota
+	// Merged routes every shard's sub-batch through one shared filter, so
+	// the group moving averages always reflect the fleet-wide population —
+	// the view a root reconstructs by merging edge snapshots
+	// (fl.StateMerger, count-weighted and exact for cumulative moving
+	// averages).
+	Merged
+)
+
+// String implements fmt.Stringer.
+func (m ShardMode) String() string {
+	switch m {
+	case PerShard:
+		return "per-shard"
+	case Merged:
+		return "merged"
+	default:
+		return fmt.Sprintf("ShardMode(%d)", int(m))
+	}
+}
+
+// ShardedFilter models two-tier detection inside a single simulation: it
+// partitions each arrival batch by ClientID modulo the shard count — the
+// same assignment the topology shard map uses — and filters each
+// sub-batch separately, either with per-shard state (PerShard) or one
+// shared statistics pool (Merged). Decisions are scattered back
+// positionally, so sim's confusion accounting works unchanged.
+type ShardedFilter struct {
+	mode   ShardMode
+	shards []fl.Filter
+}
+
+var _ fl.Filter = (*ShardedFilter)(nil)
+
+// NewShardedFilter builds a sharded filter over k shards. newFilter is
+// invoked once per independent state pool: k times for PerShard, once for
+// Merged.
+func NewShardedFilter(mode ShardMode, k int, newFilter func() (fl.Filter, error)) (*ShardedFilter, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topology: NewShardedFilter: k = %d, need >= 1", k)
+	}
+	if mode != PerShard && mode != Merged {
+		return nil, fmt.Errorf("topology: NewShardedFilter: unknown mode %d", int(mode))
+	}
+	s := &ShardedFilter{mode: mode, shards: make([]fl.Filter, k)}
+	if mode == Merged {
+		f, err := newFilter()
+		if err != nil {
+			return nil, err
+		}
+		for i := range s.shards {
+			s.shards[i] = f
+		}
+		return s, nil
+	}
+	for i := range s.shards {
+		f, err := newFilter()
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = f
+	}
+	return s, nil
+}
+
+// Name implements fl.Filter.
+func (s *ShardedFilter) Name() string {
+	return fmt.Sprintf("%s/%s-%d", s.shards[0].Name(), s.mode, len(s.shards))
+}
+
+// Filter implements fl.Filter: partition by ClientID modulo shard count,
+// filter each non-empty sub-batch with its shard's filter, scatter the
+// verdicts back to input positions.
+func (s *ShardedFilter) Filter(updates []*fl.Update, round int) (fl.FilterResult, error) {
+	k := len(s.shards)
+	byShard := make([][]int, k)
+	for i, u := range updates {
+		h := u.ClientID % k
+		if h < 0 {
+			h += k
+		}
+		byShard[h] = append(byShard[h], i)
+	}
+	res := fl.FilterResult{
+		Decisions: make([]fl.Decision, len(updates)),
+		Scores:    make([]float64, len(updates)),
+	}
+	for h, idx := range byShard {
+		if len(idx) == 0 {
+			continue
+		}
+		sub := make([]*fl.Update, len(idx))
+		for j, i := range idx {
+			sub[j] = updates[i]
+		}
+		sr, err := s.shards[h].Filter(sub, round)
+		if err != nil {
+			return fl.FilterResult{}, fmt.Errorf("topology: shard %d: %w", h, err)
+		}
+		if len(sr.Decisions) != len(idx) {
+			return fl.FilterResult{}, fmt.Errorf("topology: shard %d: %d decisions for %d updates", h, len(sr.Decisions), len(idx))
+		}
+		for j, i := range idx {
+			res.Decisions[i] = sr.Decisions[j]
+			if len(sr.Scores) == len(idx) {
+				res.Scores[i] = sr.Scores[j]
+			}
+		}
+	}
+	return res, nil
+}

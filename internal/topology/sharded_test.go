@@ -1,0 +1,125 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+)
+
+// recordingFilter rejects configured client ids and records every
+// sub-batch it sees.
+type recordingFilter struct {
+	reject  map[int]bool
+	batches [][]int
+}
+
+func (f *recordingFilter) Name() string { return "recording" }
+
+func (f *recordingFilter) Filter(updates []*fl.Update, round int) (fl.FilterResult, error) {
+	ids := make([]int, len(updates))
+	res := fl.FilterResult{
+		Decisions: make([]fl.Decision, len(updates)),
+		Scores:    make([]float64, len(updates)),
+	}
+	for i, u := range updates {
+		ids[i] = u.ClientID
+		res.Decisions[i] = fl.Accept
+		if f.reject[u.ClientID] {
+			res.Decisions[i] = fl.Reject
+		}
+		res.Scores[i] = float64(u.ClientID)
+	}
+	f.batches = append(f.batches, ids)
+	return res, nil
+}
+
+func shardUpdates(ids ...int) []*fl.Update {
+	out := make([]*fl.Update, len(ids))
+	for i, id := range ids {
+		out[i] = &fl.Update{ClientID: id, Delta: []float64{1}, NumSamples: 1}
+	}
+	return out
+}
+
+func TestShardedFilterValidation(t *testing.T) {
+	mk := func() (fl.Filter, error) { return &recordingFilter{}, nil }
+	if _, err := NewShardedFilter(PerShard, 0, mk); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := NewShardedFilter(ShardMode(9), 2, mk); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestShardedFilterRoutesByClientID checks the partition: each update
+// lands in the shard ClientID modulo k selects, and verdicts scatter back
+// to their input positions.
+func TestShardedFilterRoutesByClientID(t *testing.T) {
+	shards := make([]*recordingFilter, 0, 2)
+	sf, err := NewShardedFilter(PerShard, 2, func() (fl.Filter, error) {
+		f := &recordingFilter{reject: map[int]bool{3: true}}
+		shards = append(shards, f)
+		return f, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sf.Filter(shardUpdates(0, 1, 2, 3, 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fl.Decision{fl.Accept, fl.Accept, fl.Accept, fl.Reject, fl.Accept}
+	for i, d := range res.Decisions {
+		if d != want[i] {
+			t.Errorf("decision[%d] = %v, want %v", i, d, want[i])
+		}
+	}
+	for i, s := range res.Scores {
+		if s != float64(i) {
+			t.Errorf("score[%d] = %v, want %v (scatter broken)", i, s, float64(i))
+		}
+	}
+	if len(shards) != 2 {
+		t.Fatalf("%d shard filters built, want 2", len(shards))
+	}
+	if got := shards[0].batches; len(got) != 1 || len(got[0]) != 3 {
+		t.Errorf("shard 0 saw %v, want the three even clients", got)
+	}
+	if got := shards[1].batches; len(got) != 1 || len(got[0]) != 2 {
+		t.Errorf("shard 1 saw %v, want the two odd clients", got)
+	}
+}
+
+// TestShardedFilterMergedSharesState checks that Merged mode routes every
+// sub-batch through one filter instance.
+func TestShardedFilterMergedSharesState(t *testing.T) {
+	built := 0
+	var only *recordingFilter
+	sf, err := NewShardedFilter(Merged, 3, func() (fl.Filter, error) {
+		built++
+		only = &recordingFilter{}
+		return only, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built != 1 {
+		t.Fatalf("merged mode built %d filters, want 1", built)
+	}
+	if _, err := sf.Filter(shardUpdates(0, 1, 2, 3, 4, 5), 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(only.batches) != 3 {
+		t.Errorf("shared filter saw %d sub-batches, want 3", len(only.batches))
+	}
+	total := 0
+	for _, b := range only.batches {
+		total += len(b)
+	}
+	if total != 6 {
+		t.Errorf("shared filter saw %d updates, want all 6", total)
+	}
+	if got, want := sf.Name(), "recording/merged-3"; got != want {
+		t.Errorf("Name() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,77 @@
+// Package topology builds the fault-tolerant two-tier deployment shape on
+// top of the transport layer: edge aggregator servers admit clients with
+// the full single-server hardening (admission control, leases, quarantine,
+// shedding), run a local AsyncFilter pass, and forward each committed
+// batch upstream to a root server that maintains the fleet-wide global
+// model and detection state.
+//
+// The edge<->root protocol (transport.EdgeMsg / transport.RootMsg) is
+// designed around failure:
+//
+//   - The upstream link uses per-operation deadlines and reconnects with
+//     the same exponential-backoff-plus-jitter schedule as the client
+//     (transport.BackoffDelay).
+//   - Every committed batch carries a per-edge monotone BatchID; the root
+//     keeps a high-watermark per edge and answers replayed ids with a bare
+//     ack, so a batch is applied exactly once no matter how often the link
+//     flaps — the watermarks ride in the root checkpoint, so a restarted
+//     root never double-counts either.
+//   - An edge that loses its root enters degraded mode: it keeps admitting
+//     and filtering client updates, buffering committed batches in a
+//     bounded queue (oldest — i.e. stalest — shed first), and reconciles by
+//     replaying everything unacknowledged when the link heals. Its
+//     /healthz reports "degraded" at HTTP 200, distinct from a draining
+//     503, so orchestrators do not rotate out the only servers still
+//     taking clients.
+//   - A root that loses an edge (lease expiry) removes it from the shard
+//     map, pushes the new map to the surviving edges — which forward it to
+//     their clients so they re-home (clientID modulo live edges) — and
+//     hands the dead edge's last filter snapshot to the survivors. The
+//     snapshot travels in the internal/checkpoint container format and is
+//     merged into the successor's running filter (fl.StateMerger), so
+//     re-homed clients inherit their learned group moving averages instead
+//     of facing a cold detector.
+//
+// See DESIGN.md §12 for the full failover and reconciliation walkthrough.
+package topology
+
+import (
+	"fmt"
+
+	"github.com/asyncfl/asyncfilter/internal/checkpoint"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+)
+
+// encodeHandoff wraps a filter's opaque snapshot bytes in the
+// internal/checkpoint container (magic, format version, length, CRC), the
+// serialization every filter-state handoff uses on the wire. The CRC
+// means a corrupted handoff surfaces as a typed error at the receiver
+// instead of gob-decoding garbage into a live filter.
+func encodeHandoff(state []byte) ([]byte, error) {
+	return checkpoint.Encode(state)
+}
+
+// decodeHandoff unwraps a checkpoint-container handoff back into the
+// filter's opaque snapshot bytes.
+func decodeHandoff(blob []byte) ([]byte, error) {
+	var state []byte
+	if err := checkpoint.Decode(blob, &state, "handoff"); err != nil {
+		return nil, err
+	}
+	return state, nil
+}
+
+// snapshotFilter captures a filter's detection state as a wire-ready
+// handoff blob, or nil when the filter keeps no state. The caller must
+// hold the filter quiescent (no Filter call in flight).
+func snapshotFilter(f fl.Filter) ([]byte, error) {
+	sf, ok := f.(fl.StateSnapshotter)
+	if !ok {
+		return nil, nil
+	}
+	state, err := sf.SnapshotState()
+	if err != nil {
+		return nil, fmt.Errorf("topology: snapshot filter state: %w", err)
+	}
+	return encodeHandoff(state)
+}

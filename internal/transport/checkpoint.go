@@ -7,6 +7,7 @@ import (
 	"log"
 	"runtime/debug"
 	"sort"
+	"time"
 
 	"github.com/asyncfl/asyncfilter/internal/checkpoint"
 	"github.com/asyncfl/asyncfilter/internal/fl"
@@ -31,10 +32,25 @@ type serverSnapshot struct {
 	Filter []byte
 }
 
-// sessionSnapshot preserves one client's identity and aggregation weight.
+// sessionSnapshot preserves one client's identity, aggregation weight and
+// admission-control bookkeeping. Quarantine and lease deadlines are stored
+// as remaining durations relative to capture time, not absolute clocks: a
+// snapshot restored minutes (or on a machine with a different clock) later
+// re-arms the same remaining cooldown, so a restart never un-quarantines a
+// known attacker early.
 type sessionSnapshot struct {
 	ClientID   int
 	NumSamples int
+	// ConsecRejects is the client's consecutive filter-rejection streak
+	// feeding the quarantine circuit breaker.
+	ConsecRejects int
+	// HalfOpen marks a breaker awaiting its half-open probe verdict.
+	HalfOpen bool
+	// QuarantineRemaining is the cooldown left on an open breaker at
+	// capture time (0 = breaker closed).
+	QuarantineRemaining time.Duration
+	// LeaseRemaining is the lease time left at capture (0 = no live lease).
+	LeaseRemaining time.Duration
 }
 
 // shouldCheckpointLocked reports whether this round's state should be
@@ -65,8 +81,23 @@ func (s *Server) captureSnapshotLocked() *serverSnapshot {
 		Buffer:     s.buffer.Snapshot(),
 		Sessions:   make([]sessionSnapshot, 0, len(s.sessions)),
 	}
+	now := time.Now()
 	for id, sess := range s.sessions {
-		snap.Sessions = append(snap.Sessions, sessionSnapshot{ClientID: id, NumSamples: sess.numSamples})
+		ss := sessionSnapshot{
+			ClientID:      id,
+			NumSamples:    sess.numSamples,
+			ConsecRejects: sess.consecRejects,
+			HalfOpen:      sess.halfOpen,
+		}
+		if rem := sess.quarantinedUntil.Sub(now); rem > 0 {
+			ss.QuarantineRemaining = rem
+		}
+		if !sess.leaseExpiry.IsZero() {
+			if rem := sess.leaseExpiry.Sub(now); rem > 0 {
+				ss.LeaseRemaining = rem
+			}
+		}
+		snap.Sessions = append(snap.Sessions, ss)
 	}
 	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].ClientID < snap.Sessions[j].ClientID })
 	return snap
@@ -150,8 +181,21 @@ func (s *Server) restoreFromCheckpoint(path string) error {
 	s.version = snap.Version
 	s.stats = snap.Stats
 	s.buffer.Restore(snap.Buffer)
-	for _, sess := range snap.Sessions {
-		s.sessions[sess.ClientID] = &clientSession{id: sess.ClientID, numSamples: sess.NumSamples}
+	now := time.Now()
+	for _, ss := range snap.Sessions {
+		sess := &clientSession{
+			id:            ss.ClientID,
+			numSamples:    ss.NumSamples,
+			consecRejects: ss.ConsecRejects,
+			halfOpen:      ss.HalfOpen,
+		}
+		if ss.QuarantineRemaining > 0 {
+			sess.quarantinedUntil = now.Add(ss.QuarantineRemaining)
+		}
+		if ss.LeaseRemaining > 0 {
+			sess.leaseExpiry = now.Add(ss.LeaseRemaining)
+		}
+		s.sessions[ss.ClientID] = sess
 	}
 	s.restored = true
 	if s.version >= s.cfg.Rounds {

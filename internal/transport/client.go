@@ -77,10 +77,21 @@ type Client struct {
 	cfg ClientConfig
 	atk attack.Attack
 	rng *rand.Rand
+	// shards / shardVersion hold the latest shard-address push received
+	// from a hierarchical edge (nil for single-server deployments). Only
+	// touched from the Run/RunConn goroutine.
+	shards       []string
+	shardVersion int
+	// rotations counts how many times Run has moved to an alternative
+	// shard address (Goodbyes and repeated failures advance it).
+	rotations int
 	// TasksRun counts the local training rounds executed.
 	TasksRun int
 	// Reconnects counts successful re-dials after a dropped connection.
 	Reconnects int
+	// Rehomes counts re-homings to a different shard address after a
+	// Goodbye or repeated connection failures.
+	Rehomes int
 	// Nacks counts typed NACK replies received from the server; each one
 	// paused the client for the server's RetryAfter hint.
 	Nacks int
@@ -119,11 +130,19 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 // exponential backoff plus jitter, re-introduces itself and resumes from
 // the freshly issued global model. Run fails once MaxRetries consecutive
 // attempts make no progress.
+//
+// In a hierarchical deployment the server pushes the shard address list
+// with its tasks; from then on the client re-homes instead of giving up: a
+// Goodbye (its edge is draining or dead) or a failed connection attempt
+// rotates to the next shard address, starting from the client's assigned
+// home (clientID modulo the list length — the same assignment the root's
+// shard map computes). Without a shard push the behavior is unchanged: a
+// Goodbye surfaces as ErrServerGoodbye and failures retry addr.
 func (c *Client) Run(addr string) error {
 	failures := 0
 	connected := false
 	for {
-		conn, err := c.dial(addr)
+		conn, err := c.dial(c.pickAddr(addr))
 		if err == nil {
 			if connected {
 				c.Reconnects++
@@ -136,13 +155,22 @@ func (c *Client) Run(addr string) error {
 				return nil // server signalled Done
 			}
 			if errors.Is(err, ErrServerGoodbye) {
-				// The server is draining; retrying the same address would
-				// just collect more Goodbyes. Surface the redirect.
-				return err
+				if len(c.shards) < 2 {
+					// No alternatives: retrying the same address would just
+					// collect more Goodbyes. Surface the redirect.
+					return err
+				}
+				c.rotations++
+				c.Rehomes++
 			}
 			if c.TasksRun > tasksBefore {
 				failures = 0 // the connection made progress: refill budget
 			}
+		} else if len(c.shards) >= 2 {
+			// The address may be a dead edge; try the next shard. The
+			// failure budget still bounds the total number of attempts.
+			c.rotations++
+			c.Rehomes++
 		}
 		failures++
 		if failures > c.cfg.MaxRetries {
@@ -151,6 +179,20 @@ func (c *Client) Run(addr string) error {
 		}
 		time.Sleep(c.backoff(failures))
 	}
+}
+
+// pickAddr returns the address to dial: the seed address until a shard
+// list arrives, then the client's home shard advanced by the rotation
+// count.
+func (c *Client) pickAddr(seed string) string {
+	if len(c.shards) == 0 {
+		return seed
+	}
+	id := c.cfg.ID
+	if id < 0 {
+		id = -id
+	}
+	return c.shards[(id+c.rotations)%len(c.shards)]
 }
 
 // dial opens one connection using the configured dialer.
@@ -165,20 +207,13 @@ func (c *Client) dial(addr string) (net.Conn, error) {
 	return conn, nil
 }
 
-// backoff returns the sleep before retry attempt n (1-based): exponential
-// growth from RetryBaseDelay capped at RetryMaxDelay, with ±50% jitter so
-// a fleet of clients dropped by the same fault does not reconnect in
-// lockstep.
+// backoff returns the sleep before retry attempt n (1-based): the shared
+// exponential schedule from RetryBaseDelay capped at RetryMaxDelay, with
+// ±50% jitter so a fleet of clients dropped by the same fault does not
+// reconnect in lockstep.
 func (c *Client) backoff(n int) time.Duration {
-	d := c.cfg.RetryBaseDelay
-	for i := 1; i < n && d < c.cfg.RetryMaxDelay; i++ {
-		d *= 2
-	}
-	if d > c.cfg.RetryMaxDelay {
-		d = c.cfg.RetryMaxDelay
-	}
 	jitter := 0.5 + c.rng.Float64() // in [0.5, 1.5)
-	return time.Duration(float64(d) * jitter)
+	return BackoffDelay(jitter, c.cfg.RetryBaseDelay, c.cfg.RetryMaxDelay, n)
 }
 
 // connWriter owns all writes on a client connection. Heartbeats must go
@@ -309,6 +344,13 @@ func (c *Client) RunConn(conn net.Conn) error {
 		var msg ServerMsg
 		if err := dec.Decode(&msg); err != nil {
 			return fmt.Errorf("transport: receive: %w", err)
+		}
+		if len(msg.Shards) > 0 && msg.ShardVersion > c.shardVersion {
+			// A fresh shard push replaces the held list and re-anchors the
+			// client at its home shard for the next re-homing decision.
+			c.shards = append([]string(nil), msg.Shards...)
+			c.shardVersion = msg.ShardVersion
+			c.rotations = 0
 		}
 		if msg.Done {
 			return nil

@@ -152,6 +152,16 @@ type ServerMsg struct {
 	// Goodbye signals that this server is draining: the client should
 	// drop the connection and reconnect elsewhere.
 	Goodbye bool
+	// Shards, when non-nil, is the current client-facing shard address
+	// list of a hierarchical deployment, sorted by edge id. A client
+	// re-homes to Shards[clientID % len(Shards)] when its edge says
+	// Goodbye or stops answering. Pushed once per connection and again
+	// whenever the list changes (see ShardVersion); single-server
+	// deployments never set it.
+	Shards []string
+	// ShardVersion versions the Shards push; receivers ignore pushes not
+	// newer than what they hold.
+	ShardVersion int
 }
 
 // ServerConfig parameterizes a transport server.
@@ -234,6 +244,15 @@ type ServerConfig struct {
 	// supports observation. Purely observational — enabling it changes
 	// no aggregation outcome.
 	Obsv *obsv.Hub
+	// OnRoundCommitted, when non-nil, is called after every committed
+	// aggregation round with the new model version and the updates the
+	// filter accepted into it. It runs outside the server lock while the
+	// round slot is still held (the filter is quiescent), in strict round
+	// order. Ownership of the slice and the updates transfers to the
+	// callback — the server never touches them again — which is what lets
+	// a hierarchical edge forward them upstream without copying. A panic
+	// in the callback is recovered and counted in HandlerPanics.
+	OnRoundCommitted func(version int, accepted []*fl.Update)
 }
 
 // Validate checks the configuration.
@@ -297,6 +316,11 @@ type Server struct {
 	sessions     map[int]*clientSession
 	conns        map[net.Conn]struct{}
 	lastProgress time.Time
+	// shardAddrs / shardVersion hold the latest SetShardAddrs push;
+	// handlers piggyback the list on task replies when their last-sent
+	// version is stale.
+	shardAddrs   []string
+	shardVersion int
 	// shedObserver, when non-nil, is invoked (outside s.mu) with the
 	// server version at shed time and the evicted updates. Test-only
 	// hook for asserting the stalest-first shedding invariant.
@@ -489,6 +513,21 @@ func (s *Server) Addr() string {
 // Done is closed when the configured rounds have completed.
 func (s *Server) Done() <-chan struct{} { return s.done }
 
+// Finish marks the deployment complete without tearing the network down:
+// connected clients receive Done on their next task request and exit
+// cleanly instead of burning reconnect budgets against a closed socket,
+// and no further aggregation round starts. Serve keeps accepting until
+// Close. An edge server calls this when its root declares the fleet-wide
+// deployment done.
+func (s *Server) Finish() {
+	s.mu.Lock()
+	if !s.finished {
+		s.finished = true
+		close(s.done)
+	}
+	s.mu.Unlock()
+}
+
 // Close stops accepting connections, disconnects all clients and unblocks
 // Serve. It waits for any in-flight aggregation round to commit, then —
 // when checkpointing is configured — writes a final snapshot of the
@@ -631,8 +670,12 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
+	// sentShard tracks which shard-list version this connection has been
+	// sent; -1 forces a push in the first task envelope when a list exists.
+	sentShard := -1
+
 	// Send the initial task.
-	if !s.sendTask(conn, enc) {
+	if !s.sendTask(conn, enc, &sentShard) {
 		if s.isDraining() {
 			s.linger(conn, dec, lim)
 		}
@@ -686,7 +729,7 @@ func (s *Server) handle(conn net.Conn) {
 			// The refusal and the current model travel in one envelope:
 			// the client backs off for RetryAfter, then resumes from the
 			// fresh task, keeping the protocol strictly request-reply.
-			if !s.sendTaskNack(conn, enc, verdict.nack, verdict.retryAfter) {
+			if !s.sendTaskNack(conn, enc, verdict.nack, verdict.retryAfter, &sentShard) {
 				if s.isDraining() {
 					s.linger(conn, dec, lim)
 				}
@@ -694,7 +737,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
-		if !s.sendTask(conn, enc) {
+		if !s.sendTask(conn, enc, &sentShard) {
 			if s.isDraining() {
 				s.linger(conn, dec, lim)
 			}
@@ -768,9 +811,14 @@ const drainLinger = 5 * time.Second
 // farewell sends a drain Goodbye and lingers until the client has read it
 // and closed its end. In the lock-step protocol the queued Goodbye
 // answers the client's next request, so in-flight requests are decoded
-// and discarded here rather than replied to twice.
+// and discarded here rather than replied to twice. The current shard list
+// (if any) rides along so a redirected client knows where "elsewhere" is.
 func (s *Server) farewell(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *limitReader) {
-	if s.send(conn, enc, &ServerMsg{Goodbye: true}) {
+	s.mu.Lock()
+	shards := append([]string(nil), s.shardAddrs...)
+	sv := s.shardVersion
+	s.mu.Unlock()
+	if s.send(conn, enc, &ServerMsg{Goodbye: true, Shards: shards, ShardVersion: sv}) {
 		s.linger(conn, dec, lim)
 	}
 }
@@ -791,25 +839,27 @@ func (s *Server) linger(conn net.Conn, dec *gob.Decoder, lim *limitReader) {
 }
 
 // sendTask transmits the latest model, or Done/Goodbye when training
-// finished. It reports whether the connection should stay open.
-func (s *Server) sendTask(conn net.Conn, enc *gob.Encoder) bool {
-	return s.sendTaskNack(conn, enc, 0, 0)
+// finished. It reports whether the connection should stay open. sentShard
+// is the handler's shard-push cursor (see shardPushLocked).
+func (s *Server) sendTask(conn net.Conn, enc *gob.Encoder, sentShard *int) bool {
+	return s.sendTaskNack(conn, enc, 0, 0, sentShard)
 }
 
 // sendTaskNack transmits an optional NACK together with the latest model
 // in one envelope (or Done/Goodbye when the deployment ended). It reports
 // whether the connection should stay open.
-func (s *Server) sendTaskNack(conn net.Conn, enc *gob.Encoder, nack NackCode, retryAfter time.Duration) bool {
+func (s *Server) sendTaskNack(conn net.Conn, enc *gob.Encoder, nack NackCode, retryAfter time.Duration, sentShard *int) bool {
 	s.mu.Lock()
 	finished := s.finished
 	draining := s.draining
 	task := Task{Version: s.version, Params: vecmath.Clone(s.global)}
+	shards, sv := s.shardPushLocked(sentShard)
 	s.mu.Unlock()
 	if finished || draining {
-		s.send(conn, enc, &ServerMsg{Done: finished && !draining, Goodbye: draining})
+		s.send(conn, enc, &ServerMsg{Done: finished && !draining, Goodbye: draining, Shards: shards, ShardVersion: sv})
 		return false
 	}
-	return s.send(conn, enc, &ServerMsg{Task: &task, Nack: nack, RetryAfter: retryAfter})
+	return s.send(conn, enc, &ServerMsg{Task: &task, Nack: nack, RetryAfter: retryAfter, Shards: shards, ShardVersion: sv})
 }
 
 // forceMode distinguishes why an aggregation round was forced below the
@@ -904,13 +954,17 @@ func (s *Server) maybeAggregate(force forceMode) {
 		}
 		s.mu.Unlock()
 
-		// Observer and checkpoint run unlocked too: the aggregating flag
-		// keeps the filter quiescent, so ObserveRound and SnapshotState see
-		// exactly this round's state, in order.
+		// Observer, commit hook and checkpoint run unlocked too: the
+		// aggregating flag keeps the filter quiescent, so ObserveRound,
+		// OnRoundCommitted and SnapshotState see exactly this round's
+		// state, in order.
 		s.obs.roundCommitted(version, time.Since(roundStart),
 			len(updates), len(accepted), len(deferred), len(rejected))
 		if isObs {
 			s.observeRound(obs, version, obsGlobal, accepted)
+		}
+		if s.cfg.OnRoundCommitted != nil {
+			s.notifyRoundCommitted(version, accepted)
 		}
 		if snap != nil {
 			s.writeSnapshot(snap)
@@ -967,6 +1021,22 @@ func (s *Server) combineBatch(accepted []*fl.Update, round int) (delta []float64
 		return nil
 	}
 	return d
+}
+
+// notifyRoundCommitted hands a committed round's accepted updates to the
+// configured OnRoundCommitted callback behind the same recover guard as
+// the other unlocked round-commit work: a panicking callback must not
+// leave the aggregating flag set. Runs without s.mu held.
+func (s *Server) notifyRoundCommitted(version int, accepted []*fl.Update) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.stats.HandlerPanics++
+			s.mu.Unlock()
+			log.Printf("transport: recovered round-commit callback panic in round %d: %v\n%s", version, r, debug.Stack())
+		}
+	}()
+	s.cfg.OnRoundCommitted(version, accepted)
 }
 
 // observeRound delivers the committed round to a RoundObserver filter

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"encoding/gob"
+	"net"
+	"time"
+)
+
+// UpstreamConn wraps one side of an established edge<->root connection
+// with the same wire hardening the client protocol gets: a gob codec
+// behind the byte-budget limitReader, and a read/write deadline armed
+// before every blocking I/O operation. Both sides of the upstream
+// protocol (internal/topology) speak through it — the edge with
+// WriteEdge/ReadRoot, the root with ReadEdge/WriteRoot — so the decode
+// path the fuzz harness drives (fuzz_upstream_test.go) is exactly the
+// production one.
+//
+// An UpstreamConn is owned by a single goroutine per side; the strict
+// request-reply shape of the protocol (one RootMsg per EdgeMsg) makes
+// that the natural structure and keeps the gob codecs free of locking.
+type UpstreamConn struct {
+	conn         net.Conn
+	lim          *limitReader
+	dec          *gob.Decoder
+	enc          *gob.Encoder
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+}
+
+// NewUpstreamConn dresses conn with the upstream codec. maxMessageBytes
+// caps a single decoded message (0 disables the guard); readTimeout and
+// writeTimeout bound each blocking read and write (0 disables).
+func NewUpstreamConn(conn net.Conn, maxMessageBytes int64, readTimeout, writeTimeout time.Duration) *UpstreamConn {
+	lim := newLimitReader(conn, maxMessageBytes)
+	return &UpstreamConn{
+		conn:         conn,
+		lim:          lim,
+		dec:          gob.NewDecoder(lim),
+		enc:          gob.NewEncoder(conn),
+		readTimeout:  readTimeout,
+		writeTimeout: writeTimeout,
+	}
+}
+
+// armRead refreshes the read deadline before a blocking decode.
+func (u *UpstreamConn) armRead() {
+	if u.readTimeout > 0 {
+		_ = u.conn.SetReadDeadline(time.Now().Add(u.readTimeout))
+	}
+}
+
+// armWrite refreshes the write deadline before a blocking encode.
+func (u *UpstreamConn) armWrite() {
+	if u.writeTimeout > 0 {
+		_ = u.conn.SetWriteDeadline(time.Now().Add(u.writeTimeout))
+	}
+}
+
+// ReadEdge decodes the next edge->root envelope (root side).
+func (u *UpstreamConn) ReadEdge() (*EdgeMsg, error) {
+	u.armRead()
+	u.lim.reset()
+	var msg EdgeMsg
+	if err := u.dec.Decode(&msg); err != nil {
+		return nil, err
+	}
+	return &msg, nil
+}
+
+// WriteRoot encodes one root->edge reply (root side).
+func (u *UpstreamConn) WriteRoot(msg *RootMsg) error {
+	u.armWrite()
+	return u.enc.Encode(msg)
+}
+
+// ReadRoot decodes the next root->edge envelope (edge side).
+func (u *UpstreamConn) ReadRoot() (*RootMsg, error) {
+	u.armRead()
+	u.lim.reset()
+	var msg RootMsg
+	if err := u.dec.Decode(&msg); err != nil {
+		return nil, err
+	}
+	return &msg, nil
+}
+
+// WriteEdge encodes one edge->root request (edge side).
+func (u *UpstreamConn) WriteEdge(msg *EdgeMsg) error {
+	u.armWrite()
+	return u.enc.Encode(msg)
+}
+
+// Oversize reports whether the last failed read was killed by the
+// byte-budget guard rather than an ordinary stream error.
+func (u *UpstreamConn) Oversize() bool { return u.lim.tripped() }
+
+// Close closes the underlying connection.
+func (u *UpstreamConn) Close() error { return u.conn.Close() }

@@ -147,18 +147,11 @@ type Server struct {
 	obsvSrv *http.Server
 }
 
-// NewServer builds a TCP aggregation server. filter nil selects FedBuff
-// (no defense).
-func NewServer(cfg ServerConfig, filter *Filter) (*Server, error) {
-	var innerFilter fl.Filter
-	if filter != nil {
-		innerFilter = filter.inner
-	}
-	var metrics *Metrics
-	if cfg.ObsvAddr != "" {
-		metrics = NewMetrics(cfg.TraceDepth)
-	}
-	s, err := transport.NewServer(transport.ServerConfig{
+// transportConfig maps the public server configuration onto the internal
+// transport layer's. Shared by the flat server (NewServer) and the edge
+// aggregator's client-facing server (NewEdgeServer).
+func (cfg ServerConfig) transportConfig(hub *obsv.Hub) transport.ServerConfig {
+	return transport.ServerConfig{
 		InitialParams:      cfg.InitialParams,
 		AggregationGoal:    cfg.AggregationGoal,
 		StalenessLimit:     cfg.StalenessLimit,
@@ -175,8 +168,22 @@ func NewServer(cfg ServerConfig, filter *Filter) (*Server, error) {
 		LeaseDuration:      cfg.LeaseDuration,
 		QuarantineAfter:    cfg.QuarantineAfter,
 		QuarantineCooldown: cfg.QuarantineCooldown,
-		Obsv:               hubOf(metrics),
-	}, innerFilter, nil)
+		Obsv:               hub,
+	}
+}
+
+// NewServer builds a TCP aggregation server. filter nil selects FedBuff
+// (no defense).
+func NewServer(cfg ServerConfig, filter *Filter) (*Server, error) {
+	var innerFilter fl.Filter
+	if filter != nil {
+		innerFilter = filter.inner
+	}
+	var metrics *Metrics
+	if cfg.ObsvAddr != "" {
+		metrics = NewMetrics(cfg.TraceDepth)
+	}
+	s, err := transport.NewServer(cfg.transportConfig(hubOf(metrics)), innerFilter, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +262,13 @@ func (s *Server) Restored() bool { return s.inner.Restored() }
 
 // Stats returns the deployment's lifetime counters.
 func (s *Server) Stats() ServerStats {
-	st := s.inner.Stats()
+	return serverStatsOf(s.inner.Stats())
+}
+
+// serverStatsOf maps the transport layer's counters onto the public
+// mirror. Shared by the flat server and the edge aggregator's
+// client-facing side.
+func serverStatsOf(st transport.ServerStats) ServerStats {
 	return ServerStats{
 		Rounds:             st.Rounds,
 		Accepted:           st.Accepted,
@@ -345,7 +358,14 @@ func NewClient(opts ClientOptions) (*Client, error) {
 
 // Run connects to the server at addr and participates until the server
 // signals completion, reconnecting with backoff when MaxRetries allows.
+// In a two-tier deployment addr is the client's home edge; if that edge
+// dies the client re-homes to a survivor using the shard map it learned
+// at admission.
 func (c *Client) Run(addr string) error { return c.inner.Run(addr) }
+
+// Rehomes reports how many times the client moved to a different edge
+// after its home address went dark. Read it only after Run returns.
+func (c *Client) Rehomes() int { return c.inner.Rehomes }
 
 // dataOf unwraps a public Data handle (nil-safe).
 func dataOf(d *Data) *dataset.Dataset {

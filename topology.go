@@ -1,0 +1,354 @@
+package asyncfilter
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/obsv"
+	"github.com/asyncfl/asyncfilter/internal/topology"
+)
+
+// This file is the public face of the two-tier topology (DESIGN.md §12):
+// edge aggregators that admit clients, run a local AsyncFilter pass and
+// forward filtered batches upstream, and a root that applies each batch
+// exactly once, maintains the fleet-wide model and shard map, and
+// orchestrates failover when an edge dies.
+
+// EdgeServerConfig parameterizes an edge aggregator.
+type EdgeServerConfig struct {
+	// EdgeID identifies this edge to the root (unique per deployment,
+	// >= 0).
+	EdgeID int
+	// RootAddr is the root server's listen address.
+	RootAddr string
+	// Server configures the edge's client-facing aggregation server —
+	// the same knobs as a flat deployment, including overload resilience
+	// and introspection (ObsvAddr also exposes the edge's degraded
+	// state on /healthz). Rounds 0 selects effectively-unbounded: the
+	// root decides when the deployment is done.
+	Server ServerConfig
+	// HeartbeatEvery keeps the root-side lease alive on an idle uplink
+	// (0 selects 500ms). Set it well below the root's EdgeLeaseDuration.
+	HeartbeatEvery time.Duration
+	// MaxPendingBatches bounds the degraded-mode buffer: an edge cut off
+	// from its root keeps serving clients and buffering batches, shedding
+	// the oldest once full (0 selects 64).
+	MaxPendingBatches int
+	// RetryBaseDelay / RetryMaxDelay pace the uplink's exponential
+	// backoff-plus-jitter reconnects (0 selects 50ms / 2s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// Seed drives the uplink's backoff jitter.
+	Seed int64
+}
+
+// EdgeServerStats summarizes an edge's upstream behaviour; the
+// client-facing side is covered by EdgeServer.Stats' ServerStats.
+type EdgeServerStats struct {
+	// BatchesCommitted counts local rounds committed; BatchesSent counts
+	// transmissions including replays; BatchesAcked counts distinct
+	// batches the root acknowledged; BatchesShed counts batches dropped
+	// oldest-first from the full degraded-mode buffer.
+	BatchesCommitted, BatchesSent, BatchesAcked, BatchesShed int
+	// UplinkSessions counts established root sessions (the first one and
+	// every reconnect); UplinkFailures counts failed dials and broken
+	// sessions.
+	UplinkSessions, UplinkFailures int
+	// HandoffsMerged counts dead peers' filter snapshots merged into the
+	// local filter; HandoffErrors counts handoffs that failed to decode
+	// or merge.
+	HandoffsMerged, HandoffErrors int
+}
+
+// EdgeServer is an edge aggregator: a full client-facing server plus an
+// uplink forwarding every committed batch to the root.
+type EdgeServer struct {
+	inner   *topology.Edge
+	metrics *Metrics
+	obsvLis net.Listener
+	obsvSrv *http.Server
+}
+
+// NewEdgeServer builds an edge aggregator. filter nil forwards unfiltered
+// batches (the root's filter, if any, is then the only defense).
+func NewEdgeServer(cfg EdgeServerConfig, filter *Filter) (*EdgeServer, error) {
+	var innerFilter fl.Filter
+	if filter != nil {
+		innerFilter = filter.inner
+	}
+	var metrics *Metrics
+	if cfg.Server.ObsvAddr != "" {
+		metrics = NewMetrics(cfg.Server.TraceDepth)
+	}
+	serverCfg := cfg.Server
+	if serverCfg.Rounds == 0 {
+		// The root's round budget ends the deployment; the local server
+		// must outlast it.
+		serverCfg.Rounds = 1 << 30
+	}
+	hub := hubOf(metrics)
+	edge, err := topology.NewEdge(topology.EdgeConfig{
+		EdgeID:            cfg.EdgeID,
+		RootAddr:          cfg.RootAddr,
+		Server:            serverCfg.transportConfig(hub),
+		HeartbeatEvery:    cfg.HeartbeatEvery,
+		MaxPendingBatches: cfg.MaxPendingBatches,
+		RetryBaseDelay:    cfg.RetryBaseDelay,
+		RetryMaxDelay:     cfg.RetryMaxDelay,
+		Seed:              cfg.Seed,
+		Obsv:              hub,
+	}, innerFilter, nil)
+	if err != nil {
+		return nil, err
+	}
+	srv := &EdgeServer{inner: edge, metrics: metrics}
+	if cfg.Server.ObsvAddr != "" {
+		lis, err := net.Listen("tcp", cfg.Server.ObsvAddr)
+		if err != nil {
+			_ = edge.Close()
+			return nil, fmt.Errorf("asyncfilter: edge observability listener: %w", err)
+		}
+		srv.obsvLis = lis
+		// Edge health is partition-aware: a lost uplink reports degraded
+		// (200 with status "degraded"), distinct from draining (503).
+		srv.obsvSrv = &http.Server{Handler: obsv.Handler(metrics.hub, edge.Health)}
+		go func() { _ = srv.obsvSrv.Serve(lis) }()
+	}
+	return srv, nil
+}
+
+// Serve accepts client connections on lis and advertises lis's address to
+// the root for the shard map, until Close or the root ends the
+// deployment.
+func (e *EdgeServer) Serve(lis net.Listener) error { return e.inner.Serve(lis) }
+
+// ListenAndServe listens on addr and serves.
+func (e *EdgeServer) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return e.Serve(lis)
+}
+
+// ObsvAddr returns the bound introspection address, or "" when disabled.
+func (e *EdgeServer) ObsvAddr() string {
+	if e.obsvLis == nil {
+		return ""
+	}
+	return e.obsvLis.Addr().String()
+}
+
+// Version returns the edge's local round counter.
+func (e *EdgeServer) Version() int { return e.inner.Server().Version() }
+
+// LinkUp reports whether the root uplink currently has a live session.
+func (e *EdgeServer) LinkUp() bool { return e.inner.LinkUp() }
+
+// RootDone reports whether the root has declared the deployment
+// complete; the edge keeps serving clients until Close.
+func (e *EdgeServer) RootDone() bool { return e.inner.RootDone() }
+
+// Stats returns the upstream counters; ServerStats returns the
+// client-facing ones.
+func (e *EdgeServer) Stats() EdgeServerStats {
+	st := e.inner.Stats()
+	return EdgeServerStats{
+		BatchesCommitted: st.BatchesCommitted,
+		BatchesSent:      st.BatchesSent,
+		BatchesAcked:     st.BatchesAcked,
+		BatchesShed:      st.BatchesShed,
+		UplinkSessions:   st.UplinkSessions,
+		UplinkFailures:   st.UplinkFailures,
+		HandoffsMerged:   st.HandoffsMerged,
+		HandoffErrors:    st.HandoffErrors,
+	}
+}
+
+// ServerStats returns the client-facing server's lifetime counters.
+func (e *EdgeServer) ServerStats() ServerStats {
+	return serverStatsOf(e.inner.Server().Stats())
+}
+
+// Close stops the edge: the uplink retires, the client listener closes
+// and the introspection listener (if any) is torn down.
+func (e *EdgeServer) Close() error {
+	err := e.inner.Close()
+	if e.obsvSrv != nil {
+		_ = e.obsvSrv.Close()
+	}
+	return err
+}
+
+// RootServerConfig parameterizes the root of a two-tier deployment.
+type RootServerConfig struct {
+	// InitialParams seeds the fleet-wide global model (see
+	// InitialParams).
+	InitialParams []float64
+	// Rounds is the number of applied edge batches before the deployment
+	// completes.
+	Rounds int
+	// StalenessLimit discards deferred updates that have waited more than
+	// this many root rounds (0 disables).
+	StalenessLimit int
+	// ReadTimeout bounds each blocking read from an edge connection
+	// (0 disables). It must cover the edges' heartbeat interval.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each reply transmission (0 disables).
+	WriteTimeout time.Duration
+	// MaxMessageBytes caps a single decoded edge message (0 disables).
+	MaxMessageBytes int64
+	// EdgeLeaseDuration declares an edge dead after this much silence:
+	// its clients re-home to the survivors and its filter state is handed
+	// off to them (0 disables failover).
+	EdgeLeaseDuration time.Duration
+	// CheckpointPath makes the root durable: model, per-edge batch
+	// watermarks, retained filter snapshots and queued handoffs are
+	// snapshotted to this file, and a restarted root resumes from it
+	// without double-counting replayed batches ("" disables).
+	CheckpointPath string
+	// CheckpointEvery writes a snapshot every N applied batches (<= 1
+	// means every batch).
+	CheckpointEvery int
+	// ObsvAddr serves /metrics, /trace, /healthz and /debug/pprof on this
+	// address ("" disables).
+	ObsvAddr string
+	// TraceDepth bounds the decision trace ring for ObsvAddr (<= 0
+	// selects the default).
+	TraceDepth int
+}
+
+// RootServerStats reports the root's lifetime counters.
+type RootServerStats struct {
+	// Rounds is the number of edge batches applied to the global model.
+	Rounds int
+	// BatchesApplied, BatchesReplayed and BatchesLost describe the
+	// idempotent batch protocol: replays are acknowledged without
+	// re-application, forward id gaps (shed in degraded mode or dropped
+	// by a stateless restart) are accounted as lost.
+	BatchesApplied, BatchesReplayed, BatchesLost int
+	// UpdatesReceived, Accepted, Deferred and Rejected count client
+	// updates inside applied batches and the root filter's decisions.
+	UpdatesReceived, Accepted, Deferred, Rejected int
+	// EdgesConnected counts distinct edges; EdgeReconnects counts re-Hellos
+	// from known edges; ExpiredEdgeLeases counts lease evictions.
+	EdgesConnected, EdgeReconnects, ExpiredEdgeLeases int
+	// HandoffsQueued/Delivered/Orphaned track dead edges' filter
+	// snapshots on their way to successor edges.
+	HandoffsQueued, HandoffsDelivered, HandoffsOrphaned int
+	// Checkpoints counts snapshots successfully written.
+	Checkpoints int
+}
+
+// RootServer is the top tier of a two-tier deployment.
+type RootServer struct {
+	inner   *topology.Root
+	metrics *Metrics
+	obsvLis net.Listener
+	obsvSrv *http.Server
+}
+
+// NewRootServer builds a root server. filter nil trusts the edges'
+// filtering entirely (pass-through); a non-nil filter re-screens every
+// forwarded batch.
+func NewRootServer(cfg RootServerConfig, filter *Filter) (*RootServer, error) {
+	var innerFilter fl.Filter
+	if filter != nil {
+		innerFilter = filter.inner
+	}
+	var metrics *Metrics
+	if cfg.ObsvAddr != "" {
+		metrics = NewMetrics(cfg.TraceDepth)
+	}
+	root, err := topology.NewRoot(topology.RootConfig{
+		InitialParams:     cfg.InitialParams,
+		Rounds:            cfg.Rounds,
+		StalenessLimit:    cfg.StalenessLimit,
+		ReadTimeout:       cfg.ReadTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
+		MaxMessageBytes:   cfg.MaxMessageBytes,
+		EdgeLeaseDuration: cfg.EdgeLeaseDuration,
+		CheckpointPath:    cfg.CheckpointPath,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		Obsv:              hubOf(metrics),
+	}, innerFilter, nil)
+	if err != nil {
+		return nil, err
+	}
+	srv := &RootServer{inner: root, metrics: metrics}
+	if cfg.ObsvAddr != "" {
+		lis, err := net.Listen("tcp", cfg.ObsvAddr)
+		if err != nil {
+			_ = root.Close()
+			return nil, fmt.Errorf("asyncfilter: root observability listener: %w", err)
+		}
+		srv.obsvLis = lis
+		srv.obsvSrv = &http.Server{Handler: obsv.Handler(metrics.hub, root.Health)}
+		go func() { _ = srv.obsvSrv.Serve(lis) }()
+	}
+	return srv, nil
+}
+
+// Serve accepts edge connections until the configured rounds complete or
+// Close is called.
+func (r *RootServer) Serve(lis net.Listener) error { return r.inner.Serve(lis) }
+
+// ListenAndServe listens on addr and serves.
+func (r *RootServer) ListenAndServe(addr string) error { return r.inner.ListenAndServe(addr) }
+
+// ObsvAddr returns the bound introspection address, or "" when disabled.
+func (r *RootServer) ObsvAddr() string {
+	if r.obsvLis == nil {
+		return ""
+	}
+	return r.obsvLis.Addr().String()
+}
+
+// Done is closed when the configured rounds have completed.
+func (r *RootServer) Done() <-chan struct{} { return r.inner.Done() }
+
+// Version returns the number of edge batches applied so far.
+func (r *RootServer) Version() int { return r.inner.Version() }
+
+// FinalParams returns a copy of the fleet-wide global parameters.
+func (r *RootServer) FinalParams() []float64 { return r.inner.FinalParams() }
+
+// Restored reports whether this root resumed from an existing
+// checkpoint.
+func (r *RootServer) Restored() bool { return r.inner.Restored() }
+
+// Stats returns the root's lifetime counters.
+func (r *RootServer) Stats() RootServerStats {
+	st := r.inner.Stats()
+	return RootServerStats{
+		Rounds:            st.Rounds,
+		BatchesApplied:    st.BatchesApplied,
+		BatchesReplayed:   st.BatchesReplayed,
+		BatchesLost:       st.BatchesLost,
+		UpdatesReceived:   st.UpdatesReceived,
+		Accepted:          st.Accepted,
+		Deferred:          st.Deferred,
+		Rejected:          st.Rejected,
+		EdgesConnected:    st.EdgesConnected,
+		EdgeReconnects:    st.EdgeReconnects,
+		ExpiredEdgeLeases: st.ExpiredEdgeLeases,
+		HandoffsQueued:    st.HandoffsQueued,
+		HandoffsDelivered: st.HandoffsDelivered,
+		HandoffsOrphaned:  st.HandoffsOrphaned,
+		Checkpoints:       st.Checkpoints,
+	}
+}
+
+// Close stops the root without marking the deployment finished: edges
+// treat a closed root as a partition and keep buffering, so a restarted
+// root (same CheckpointPath) resumes the deployment.
+func (r *RootServer) Close() error {
+	err := r.inner.Close()
+	if r.obsvSrv != nil {
+		_ = r.obsvSrv.Close()
+	}
+	return err
+}
