@@ -48,7 +48,13 @@ cover:
 		if (t+0 < f+0) { printf "coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
 		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'
 
-# fuzz-smoke runs the transport wire-decode fuzzer briefly: adversarial
-# gob streams must yield typed errors, never a panic or hang.
+# fuzz-smoke runs each transport wire-decode fuzzer briefly: adversarial
+# gob streams on every protocol surface — client, edge uplink, and root
+# replication — must yield typed errors, never a panic or hang. Go runs
+# one fuzz target per invocation, hence the loop.
+FUZZ_TARGETS = FuzzDecodeClientMsg FuzzDecodeEdgeMsg FuzzDecodeRootMsg \
+	FuzzDecodeReplicaMsg FuzzDecodePrimaryMsg
 fuzz-smoke:
-	$(GO) test -run=NONE -fuzz=FuzzDecodeClientMsg -fuzztime=30s ./internal/transport/
+	@for target in $(FUZZ_TARGETS); do \
+		$(GO) test -run=NONE -fuzz=$$target'$$' -fuzztime=10s ./internal/transport/ || exit 1; \
+	done

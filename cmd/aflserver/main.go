@@ -19,6 +19,17 @@
 //	aflserver -role edge -listen :9000 -root-addr host:9100 -edge-id 0
 //	aflserver -role edge -listen :9001 -root-addr host:9100 -edge-id 1
 //
+// Replicated root (DESIGN.md §13): -repl-listen accepts standbys on the
+// replication channel, -replica-of runs this root as a standby of the
+// given primary, and -peers lists every replica's edge-facing address so
+// edges re-home after a failover. A standby whose primary stays silent
+// for -replica-lease promotes itself under a new fencing epoch; the old
+// primary, if it comes back, is refused by the fleet and demotes:
+//
+//	aflserver -role root -listen :9100 -repl-listen :9200 -peers host:9100,host:9101
+//	aflserver -role root -listen :9101 -replica-of host:9200 -repl-listen :9201 \
+//	    -replica-id 1 -peers host:9100,host:9101
+//
 // With -checkpoint, the server snapshots its full state (global model,
 // round counter, filter history, buffered updates, client sessions) to
 // the given file, restores from it at startup when it exists, and writes
@@ -46,6 +57,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -93,6 +105,13 @@ func run(args []string) error {
 		heartbeat  = fs.Duration("heartbeat", 0, "edge role: uplink heartbeat interval (0 = 500ms); keep well below the root's -edge-lease")
 		maxBatches = fs.Int("max-pending-batches", 0, "edge role: degraded-mode batch buffer bound (0 = 64)")
 		edgeLease  = fs.Duration("edge-lease", 5*time.Second, "root role: evict edges silent this long and hand their filter state to survivors (0 disables failover)")
+
+		replListen = fs.String("repl-listen", "", "root role: replication channel listen address (\"\" disables replication)")
+		replicaOf  = fs.String("replica-of", "", "root role: comma-separated primary replication addresses; set to run as a standby")
+		peers      = fs.String("peers", "", "root role: comma-separated edge-facing addresses of every replica, relayed to edges for failover re-homing")
+		replicaID  = fs.Int("replica-id", 0, "root role: this node's id in the replication group")
+		replLease  = fs.Duration("replica-lease", 2*time.Second, "root role: standby promotes after this much primary silence")
+		replBeat   = fs.Duration("replica-heartbeat", 0, "root role: primary's idle replication push interval (0 = lease/4)")
 
 		obsvAddr   = fs.String("obsv-addr", "", "serve /metrics, /trace, /healthz and /debug/pprof on this address (\"\" disables)")
 		traceDepth = fs.Int("trace-depth", 0, "filter-decision trace ring size for -obsv-addr (0 = default)")
@@ -178,6 +197,8 @@ func run(args []string) error {
 				CheckpointEvery:   *ckptEvery,
 				ObsvAddr:          *obsvAddr,
 				TraceDepth:        *traceDepth,
+				Replication: replicationConfig(*replListen, *replicaOf, *peers,
+					*replicaID, *replLease, *replBeat, *maxMsg, *seed),
 			},
 		})
 	default:
@@ -327,6 +348,36 @@ func runEdge(opts edgeOptions) error {
 	}
 }
 
+// replicationConfig assembles the root's replication config from the
+// flags; nil (replication disabled) unless -repl-listen or -replica-of
+// is set.
+func replicationConfig(replListen, replicaOf, peers string, id int, lease, beat time.Duration, maxMsg int64, seed int64) *asyncfilter.ReplicationConfig {
+	if replListen == "" && replicaOf == "" {
+		return nil
+	}
+	return &asyncfilter.ReplicationConfig{
+		NodeID:          id,
+		ReplListen:      replListen,
+		Upstreams:       splitAddrs(replicaOf),
+		Peers:           splitAddrs(peers),
+		Lease:           lease,
+		Heartbeat:       beat,
+		MaxMessageBytes: maxMsg,
+		Seed:            seed,
+	}
+}
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // rootOptions carries the parsed flags for -role root.
 type rootOptions struct {
 	listen string
@@ -350,6 +401,9 @@ func runRoot(opts rootOptions) error {
 	}
 	if addr := root.ObsvAddr(); addr != "" {
 		fmt.Printf("aflserver: root introspection on http://%s (/metrics /trace /healthz /debug/pprof)\n", addr)
+	}
+	if role := root.Role(); role != "" {
+		fmt.Printf("aflserver: root replication role=%s epoch=%d repl-listen=%s\n", role, root.Epoch(), root.ReplAddr())
 	}
 	fmt.Printf("aflserver: root listening on %s (dataset=%s rounds=%d edge-lease=%v)\n",
 		opts.listen, opts.preset, opts.cfg.Rounds, opts.cfg.EdgeLeaseDuration)

@@ -16,6 +16,15 @@
 //
 //	go run ./examples/hierarchical
 //	go run ./examples/hierarchical -kill-edge-at 4
+//
+// Adding -standby runs a second root mirroring the primary over the
+// replication channel (DESIGN.md §13), and -kill-root-at N kills the
+// primary once it has applied N batches: the standby's lease expires, it
+// promotes itself under a new fencing epoch, the edges re-home to it via
+// the relayed peer list, and the deployment completes with every batch
+// applied exactly once.
+//
+//	go run ./examples/hierarchical -standby -kill-root-at 5
 package main
 
 import (
@@ -71,9 +80,17 @@ func newEdge(id int, rootAddr string, params []float64) (*asyncfilter.EdgeServer
 
 func main() {
 	killEdgeAt := flag.Int("kill-edge-at", 0, "kill edge 0 after the root applies this many batches (0 disables)")
+	useStandby := flag.Bool("standby", false, "run a standby root mirroring the primary over the replication channel")
+	killRootAt := flag.Int("kill-root-at", 0, "kill the primary root after it applies this many batches; requires -standby (0 disables)")
 	flag.Parse()
 	if *killEdgeAt >= rootRounds {
 		log.Fatalf("-kill-edge-at %d must be below the %d-round deployment", *killEdgeAt, rootRounds)
+	}
+	if *killRootAt >= rootRounds {
+		log.Fatalf("-kill-root-at %d must be below the %d-round deployment", *killRootAt, rootRounds)
+	}
+	if *killRootAt > 0 && !*useStandby {
+		log.Fatal("-kill-root-at requires -standby (nothing would take over)")
 	}
 
 	spec, err := asyncfilter.ModelSpecFor(asyncfilter.MNIST)
@@ -89,7 +106,7 @@ func main() {
 	// the AsyncFilter pass runs where the updates arrive. Edges silent for
 	// 1s lose their lease, which re-homes their clients and hands their
 	// filter state to the survivors.
-	root, err := asyncfilter.NewRootServer(asyncfilter.RootServerConfig{
+	rootCfg := asyncfilter.RootServerConfig{
 		InitialParams:     params,
 		Rounds:            rootRounds,
 		StalenessLimit:    10,
@@ -97,21 +114,64 @@ func main() {
 		WriteTimeout:      15 * time.Second,
 		MaxMessageBytes:   64 << 20,
 		EdgeLeaseDuration: time.Second,
-	}, nil)
-	if err != nil {
-		log.Fatal(err)
 	}
 	rootLis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	rootAddr := rootLis.Addr().String()
-	go func() {
-		if err := root.Serve(rootLis); err != nil {
-			log.Println("root serve:", err)
+
+	// With -standby both roots' edge-facing addresses form the peer list
+	// edges use to re-home after a failover; the lease is 1s so the
+	// standby promotes about a second after the primary goes silent.
+	var standbyLis net.Listener
+	var peers []string
+	if *useStandby {
+		standbyLis, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
 		}
+		peers = []string{rootAddr, standbyLis.Addr().String()}
+		rootCfg.Replication = &asyncfilter.ReplicationConfig{
+			NodeID:     0,
+			ReplListen: "127.0.0.1:0",
+			Peers:      peers,
+			Lease:      time.Second,
+			Seed:       100,
+		}
+	}
+	root, err := asyncfilter.NewRootServer(rootCfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		// The killed primary's listener error at -kill-root-at is expected.
+		_ = root.Serve(rootLis)
 	}()
 	fmt.Printf("root listening on %s (%d rounds, edge lease 1s)\n", rootAddr, rootRounds)
+
+	var standby *asyncfilter.RootServer
+	if *useStandby {
+		standbyCfg := rootCfg
+		standbyCfg.Replication = &asyncfilter.ReplicationConfig{
+			NodeID:    1,
+			Upstreams: []string{root.ReplAddr()},
+			Peers:     peers,
+			Lease:     time.Second,
+			Seed:      101,
+		}
+		standby, err = asyncfilter.NewRootServer(standbyCfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := standby.Serve(standbyLis); err != nil {
+				log.Println("standby serve:", err)
+			}
+		}()
+		fmt.Printf("standby root on %s mirroring %s (promotion lease 1s)\n",
+			standbyLis.Addr().String(), root.ReplAddr())
+	}
 
 	edges := make([]*asyncfilter.EdgeServer, numEdges)
 	edgeAddrs := make([]string, numEdges)
@@ -196,9 +256,26 @@ func main() {
 			log.Println("close edge 0:", err)
 		}
 	}
+	if *killRootAt > 0 {
+		for root.Version() < *killRootAt {
+			time.Sleep(5 * time.Millisecond)
+		}
+		fmt.Printf("\nKILLING primary root at round %d (standby mirrored to round %d)\n",
+			root.Version(), standby.Version())
+		if err := root.Close(); err != nil {
+			log.Println("close primary root:", err)
+		}
+	}
 
-	<-root.Done()
-	final := root.FinalParams()
+	// The surviving root's Done fires when the final batch is applied:
+	// the standby mirrors the primary to completion, so with -standby it
+	// is always the one to wait on (and the one serving after a kill).
+	finalRoot := root
+	if standby != nil {
+		finalRoot = standby
+	}
+	<-finalRoot.Done()
+	final := finalRoot.FinalParams()
 	// The edges learn Done on their next uplink exchange and finish their
 	// local servers, so every client exits cleanly on its next task request
 	// — wait for that before tearing the processes down.
@@ -215,15 +292,24 @@ func main() {
 			log.Println("close edge:", err)
 		}
 	}
-	if err := root.Close(); err != nil {
-		log.Println("close root:", err)
+	if *killRootAt == 0 {
+		if err := root.Close(); err != nil {
+			log.Println("close root:", err)
+		}
+	}
+	if standby != nil {
+		fmt.Printf("standby finished as %s at epoch %d (round %d)\n",
+			standby.Role(), standby.Epoch(), standby.Version())
+		if err := standby.Close(); err != nil {
+			log.Println("close standby:", err)
+		}
 	}
 
 	rehomed := 0
 	for _, c := range clients {
 		rehomed += c.Rehomes()
 	}
-	rs := root.Stats()
+	rs := finalRoot.Stats()
 	acc, loss, err := asyncfilter.EvaluateParams(final, spec, test)
 	if err != nil {
 		log.Fatal(err)

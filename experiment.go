@@ -17,8 +17,9 @@ type Report interface {
 // "fig7". RunExperiment additionally accepts the extension experiments
 // "detection" (filter precision/recall per attack), "overload"
 // (admission-control throughput under a TCP client flood), "shard"
-// (per-shard vs merged filter state across edge aggregators, per attack)
-// and "hierarchy" (single-server vs two-tier deployment over real TCP).
+// (per-shard vs merged filter state across edge aggregators, per attack),
+// "hierarchy" (single-server vs two-tier deployment over real TCP) and
+// "failover" (kill-the-primary drill against a replicated root).
 func ExperimentIDs() []string {
 	return experiments.IDs()
 }
@@ -69,6 +70,12 @@ func RunExperiment(id string, scale ExperimentScale) (Report, error) {
 		// flat server and against the two-tier edge/root topology, over
 		// real loopback TCP.
 		return experiments.RunHierarchy(s)
+	case "failover":
+		// Extension experiment: the hierarchy deployment with a replicated
+		// primary/standby root, the primary killed at the halfway round —
+		// measures promotion latency, replication lag and the exactly-once
+		// batch accounting across the generation change.
+		return experiments.RunFailoverDrill(s)
 	case "fig3":
 		return experiments.RunEmbedding("fig3", 0, s)
 	case "fig4":

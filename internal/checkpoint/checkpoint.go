@@ -106,6 +106,37 @@ func Decode(raw []byte, state any, where string) error {
 	return nil
 }
 
+// Fingerprint validates a checkpoint container and returns its payload
+// CRC — a cheap, stable identity for "the same state bytes". The
+// replicated root's tests and failover drill use it to prove a promoted
+// standby's state is byte-comparable to a reference merge without
+// shipping either side around. Damage surfaces as ErrCorrupt/ErrVersion.
+func Fingerprint(raw []byte) (uint32, error) {
+	if len(raw) < headerSize+crcSize {
+		return 0, fmt.Errorf("%w: container holds %d bytes, header alone needs %d",
+			ErrCorrupt, len(raw), headerSize+crcSize)
+	}
+	if string(raw[:len(magic)]) != magic {
+		return 0, fmt.Errorf("%w: container has no checkpoint magic", ErrCorrupt)
+	}
+	version := binary.BigEndian.Uint32(raw[len(magic) : len(magic)+4])
+	if version != FormatVersion {
+		return 0, fmt.Errorf("%w: container has format version %d, this build reads %d",
+			ErrVersion, version, FormatVersion)
+	}
+	payloadLen := binary.BigEndian.Uint64(raw[len(magic)+4 : headerSize])
+	if uint64(len(raw)) != uint64(headerSize)+payloadLen+crcSize {
+		return 0, fmt.Errorf("%w: container declares %d payload bytes but holds %d total",
+			ErrCorrupt, payloadLen, len(raw))
+	}
+	body := raw[len(magic) : len(raw)-crcSize]
+	want := binary.BigEndian.Uint32(raw[len(raw)-crcSize:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return 0, fmt.Errorf("%w: container CRC mismatch (stored %08x, computed %08x)", ErrCorrupt, want, got)
+	}
+	return want, nil
+}
+
 // Save atomically writes state to path: the snapshot is encoded and
 // checksummed into a temporary file in path's directory, synced, and
 // renamed over path. A crash at any point leaves either the previous

@@ -195,3 +195,69 @@ func TestLoadDetectsLengthMismatch(t *testing.T) {
 		t.Fatalf("length mismatch err = %v, want ErrCorrupt", err)
 	}
 }
+
+func TestFingerprint(t *testing.T) {
+	state := samplePayload()
+	raw, err := Encode(&state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Fingerprint(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != binary.BigEndian.Uint32(raw[len(raw)-crcSize:]) {
+		t.Errorf("fingerprint %08x is not the container's stored CRC", fp)
+	}
+
+	// Equal states fingerprint equally; a different state differs.
+	raw2, err := Encode(&state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := Fingerprint(raw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp2 != fp {
+		t.Error("identical states produced different fingerprints")
+	}
+	other := samplePayload()
+	other.Version++
+	raw3, err := Encode(&other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3, err := Fingerprint(raw3); err != nil {
+		t.Fatal(err)
+	} else if fp3 == fp {
+		t.Error("different states share a fingerprint")
+	}
+
+	// Damage surfaces as the typed failure classes, same as Decode.
+	if _, err := Fingerprint(raw[:headerSize-1]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated container err = %v, want ErrCorrupt", err)
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[headerSize+1] ^= 0x10
+	if _, err := Fingerprint(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit-flipped container err = %v, want ErrCorrupt", err)
+	}
+	unmagic := append([]byte(nil), raw...)
+	unmagic[0] = 'X'
+	if _, err := Fingerprint(unmagic); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic err = %v, want ErrCorrupt", err)
+	}
+	future := append([]byte(nil), raw...)
+	binary.BigEndian.PutUint32(future[len(magic):], FormatVersion+9)
+	binary.BigEndian.PutUint32(future[len(future)-crcSize:],
+		crc32.ChecksumIEEE(future[len(magic):len(future)-crcSize]))
+	if _, err := Fingerprint(future); !errors.Is(err, ErrVersion) {
+		t.Errorf("future version err = %v, want ErrVersion", err)
+	}
+	overlong := append([]byte(nil), raw...)
+	binary.BigEndian.PutUint64(overlong[len(magic)+4:], 1<<40)
+	if _, err := Fingerprint(overlong); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("length mismatch err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/replica"
+	"github.com/asyncfl/asyncfilter/internal/topology"
+	"github.com/asyncfl/asyncfilter/internal/transport"
+)
+
+// Failover drill defaults: the hierarchy deployment shape (two edges, the
+// shared client population and attack mix) with a replicated root, the
+// primary killed halfway through. The lease is short so the drill
+// measures the protocol, not the wait.
+const (
+	failoverRootRounds = 48
+	failoverLease      = 300 * time.Millisecond
+)
+
+// FailoverResult measures one kill-the-primary drill against a replicated
+// root: how long promotion took, what the replication stream had mirrored
+// at the kill, and how the deployment accounted for every batch across
+// the generation change.
+type FailoverResult struct {
+	ID string
+	// Rounds is the total global rounds committed (both generations);
+	// RoundsAtKill is the primary's version when it was killed and
+	// MirroredAtKill the standby's mirrored version at the same moment.
+	Rounds, RoundsAtKill, MirroredAtKill int
+	// PromotionLatency is kill-to-RolePrimary on the standby; Lease is
+	// the configured promotion lease it is measured against.
+	PromotionLatency, Lease time.Duration
+	// Duration is first-client-start to deployment-done wall clock.
+	Duration time.Duration
+	// Epoch is the fencing epoch the standby promoted under.
+	Epoch uint64
+	// SnapshotsInstalled and RecordsApplied describe the replication
+	// stream from the standby side; RecordsLostOnPromote counts records
+	// the dead primary committed but never shipped.
+	SnapshotsInstalled, RecordsApplied, RecordsLostOnPromote int
+	// BatchesApplied, BatchesReplayed and BatchesLost are the promoted
+	// root's exactly-once accounting across the failover; EdgeRehomes
+	// counts edge uplinks that re-homed to the promoted root.
+	BatchesApplied, BatchesReplayed, BatchesLost, EdgeRehomes int
+	// UpdatesReceived and Rejected aggregate the edge filter servers.
+	UpdatesReceived, Rejected int
+}
+
+// Render prints the failover drill.
+func (f *FailoverResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: kill-the-primary drill, replicated root with %v lease, %d clients / %d malicious (extension experiment)\n\n",
+		f.ID, f.Lease, hierarchyClients, hierarchyMalicious)
+	b.WriteString("| Metric | Value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| Rounds (total / at kill / mirrored at kill) | %d / %d / %d |\n",
+		f.Rounds, f.RoundsAtKill, f.MirroredAtKill)
+	fmt.Fprintf(&b, "| Promotion latency | %.0fms (lease %.0fms, epoch %d) |\n",
+		float64(f.PromotionLatency.Milliseconds()), float64(f.Lease.Milliseconds()), f.Epoch)
+	fmt.Fprintf(&b, "| Replication stream | %d records, %d snapshots, %d lost on promote |\n",
+		f.RecordsApplied, f.SnapshotsInstalled, f.RecordsLostOnPromote)
+	fmt.Fprintf(&b, "| Promoted-root batches (applied / replayed / lost) | %d / %d / %d |\n",
+		f.BatchesApplied, f.BatchesReplayed, f.BatchesLost)
+	fmt.Fprintf(&b, "| Edge re-homes | %d |\n", f.EdgeRehomes)
+	fmt.Fprintf(&b, "| Updates (received / rejected) | %d / %d |\n", f.UpdatesReceived, f.Rejected)
+	fmt.Fprintf(&b, "| Duration | %.2fs |\n", f.Duration.Seconds())
+	return b.String()
+}
+
+// RunFailoverDrill benchmarks a root failover end to end over loopback
+// TCP: the hierarchy deployment with a primary/standby replicated root,
+// the primary killed at the halfway round. The deployment must finish on
+// the promoted standby with every batch applied exactly once. Gauges land
+// in scale.Obsv so `aflbench -metrics-out` snapshots the drill.
+func RunFailoverDrill(scale Scale) (*FailoverResult, error) {
+	scale = scale.withDefaults()
+	rounds := failoverRootRounds
+	if scale.Rounds > 0 {
+		rounds = 2 * scale.Rounds
+	}
+	killAt := rounds / 2
+	if killAt < 1 {
+		killAt = 1
+	}
+	params, err := hierarchyParams()
+	if err != nil {
+		return nil, err
+	}
+
+	// Both roots' edge-facing listeners are bound up front: their
+	// addresses form the static peer list edges re-home through.
+	lisP, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	lisS, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	peers := []string{lisP.Addr().String(), lisS.Addr().String()}
+
+	newNode := func(id int, upstreams []string, rootRounds int) (*replica.Node, *topology.Root, error) {
+		root, err := topology.NewRoot(topology.RootConfig{
+			InitialParams:  params,
+			Rounds:         rootRounds,
+			StalenessLimit: 10,
+		}, nil, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := replica.Config{
+			NodeID:    id,
+			Upstreams: upstreams,
+			Peers:     peers,
+			Lease:     failoverLease,
+			Seed:      scale.BaseSeed + int64(id),
+		}
+		if upstreams == nil {
+			cfg.ReplListen = "127.0.0.1:0"
+		}
+		node, err := replica.NewNode(cfg, root)
+		if err != nil {
+			_ = root.Close()
+			return nil, nil, err
+		}
+		return node, root, nil
+	}
+	// Only the standby's round target ends the deployment: the primary
+	// runs unbounded so a fast round rate cannot finish the run before
+	// the kill lands — the drill must always exercise the failover.
+	pNode, pRoot, err := newNode(0, nil, 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = pNode.Serve(lisP) }() // killed mid-drill; exit error expected
+	defer pNode.Close()
+	sNode, sRoot, err := newNode(1, []string{pNode.ReplAddr()}, rounds)
+	if err != nil {
+		return nil, err
+	}
+	sErr := make(chan error, 1)
+	go func() { sErr <- sNode.Serve(lisS) }()
+	defer sNode.Close()
+
+	edges := make([]*topology.Edge, hierarchyEdges)
+	addrs := make([]string, hierarchyEdges)
+	for i := range edges {
+		filter, err := hierarchyFilter(scale.BaseSeed + int64(i))
+		if err != nil {
+			return nil, err
+		}
+		edge, err := topology.NewEdge(topology.EdgeConfig{
+			EdgeID:   i,
+			RootAddr: peers[0],
+			Server: transport.ServerConfig{
+				InitialParams:   params,
+				AggregationGoal: hierarchyEdgeGoal,
+				StalenessLimit:  10,
+				Rounds:          1 << 30,
+			},
+			HeartbeatEvery:    50 * time.Millisecond,
+			RetryBaseDelay:    5 * time.Millisecond,
+			RetryMaxDelay:     50 * time.Millisecond,
+			MaxPendingBatches: 32,
+			Seed:              scale.BaseSeed + int64(i),
+		}, filter, nil)
+		if err != nil {
+			return nil, err
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		edges[i] = edge
+		addrs[i] = lis.Addr().String()
+		go func(e *topology.Edge, l net.Listener) { _ = e.Serve(l) }(edge, lis)
+		defer edge.Close()
+	}
+
+	start := time.Now()
+	wait, err := launchHierarchyClients(scale.BaseSeed, addrs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Let the primary reach the kill round, then pull the plug.
+	deadline := time.Now().Add(2 * time.Minute)
+	for pRoot.Version() < killAt {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("failover drill: primary stalled before kill round: %+v", pRoot.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	roundsAtKill := pRoot.Version()
+	mirroredAtKill := sRoot.Version()
+	killStart := time.Now()
+	if err := pNode.Close(); err != nil {
+		return nil, err
+	}
+	for sNode.Role() != replica.RolePrimary {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("failover drill: standby never promoted: %+v", sNode.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	promotion := time.Since(killStart)
+
+	select {
+	case <-sRoot.Done():
+	case <-time.After(2 * time.Minute):
+		return nil, fmt.Errorf("failover drill: promoted root stalled: %+v", sRoot.Stats())
+	}
+	duration := time.Since(start)
+
+	res := &FailoverResult{
+		ID:               "failover",
+		RoundsAtKill:     roundsAtKill,
+		MirroredAtKill:   mirroredAtKill,
+		PromotionLatency: promotion,
+		Lease:            failoverLease,
+		Duration:         duration,
+		Epoch:            sNode.Epoch(),
+	}
+	for _, e := range edges {
+		if err := e.Close(); err != nil {
+			return nil, err
+		}
+		st := e.Server().Stats()
+		res.UpdatesReceived += st.UpdatesReceived
+		res.Rejected += st.Rejected
+		res.EdgeRehomes += e.Stats().UplinkRehomes
+	}
+	if err := sNode.Close(); err != nil {
+		return nil, err
+	}
+	<-sErr
+	wait()
+
+	ns := sNode.Stats()
+	res.SnapshotsInstalled = ns.SnapshotsInstalled
+	res.RecordsApplied = ns.RecordsApplied
+	res.RecordsLostOnPromote = ns.RecordsLostOnPromote
+	rs := sRoot.Stats()
+	res.Rounds = rs.Rounds
+	res.BatchesApplied = rs.BatchesApplied
+	res.BatchesReplayed = rs.BatchesReplayed
+	res.BatchesLost = rs.BatchesLost
+
+	if scale.Obsv != nil {
+		reg := scale.Obsv.Registry
+		reg.Gauge("afl_failover_rounds").Set(float64(res.Rounds))
+		reg.Gauge("afl_failover_rounds_at_kill").Set(float64(res.RoundsAtKill))
+		reg.Gauge("afl_failover_mirrored_at_kill").Set(float64(res.MirroredAtKill))
+		reg.Gauge("afl_failover_promotion_ms").Set(float64(res.PromotionLatency.Milliseconds()))
+		reg.Gauge("afl_failover_lease_ms").Set(float64(res.Lease.Milliseconds()))
+		reg.Gauge("afl_failover_epoch").Set(float64(res.Epoch))
+		reg.Gauge("afl_failover_records_applied").Set(float64(res.RecordsApplied))
+		reg.Gauge("afl_failover_snapshots_installed").Set(float64(res.SnapshotsInstalled))
+		reg.Gauge("afl_failover_records_lost_on_promote").Set(float64(res.RecordsLostOnPromote))
+		reg.Gauge("afl_failover_batches_applied").Set(float64(res.BatchesApplied))
+		reg.Gauge("afl_failover_batches_replayed").Set(float64(res.BatchesReplayed))
+		reg.Gauge("afl_failover_batches_lost").Set(float64(res.BatchesLost))
+		reg.Gauge("afl_failover_edge_rehomes").Set(float64(res.EdgeRehomes))
+		reg.Gauge("afl_failover_updates_received").Set(float64(res.UpdatesReceived))
+		reg.Gauge("afl_failover_updates_rejected").Set(float64(res.Rejected))
+		reg.Gauge("afl_failover_duration_seconds").Set(duration.Seconds())
+	}
+	return res, nil
+}

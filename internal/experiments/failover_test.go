@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFailoverDrill runs the kill-the-primary drill at a reduced round
+// count over real loopback TCP: the standby must promote, the deployment
+// must finish on it, and the exactly-once accounting must hold.
+func TestFailoverDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a replicated-root TCP deployment")
+	}
+	res, err := RunFailoverDrill(Scale{Rounds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 12 {
+		t.Errorf("rounds = %d, want the full 12-round deployment", res.Rounds)
+	}
+	if res.RoundsAtKill < 6 {
+		t.Errorf("primary killed at round %d, want >= 6", res.RoundsAtKill)
+	}
+	if res.Epoch != 1 {
+		t.Errorf("promoted epoch = %d, want 1", res.Epoch)
+	}
+	if res.PromotionLatency <= 0 {
+		t.Errorf("promotion latency %v", res.PromotionLatency)
+	}
+	if res.BatchesApplied != res.Rounds {
+		t.Errorf("promoted root applied %d batches over %d rounds — application and version must move together",
+			res.BatchesApplied, res.Rounds)
+	}
+	if res.UpdatesReceived == 0 {
+		t.Error("no updates received")
+	}
+	out := res.Render()
+	for _, label := range []string{"Promotion latency", "Edge re-homes", "Replication stream"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("render lost %q:\n%s", label, out)
+		}
+	}
+}

@@ -245,6 +245,18 @@ type StateMerger interface {
 	MergeState(data []byte) error
 }
 
+// StateDiffer is implemented by filters that can express the change
+// between a previously-snapshotted state and their current state as a
+// mergeable delta: MergeState(DiffState(prev)) applied to a filter
+// holding prev reproduces the current state. The replicated root uses it
+// to ship one small incremental per committed batch instead of a full
+// snapshot. DiffState returns an error when no exact delta exists (the
+// caller falls back to a full snapshot); data is the same opaque payload
+// a StateSnapshotter produces.
+type StateDiffer interface {
+	DiffState(prev []byte) ([]byte, error)
+}
+
 // Decision is a filter's verdict for one update.
 type Decision int
 

@@ -28,6 +28,13 @@ type Health struct {
 	Restored bool `json:"restored"`
 	// Rounds is the current committed round (model version).
 	Rounds int `json:"rounds"`
+	// Role is the replication role of a replicated root — "primary",
+	// "standby", "promoting" or "fenced" (internal/replica). Empty for
+	// unreplicated servers.
+	Role string `json:"role,omitempty"`
+	// Epoch is the replicated root's fencing epoch (omitted at 0: a
+	// first-generation primary that has never failed over).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // status summarizes the lifecycle into one word. Draining/finished win

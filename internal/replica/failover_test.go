@@ -1,0 +1,363 @@
+package replica
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/attack"
+	"github.com/asyncfl/asyncfilter/internal/dataset"
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/model"
+	"github.com/asyncfl/asyncfilter/internal/obsv"
+	"github.com/asyncfl/asyncfilter/internal/optim"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/topology"
+	"github.com/asyncfl/asyncfilter/internal/transport"
+)
+
+// The full-deployment helpers below mirror the topology package's
+// failover/fault test scaffolding (package-internal there): a linear
+// model over synthetic data, gradient-deviation attackers, and per-edge
+// observability hubs for measuring detection quality.
+
+func testModelConfig() model.Config {
+	return model.Config{Arch: model.ArchLinear, InputDim: 8, NumClasses: 3, Seed: 1}
+}
+
+func testTrainer() fl.TrainerConfig {
+	return fl.TrainerConfig{
+		Epochs: 1, BatchSize: 16,
+		Optim: optim.Config{Name: optim.SGDName, LR: 0.05, Momentum: 0.9},
+	}
+}
+
+func testData(t *testing.T, n int) []*dataset.Dataset {
+	t.Helper()
+	train, _, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		Name: "t", NumClasses: 3, Dim: 8,
+		TrainSize: 1200, TestSize: 60,
+		Separation: 4, Noise: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := dataset.PartitionIIDFixedSize(train, n, 60, randx.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parts
+}
+
+func initialParams(t *testing.T) []float64 {
+	t.Helper()
+	m, err := model.New(testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, m.NumParams())
+	m.Params(p)
+	return p
+}
+
+func startClients(t *testing.T, n, malicious int, addrs []string) ([]*transport.Client, func()) {
+	t.Helper()
+	parts := testData(t, n)
+	clients := make([]*transport.Client, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cfg := transport.ClientConfig{
+			ID:             i,
+			Data:           parts[i],
+			Model:          testModelConfig(),
+			Trainer:        testTrainer(),
+			Seed:           int64(100 + i),
+			MaxRetries:     25,
+			RetryBaseDelay: 5 * time.Millisecond,
+			RetryMaxDelay:  100 * time.Millisecond,
+		}
+		if i < malicious {
+			cfg.Attack = attack.Config{Name: attack.GDName, Scale: 2}
+		}
+		client, err := transport.NewClient(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = client
+		addr := addrs[i%len(addrs)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Servers are killed and closed throughout this test; client
+			// errors at teardown are expected.
+			_ = client.Run(addr)
+		}()
+	}
+	return clients, wg.Wait
+}
+
+func maliciousRejectRate(t *testing.T, hubs []*obsv.Hub, malicious int) float64 {
+	t.Helper()
+	rejected, seen := 0, 0
+	for _, hub := range hubs {
+		for _, rec := range hub.Tracer.Last(0) {
+			if rec.Kind != obsv.KindDecision || rec.ClientID >= malicious {
+				continue
+			}
+			seen++
+			if rec.Decision == obsv.DecisionReject {
+				rejected++
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no malicious decisions traced")
+	}
+	return float64(rejected) / float64(seen)
+}
+
+func singleServerBaseline(t *testing.T, numClients, malicious int) float64 {
+	t.Helper()
+	hub := obsv.NewHub(0)
+	server, err := transport.NewServer(transport.ServerConfig{
+		InitialParams:   initialParams(t),
+		AggregationGoal: 8,
+		StalenessLimit:  10,
+		Rounds:          12,
+		Obsv:            hub,
+	}, newFilter(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(lis) }()
+
+	_, wait := startClients(t, numClients, malicious, []string{lis.Addr().String()})
+	select {
+	case <-server.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("baseline did not finish: %+v", server.Stats())
+	}
+	_ = server.Close()
+	wait()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("baseline serve: %v", err)
+	}
+	return maliciousRejectRate(t, []*obsv.Hub{hub}, malicious)
+}
+
+func startEdge(t *testing.T, cfg topology.EdgeConfig, filter fl.Filter) (*topology.Edge, string) {
+	t.Helper()
+	edge, err := topology.NewEdge(cfg, filter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = edge.Serve(lis) }()
+	t.Cleanup(func() { _ = edge.Close() })
+	return edge, lis.Addr().String()
+}
+
+func waitVersion(t *testing.T, root *topology.Root, v int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for root.Version() < v {
+		if time.Now().After(deadline) {
+			t.Fatalf("root stuck at version %d < %d; stats = %+v", root.Version(), v, root.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// replNode builds a node over a fresh root with the test's standard
+// deployment config.
+func replNode(t *testing.T, cfg Config) (*Node, *topology.Root) {
+	t.Helper()
+	root, err := topology.NewRoot(topology.RootConfig{
+		InitialParams: initialParams(t),
+		Rounds:        100000,
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(cfg, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node, root
+}
+
+// TestKillPrimaryUnderAttackAndFaults is the acceptance scenario for the
+// replicated root: a two-edge deployment with gradient-deviation
+// attackers and heavily faulted edge->root links loses its primary root
+// mid-run. The standby must promote within the lease, the edges must
+// find it through the relayed peer list and reconcile from their batch
+// watermarks, no batch may be applied twice across the failover, and
+// edge-level detection must stay within tolerance of the single-server
+// baseline.
+func TestKillPrimaryUnderAttackAndFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-the-primary runs full deployments")
+	}
+	const (
+		numClients = 8
+		malicious  = 2
+		lease      = 500 * time.Millisecond
+	)
+
+	baseline := singleServerBaseline(t, numClients, malicious)
+
+	// Both roots' edge-facing listeners are bound up front: their
+	// addresses form the static peer list the primary relays to edges.
+	lisP, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lisS, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []string{lisP.Addr().String(), lisS.Addr().String()}
+
+	pNode, pRoot := replNode(t, Config{
+		NodeID:     0,
+		ReplListen: "127.0.0.1:0",
+		Peers:      peers,
+		Lease:      lease,
+		Seed:       1,
+	})
+	go func() { _ = pNode.Serve(lisP) }()
+	t.Cleanup(func() { _ = pNode.Close() })
+
+	sNode, sRoot := replNode(t, Config{
+		NodeID:    1,
+		Upstreams: []string{pNode.ReplAddr()},
+		Peers:     peers,
+		Lease:     lease,
+		Seed:      2,
+	})
+	go func() { _ = sNode.Serve(lisS) }()
+	t.Cleanup(func() { _ = sNode.Close() })
+
+	hubs := []*obsv.Hub{obsv.NewHub(0), obsv.NewHub(0)}
+	mkEdge := func(id int) topology.EdgeConfig {
+		return topology.EdgeConfig{
+			EdgeID:   id,
+			RootAddr: peers[0],
+			Server: transport.ServerConfig{
+				InitialParams: initialParams(t),
+				// Goal 6 = AsyncFilter's default MinBatch, so the per-edge
+				// filters genuinely cluster every round.
+				AggregationGoal: 6,
+				StalenessLimit:  10,
+				Rounds:          100000,
+				Obsv:            hubs[id],
+			},
+			// ResetProb applies per low-level I/O op; an exchange is a
+			// handful of ops, so 5% per op kills well over a third of
+			// exchanges mid-flight — the "flaky link" floor this scenario
+			// must survive.
+			Dial: transport.FaultDialer(transport.FaultConfig{
+				Seed:      int64(31 + id),
+				ResetProb: 0.05,
+			}),
+			HeartbeatEvery:    40 * time.Millisecond,
+			RetryBaseDelay:    5 * time.Millisecond,
+			RetryMaxDelay:     50 * time.Millisecond,
+			MaxPendingBatches: 8,
+			Seed:              int64(id),
+		}
+	}
+	edge0, addr0 := startEdge(t, mkEdge(0), newFilter(t))
+	edge1, addr1 := startEdge(t, mkEdge(1), newFilter(t))
+	_, wait := startClients(t, numClients, malicious, []string{addr0, addr1})
+
+	// The deployment must make real progress through the flaky links —
+	// and the edges must have learned the peer list — before the kill.
+	waitVersion(t, pRoot, 6, 30*time.Second)
+
+	killedAt := time.Now()
+	atKill := sRoot.Version()
+	if err := pNode.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for sNode.Role() != RolePrimary {
+		if time.Now().After(deadline) {
+			t.Fatalf("standby never promoted: role %s, stats %+v", sNode.Role(), sNode.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Lease 500ms + watchdog granularity lease/4 + epoch persist: the
+	// promotion must land within a small multiple of one lease.
+	if took := time.Since(killedAt); took > 4*lease {
+		t.Errorf("promotion took %v, want within ~one %v lease", took, lease)
+	}
+	if got := sNode.Epoch(); got != 1 {
+		t.Errorf("promoted epoch = %d, want 1", got)
+	}
+
+	// Edges re-home to the promoted standby via the relayed peer list and
+	// the deployment keeps converging under attack and faults.
+	waitVersion(t, sRoot, atKill+6, 30*time.Second)
+	if r0, r1 := edge0.Stats().UplinkRehomes, edge1.Stats().UplinkRehomes; r0+r1 == 0 {
+		t.Errorf("no edge re-homed after the failover (edge0 %d, edge1 %d)", r0, r1)
+	}
+
+	_ = edge0.Close()
+	_ = edge1.Close()
+	_ = sNode.Close()
+	wait()
+
+	// Zero-double-count audit. Every batch the old primary applied is in
+	// its commit ring; every batch the promoted standby applied itself is
+	// in its own (reset at promotion). A double count across the failover
+	// — the same (edge, batch) applied by both generations, or twice by
+	// one — would show up as a duplicate pair.
+	type pair struct {
+		edge  int
+		batch uint64
+	}
+	applied := make(map[pair]string)
+	audit := func(n *Node, label string) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for _, rec := range n.ring {
+			p := pair{edge: rec.EdgeID, batch: rec.BatchID}
+			if prev, ok := applied[p]; ok {
+				t.Errorf("batch (edge %d, id %d) applied by %s AND %s — double count across failover",
+					p.edge, p.batch, prev, label)
+			}
+			applied[p] = label
+		}
+	}
+	audit(pNode, "old primary")
+	audit(sNode, "promoted standby")
+	if len(applied) == 0 {
+		t.Error("audit saw no applied batches at all")
+	}
+	rs := sRoot.Stats()
+	if rs.BatchesApplied != rs.Rounds {
+		t.Errorf("standby applied %d batches at version %d — application and version must move together",
+			rs.BatchesApplied, rs.Rounds)
+	}
+	t.Logf("failover: primary applied %d, standby mirrored to %d at kill, finished at %d (%d replayed, %d lost)",
+		pRoot.Version(), atKill, sRoot.Version(), rs.BatchesReplayed, rs.BatchesLost)
+
+	// Detection quality: the per-edge filters, despite the root failover,
+	// flaky links and partitioned views, stay within tolerance of the
+	// single-server filter on the same attack mix.
+	twoTier := maliciousRejectRate(t, hubs, malicious)
+	if twoTier < baseline-0.35 {
+		t.Errorf("replicated-root malicious rejection rate %.2f fell too far below baseline %.2f", twoTier, baseline)
+	}
+	t.Logf("malicious rejection rate: baseline %.2f, replicated root under faults %.2f", baseline, twoTier)
+}

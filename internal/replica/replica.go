@@ -1,0 +1,447 @@
+// Package replica turns a topology.Root into one node of a replicated
+// root group: a primary that serves edges and streams every committed
+// batch to standbys, and standbys that mirror the primary's state and
+// promote themselves when its lease expires.
+//
+// Replication is log shipping (transport/replication.go): on attach a
+// standby receives either the tail of the primary's in-memory record
+// ring or a full checkpoint snapshot, then one ReplRecord per committed
+// batch. Failover is lease-based with fenced epochs: a standby that has
+// not heard from its primary for a full lease bumps the fencing epoch,
+// persists it, and starts serving edges; edges carry the epoch on every
+// request, so a resurrected old primary is refused with NackFenced by
+// the first edge that reaches it and demotes itself instead of
+// split-braining the deployment.
+//
+// The fencing invariant (see internal/topology/replication.go): an
+// epoch is bumped exactly once per promotion and persisted before the
+// promoted root accepts its first edge, so two roots can never both
+// believe they own the same epoch.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/obsv"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+	"github.com/asyncfl/asyncfilter/internal/topology"
+	"github.com/asyncfl/asyncfilter/internal/transport"
+)
+
+// Role is a node's position in the replication group.
+type Role int
+
+const (
+	// RolePrimary serves edges and streams records to standbys.
+	RolePrimary Role = iota
+	// RoleStandby mirrors the primary and refuses edge connections.
+	RoleStandby
+	// RolePromoting is the transient state between lease expiry and the
+	// promoted epoch being persisted.
+	RolePromoting
+	// RoleFenced is a demoted old primary: a peer proved a newer epoch
+	// exists and the node has torn itself down.
+	RoleFenced
+)
+
+// String names the role for /healthz and logs.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleStandby:
+		return "standby"
+	case RolePromoting:
+		return "promoting"
+	case RoleFenced:
+		return "fenced"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// gaugeValue encodes the role for the afl_replica_role gauge:
+// 0 primary, 1 standby, 2 promoting, 3 fenced.
+func (r Role) gaugeValue() float64 { return float64(int(r)) }
+
+// Config parameterizes one replication node.
+type Config struct {
+	// NodeID identifies this node within the replication group (>= 0,
+	// unique per group).
+	NodeID int
+	// ReplListen is the address the replication channel listens on. A
+	// primary must set it to accept standbys; a standby binds it too so
+	// it can serve the next generation of standbys after promotion.
+	// Empty disables the replication listener.
+	ReplListen string
+	// Upstreams is the list of primary replication addresses a standby
+	// dials (rotating on failure). Empty means this node starts as the
+	// primary.
+	Upstreams []string
+	// Peers is the static edge-facing address list of every replica in
+	// the group, relayed to edges through task replies so they can find
+	// the promoted standby when the primary dies. Should include this
+	// node's own edge address.
+	Peers []string
+	// Lease is how long a standby waits without hearing from its primary
+	// before promoting itself. 0 selects a default; a standby group
+	// should use the same lease everywhere.
+	Lease time.Duration
+	// Heartbeat is the primary's idle push interval; it must be well
+	// under Lease. 0 selects Lease/4.
+	Heartbeat time.Duration
+	// ReadTimeout and WriteTimeout bound each replication channel
+	// operation (0 selects defaults derived from Lease).
+	ReadTimeout, WriteTimeout time.Duration
+	// MaxMessageBytes caps a decoded replication message (0 disables).
+	MaxMessageBytes int64
+	// RetryBaseDelay and RetryMaxDelay shape the standby's reconnect
+	// backoff (defaults 50ms / 2s).
+	RetryBaseDelay, RetryMaxDelay time.Duration
+	// Seed drives the reconnect jitter.
+	Seed int64
+	// Dial overrides the replication dialer (tests inject faulty links).
+	Dial func(addr string) (net.Conn, error)
+	// LogDepth bounds the in-memory record ring a late-attaching standby
+	// can catch up from before falling back to a snapshot (<= 0 selects
+	// 1024).
+	LogDepth int
+	// Obsv, when non-nil, attaches replication gauges: afl_replica_role,
+	// afl_replica_epoch, afl_replica_lag_records.
+	Obsv *obsv.Hub
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.NodeID < 0 {
+		return fmt.Errorf("replica: Config: NodeID = %d, need >= 0", c.NodeID)
+	}
+	if c.Lease < 0 || c.Heartbeat < 0 || c.ReadTimeout < 0 || c.WriteTimeout < 0 {
+		return errors.New("replica: Config: negative duration")
+	}
+	if c.Heartbeat > 0 && c.Lease > 0 && c.Heartbeat >= c.Lease {
+		return fmt.Errorf("replica: Config: Heartbeat %v must be below Lease %v", c.Heartbeat, c.Lease)
+	}
+	if c.MaxMessageBytes < 0 {
+		return fmt.Errorf("replica: Config: MaxMessageBytes = %d, need >= 0", c.MaxMessageBytes)
+	}
+	return nil
+}
+
+// withDefaults returns the config with zero values resolved.
+func (c Config) withDefaults() Config {
+	if c.Lease == 0 {
+		c.Lease = 2 * time.Second
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = c.Lease / 4
+	}
+	if c.ReadTimeout == 0 {
+		// A standby's read blocks until the primary's next push, which
+		// arrives at least every Heartbeat; the primary's read waits only
+		// for the standby's immediate ack. One lease covers both with
+		// slack for a loaded scheduler.
+		c.ReadTimeout = 2 * c.Lease
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = c.Lease
+	}
+	if c.RetryBaseDelay == 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if c.RetryMaxDelay == 0 {
+		c.RetryMaxDelay = 2 * time.Second
+	}
+	if c.LogDepth <= 0 {
+		c.LogDepth = 1024
+	}
+	return c
+}
+
+// Stats counts a node's replication activity.
+type Stats struct {
+	// RecordsStreamed counts records pushed to standbys (one per record
+	// per standby); SnapshotsServed counts full snapshots sent; and
+	// StandbyAttaches counts accepted standby hellos. Primary side.
+	RecordsStreamed, SnapshotsServed, StandbyAttaches int
+	// RecordsApplied and SnapshotsInstalled count what a standby
+	// mirrored; UplinkFailures counts failed dials or broken sessions.
+	RecordsApplied, SnapshotsInstalled, UplinkFailures int
+	// Promotions counts lease-expiry promotions (0 or 1 per node);
+	// RecordsLostOnPromote is the replication lag at promotion time —
+	// committed primary batches the standby never received. The edges'
+	// batch replay reconciles most of them; the watermark audit counts
+	// the rest as BatchesLost, never as double-applies.
+	Promotions           int
+	RecordsLostOnPromote int
+	// FencedNacksSent counts standbys this node refused for carrying a
+	// newer epoch; FencedObserved counts times this node learned it was
+	// stale (or its upstream was) from a replication exchange.
+	FencedNacksSent, FencedObserved int
+}
+
+// subscriber is one attached standby on the primary side. The record
+// channel is buffered; onCommit never blocks on a slow standby — it
+// marks the subscriber overflowed instead, which forces that standby to
+// reconnect and resynchronize.
+type subscriber struct {
+	ch       chan *transport.ReplRecord
+	overflow bool
+	acked    uint64
+}
+
+// Node is one member of a replicated root group. Create with NewNode,
+// start with Serve (blocks like Root.Serve), stop with Close.
+type Node struct {
+	cfg  Config
+	root *topology.Root
+
+	mu          sync.Mutex
+	role        Role
+	lastSeq     uint64 // newest committed record seq (primary side)
+	primarySeq  uint64 // primary's advertised newest seq (standby side)
+	lastHeard   time.Time
+	dirty       bool // standby apply failed; next hello demands a snapshot
+	subs        map[*subscriber]struct{}
+	ring        []*transport.ReplRecord
+	ringBase    uint64 // seq of ring[0]; meaningless while the ring is empty
+	stats       Stats
+	closed      bool
+	standbyConn net.Conn // current upstream session, closed on promote/Close
+	rng         *rand.Rand
+
+	replLis  net.Listener
+	promoted chan struct{}
+	refusal  chan struct{} // closed when the standby refusal loop releases the edge listener
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewNode builds a replication node around a root. The root must not be
+// serving yet: NewNode installs the commit tap and, for a standby, the
+// root stays unserved until promotion. With a ReplListen address the
+// replication listener is bound immediately so ReplAddr is usable before
+// Serve.
+func NewNode(cfg Config, root *topology.Root) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, errors.New("replica: NewNode: nil root")
+	}
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:      cfg,
+		root:     root,
+		subs:     make(map[*subscriber]struct{}),
+		rng:      randx.New(cfg.Seed),
+		promoted: make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	if len(cfg.Upstreams) == 0 {
+		n.role = RolePrimary
+		n.lastSeq = uint64(root.Version())
+	} else {
+		n.role = RoleStandby
+	}
+	if cfg.ReplListen != "" {
+		lis, err := net.Listen("tcp", cfg.ReplListen)
+		if err != nil {
+			return nil, fmt.Errorf("replica: listen %s: %w", cfg.ReplListen, err)
+		}
+		n.replLis = lis
+	}
+	root.SetOnCommit(n.onCommit)
+	if n.role == RolePrimary && len(cfg.Peers) > 0 {
+		root.SetPeers(cfg.Peers)
+	}
+	n.noteRole(n.role)
+	n.noteEpoch()
+	return n, nil
+}
+
+// ReplAddr returns the replication listener address (empty when no
+// listener is configured).
+func (n *Node) ReplAddr() string {
+	if n.replLis == nil {
+		return ""
+	}
+	return n.replLis.Addr().String()
+}
+
+// Role returns the node's current role. A root fenced behind the node's
+// back (an edge proved a newer epoch) reads as RoleFenced.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	r := n.role
+	n.mu.Unlock()
+	if r != RoleFenced && n.root.Fenced() {
+		return RoleFenced
+	}
+	return r
+}
+
+// Epoch returns the fencing epoch the node's root holds.
+func (n *Node) Epoch() uint64 { return n.root.Epoch() }
+
+// Stats returns the lifetime replication counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Health reports the wrapped root's health decorated with the
+// replication role and epoch.
+func (n *Node) Health() obsv.Health {
+	h := n.root.Health()
+	h.Role = n.Role().String()
+	h.Epoch = n.root.Epoch()
+	return h
+}
+
+// Serve runs the node until Close (or, for a primary, until the root's
+// deployment completes). edgeLis is the edge-facing listener: a primary
+// hands it straight to Root.Serve; a standby holds it — refusing every
+// connection immediately so edges rotate to the real primary — and
+// serves on it after promotion.
+func (n *Node) Serve(edgeLis net.Listener) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return edgeLis.Close()
+	}
+	role := n.role
+	n.mu.Unlock()
+
+	if role == RolePrimary {
+		return n.servePrimary(edgeLis)
+	}
+
+	n.wg.Add(2)
+	go n.standbyLoop()
+	go n.watchdog()
+	refusal := make(chan struct{})
+	n.mu.Lock()
+	n.refusal = refusal
+	n.mu.Unlock()
+	go func() {
+		defer close(refusal)
+		n.refuseUntilPromoted(edgeLis)
+	}()
+
+	select {
+	case <-n.stop:
+		<-refusal
+		n.wg.Wait()
+		return nil
+	case <-n.promoted:
+		<-refusal
+		return n.servePrimary(edgeLis)
+	}
+}
+
+// servePrimary starts the replication accept loop and serves edges.
+func (n *Node) servePrimary(edgeLis net.Listener) error {
+	if n.replLis != nil {
+		n.wg.Add(1)
+		go n.acceptStandbys()
+	}
+	err := n.root.Serve(edgeLis)
+	if n.root.Fenced() {
+		n.noteFenced()
+	}
+	return err
+}
+
+// Close stops the node: the replication listener, any standby session,
+// the wrapped root, and every helper goroutine.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	replLis := n.replLis
+	conn := n.standbyConn
+	n.mu.Unlock()
+	n.stopOnce.Do(func() { close(n.stop) })
+	if replLis != nil {
+		_ = replLis.Close()
+	}
+	if conn != nil {
+		_ = conn.Close()
+	}
+	err := n.root.Close()
+	n.wg.Wait()
+	return err
+}
+
+// noteFenced flips the node into RoleFenced (idempotent) and tears down
+// replication so a demoted primary stops streaming stale records.
+func (n *Node) noteFenced() {
+	n.root.Fence()
+	n.mu.Lock()
+	already := n.role == RoleFenced
+	n.role = RoleFenced
+	n.mu.Unlock()
+	if !already {
+		n.noteRole(RoleFenced)
+	}
+	n.stopOnce.Do(func() { close(n.stop) })
+}
+
+// dial opens one replication connection.
+func (n *Node) dial(addr string) (net.Conn, error) {
+	if n.cfg.Dial != nil {
+		return n.cfg.Dial(addr)
+	}
+	return net.DialTimeout("tcp", addr, n.cfg.WriteTimeout)
+}
+
+// sleepBackoff pauses before reconnect attempt k, reporting false when
+// the node stopped or promoted while sleeping.
+func (n *Node) sleepBackoff(k int) bool {
+	n.mu.Lock()
+	jitter := 0.5 + n.rng.Float64()
+	n.mu.Unlock()
+	delay := transport.BackoffDelay(jitter, n.cfg.RetryBaseDelay, n.cfg.RetryMaxDelay, k)
+	select {
+	case <-n.stop:
+		return false
+	case <-n.promoted:
+		return false
+	case <-time.After(delay):
+		return true
+	}
+}
+
+// noteRole mirrors the role into the afl_replica_role gauge
+// (0 primary, 1 standby, 2 promoting, 3 fenced).
+func (n *Node) noteRole(r Role) {
+	if n.cfg.Obsv == nil {
+		return
+	}
+	n.cfg.Obsv.Registry.Gauge("afl_replica_role").Set(r.gaugeValue())
+}
+
+// noteEpoch mirrors the root's fencing epoch into afl_replica_epoch.
+func (n *Node) noteEpoch() {
+	if n.cfg.Obsv == nil {
+		return
+	}
+	n.cfg.Obsv.Registry.Gauge("afl_replica_epoch").Set(float64(n.root.Epoch()))
+}
+
+// noteLag mirrors the replication lag in records into
+// afl_replica_lag_records: how far behind the primary this standby is,
+// or — on the primary — how far behind the slowest attached standby is.
+func (n *Node) noteLag(lag uint64) {
+	if n.cfg.Obsv == nil {
+		return
+	}
+	n.cfg.Obsv.Registry.Gauge("afl_replica_lag_records").Set(float64(lag))
+}

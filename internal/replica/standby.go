@@ -1,0 +1,309 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/transport"
+)
+
+// This file is the standby side: the uplink loop that mirrors the
+// primary's commits, the lease watchdog that decides the primary is
+// dead, and the promotion sequence.
+
+var errPrimaryGoodbye = errors.New("replica: primary shut down")
+
+// standbyLoop dials the configured upstreams in rotation and runs one
+// replication session at a time until the node stops or promotes.
+func (n *Node) standbyLoop() {
+	defer n.wg.Done()
+	n.mu.Lock()
+	// The lease clock starts now: a standby that can never reach its
+	// primary still promotes one lease after starting, rather than
+	// waiting forever for a first heartbeat.
+	n.lastHeard = time.Now()
+	n.mu.Unlock()
+
+	attempt := 0
+	target := 0
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.promoted:
+			return
+		default:
+		}
+		addr := n.cfg.Upstreams[target%len(n.cfg.Upstreams)]
+		conn, err := n.dial(addr)
+		if err != nil {
+			n.mu.Lock()
+			n.stats.UplinkFailures++
+			n.mu.Unlock()
+			target++
+			attempt++
+			if !n.sleepBackoff(attempt) {
+				return
+			}
+			continue
+		}
+		err = n.standbySession(conn)
+		_ = conn.Close()
+		if err == nil {
+			return
+		}
+		n.mu.Lock()
+		n.stats.UplinkFailures++
+		n.mu.Unlock()
+		if !errors.Is(err, errPrimaryGoodbye) {
+			log.Printf("replica: node %d: session with %s ended: %v", n.cfg.NodeID, addr, err)
+		}
+		target++
+		attempt++
+		if !n.sleepBackoff(attempt) {
+			return
+		}
+	}
+}
+
+// standbySession runs one attach-and-mirror session: hello, then apply
+// every push and ack it. Returns nil only when the node is stopping.
+func (n *Node) standbySession(conn net.Conn) error {
+	n.mu.Lock()
+	if n.closed || n.role != RoleStandby {
+		n.mu.Unlock()
+		return nil
+	}
+	n.standbyConn = conn
+	dirty := n.dirty
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		if n.standbyConn == conn {
+			n.standbyConn = nil
+		}
+		n.mu.Unlock()
+	}()
+
+	uc := transport.NewUpstreamConn(conn, n.cfg.MaxMessageBytes, n.cfg.ReadTimeout, n.cfg.WriteTimeout)
+	hello := &transport.ReplicaMsg{Hello: &transport.ReplHello{
+		NodeID:   n.cfg.NodeID,
+		Epoch:    n.root.Epoch(),
+		NextSeq:  uint64(n.root.Version()) + 1,
+		FullSync: dirty,
+	}}
+	if err := uc.WriteReplica(hello); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+
+	for {
+		msg, err := uc.ReadPrimary()
+		if err != nil {
+			select {
+			case <-n.stop:
+				return nil
+			case <-n.promoted:
+				return nil
+			default:
+			}
+			return err
+		}
+		if msg.Nack == transport.NackFenced {
+			// The upstream proved STALER than us (our epoch is above its
+			// own): a resurrected old primary. Rotate away; never adopt
+			// anything from it.
+			n.mu.Lock()
+			n.stats.FencedObserved++
+			n.mu.Unlock()
+			return fmt.Errorf("upstream at epoch %d is stale, rotating", msg.Epoch)
+		}
+		if msg.Nack != 0 {
+			return fmt.Errorf("upstream refused: %s", msg.Nack)
+		}
+		// Epochs are adopted from every push — heartbeats included — so a
+		// standby idling behind a post-failover primary still promotes
+		// above it, never into a dead generation's epoch.
+		n.root.ObserveEpoch(msg.Epoch)
+		n.noteEpoch()
+		n.mu.Lock()
+		n.lastHeard = time.Now()
+		if msg.LatestSeq > n.primarySeq {
+			n.primarySeq = msg.LatestSeq
+		}
+		n.mu.Unlock()
+
+		switch {
+		case msg.Goodbye:
+			// A clean primary shutdown is not a promotion trigger — the
+			// primary may be restarting. The lease watchdog decides.
+			return errPrimaryGoodbye
+		case len(msg.Snapshot) > 0:
+			if _, err := n.root.InstallSnapshot(msg.Snapshot); err != nil {
+				return fmt.Errorf("install snapshot: %w", err)
+			}
+			n.mu.Lock()
+			n.dirty = false
+			n.stats.SnapshotsInstalled++
+			n.mu.Unlock()
+		case msg.Record != nil:
+			if err := n.root.ApplyRecord(msg.Record); err != nil {
+				// The standby's model may now be ahead of its filter:
+				// demand a snapshot on the next attach instead of
+				// streaming on from a diverged base.
+				n.mu.Lock()
+				n.dirty = true
+				n.mu.Unlock()
+				return fmt.Errorf("apply record: %w", err)
+			}
+			n.mu.Lock()
+			n.stats.RecordsApplied++
+			n.mu.Unlock()
+		}
+
+		applied := uint64(n.root.Version())
+		ack := &transport.ReplicaMsg{AckSeq: applied, Epoch: n.root.Epoch()}
+		if err := uc.WriteReplica(ack); err != nil {
+			return fmt.Errorf("ack: %w", err)
+		}
+		n.mu.Lock()
+		lag := uint64(0)
+		if n.primarySeq > applied {
+			lag = n.primarySeq - applied
+		}
+		n.mu.Unlock()
+		n.noteLag(lag)
+	}
+}
+
+// watchdog promotes the node once the primary's lease expires.
+func (n *Node) watchdog() {
+	defer n.wg.Done()
+	interval := n.cfg.Lease / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.promoted:
+			return
+		case <-ticker.C:
+			n.mu.Lock()
+			expired := n.role == RoleStandby && !n.closed &&
+				!n.lastHeard.IsZero() && time.Since(n.lastHeard) > n.cfg.Lease
+			n.mu.Unlock()
+			if expired {
+				n.promote()
+				return
+			}
+		}
+	}
+}
+
+// promote runs the promotion sequence: cut the upstream session, bump
+// and persist the fencing epoch, publish the peer list, and flip to
+// primary so Serve hands the edge listener to the root.
+func (n *Node) promote() {
+	n.mu.Lock()
+	if n.role != RoleStandby || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.role = RolePromoting
+	conn := n.standbyConn
+	applied := uint64(n.root.Version())
+	lost := uint64(0)
+	if n.primarySeq > applied {
+		lost = n.primarySeq - applied
+	}
+	n.mu.Unlock()
+	n.noteRole(RolePromoting)
+	if conn != nil {
+		// Break any in-flight session so no record from the dead
+		// generation lands after the epoch bump.
+		_ = conn.Close()
+	}
+
+	// PromoteEpoch persists the new epoch before returning; it can only
+	// refuse when a concurrent adoption raised the epoch first, in which
+	// case go above that one.
+	for {
+		next := n.root.Epoch() + 1
+		if err := n.root.PromoteEpoch(next); err == nil {
+			log.Printf("replica: node %d: lease expired, promoting to primary at epoch %d (%d records behind)",
+				n.cfg.NodeID, next, lost)
+			break
+		}
+	}
+	if len(n.cfg.Peers) > 0 {
+		n.root.SetPeers(n.cfg.Peers)
+	}
+
+	// Release the edge listener before publishing the new role: the
+	// refusal loop may hold one last accepted connection, and an edge that
+	// dials after observing RolePrimary must never be reset by it. (The
+	// root is already promoted — epoch persisted, peers set — so Serve can
+	// start accepting edges in parallel.)
+	close(n.promoted)
+	n.mu.Lock()
+	refusal := n.refusal
+	n.mu.Unlock()
+	if refusal != nil {
+		<-refusal
+	}
+
+	n.mu.Lock()
+	n.role = RolePrimary
+	n.lastSeq = uint64(n.root.Version())
+	n.ring = nil
+	n.stats.Promotions++
+	n.stats.RecordsLostOnPromote += int(lost)
+	n.mu.Unlock()
+	n.noteRole(RolePrimary)
+	n.noteEpoch()
+}
+
+// deadliner is the listener deadline control refuseUntilPromoted needs
+// (satisfied by *net.TCPListener).
+type deadliner interface {
+	SetDeadline(time.Time) error
+}
+
+// refuseUntilPromoted holds the edge listener while standby, accepting
+// and immediately closing every connection so edges get a fast
+// connection-reset — and rotate to the next peer — instead of hanging in
+// a read timeout against an unbound address.
+func (n *Node) refuseUntilPromoted(lis net.Listener) {
+	d, ok := lis.(deadliner)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.promoted:
+			if ok {
+				_ = d.SetDeadline(time.Time{})
+			}
+			return
+		default:
+		}
+		if ok {
+			_ = d.SetDeadline(time.Now().Add(50 * time.Millisecond))
+		}
+		conn, err := lis.Accept()
+		if err == nil {
+			_ = conn.Close()
+			continue
+		}
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			continue
+		}
+		return
+	}
+}

@@ -91,6 +91,12 @@ type EdgeStats struct {
 	// SnapshotErrors counts local filter snapshots that failed (the batch
 	// is forwarded without detection state).
 	SnapshotErrors int
+	// UplinkRehomes counts sessions established with a different root
+	// than the previous session — the edge found the promoted standby
+	// through the relayed peer list. FencedRoots counts NackFenced
+	// replies received: stale primaries this edge refused to feed
+	// because it had already seen a newer epoch.
+	UplinkRehomes, FencedRoots int
 }
 
 // Edge is one edge aggregator: a full transport server facing clients,
@@ -108,6 +114,15 @@ type Edge struct {
 	rootDone  bool
 	shardSeen int
 	stats     EdgeStats
+	// epoch is the highest fencing epoch seen in any root reply; it rides
+	// on every request so stale primaries fence themselves. peers is the
+	// learned root peer list (replicated deployments); the uplink rotates
+	// targetIdx through it when the current root stops answering.
+	epoch      uint64
+	peers      []string
+	peersSeen  int
+	targetIdx  int
+	lastTarget string
 
 	notify chan struct{}
 	stop   chan struct{}
@@ -279,17 +294,18 @@ func (e *Edge) uplink() {
 			return
 		default:
 		}
-		conn, err := e.dialRoot()
+		addr, conn, err := e.dialRoot()
 		if err != nil {
 			attempt++
 			e.noteUplinkFailure()
+			e.rotateTarget()
 			if !e.sleepBackoff(attempt) {
 				return
 			}
 			continue
 		}
 		uc := transport.NewUpstreamConn(conn, e.cfg.UplinkMaxMessageBytes, e.cfg.UplinkReadTimeout, e.cfg.UplinkWriteTimeout)
-		err = e.session(uc)
+		err = e.session(uc, addr)
 		_ = uc.Close()
 		e.setLinkUp(false)
 		if err == nil {
@@ -304,17 +320,45 @@ func (e *Edge) uplink() {
 		}
 		attempt++
 		e.noteUplinkFailure()
+		// A failed session rotates to the next root peer (no-op without a
+		// learned peer list): if the current root is dead for good, the
+		// rotation finds the promoted standby; if it was a blip, the
+		// rotation comes back around within len(peers) attempts.
+		e.rotateTarget()
 		if !e.sleepBackoff(attempt) {
 			return
 		}
 	}
 }
 
-func (e *Edge) dialRoot() (net.Conn, error) {
-	if e.cfg.Dial != nil {
-		return e.cfg.Dial(e.cfg.RootAddr)
+// currentTarget picks the root address to dial: the learned peer list
+// when the root has published one, the configured address otherwise.
+func (e *Edge) currentTarget() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.peers) == 0 {
+		return e.cfg.RootAddr
 	}
-	return net.DialTimeout("tcp", e.cfg.RootAddr, e.cfg.UplinkWriteTimeout)
+	return e.peers[e.targetIdx%len(e.peers)]
+}
+
+// rotateTarget advances to the next peer after a failure.
+func (e *Edge) rotateTarget() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.peers) > 1 {
+		e.targetIdx++
+	}
+}
+
+func (e *Edge) dialRoot() (string, net.Conn, error) {
+	addr := e.currentTarget()
+	if e.cfg.Dial != nil {
+		conn, err := e.cfg.Dial(addr)
+		return addr, conn, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, e.cfg.UplinkWriteTimeout)
+	return addr, conn, err
 }
 
 // sleepBackoff pauses before reconnect attempt n, reporting false when
@@ -338,15 +382,19 @@ var errRootDraining = errors.New("topology: root is draining")
 
 // session drives one established root connection: Hello, reconcile, then
 // forward pending batches in order, heartbeating while idle. It returns
-// nil only when the root reports the deployment done.
-func (e *Edge) session(uc *transport.UpstreamConn) error {
+// nil only when the root reports the deployment done. addr is the root
+// address this session dialed, for re-homing accounting.
+func (e *Edge) session(uc *transport.UpstreamConn, addr string) error {
 	e.mu.Lock()
-	hello := &transport.EdgeMsg{Hello: &transport.EdgeHello{
-		EdgeID:     e.cfg.EdgeID,
-		ModelDim:   len(e.cfg.Server.InitialParams),
-		ClientAddr: e.cfg.ClientAddr,
-		NextBatch:  e.nextBatch,
-	}}
+	hello := &transport.EdgeMsg{
+		Hello: &transport.EdgeHello{
+			EdgeID:     e.cfg.EdgeID,
+			ModelDim:   len(e.cfg.Server.InitialParams),
+			ClientAddr: e.cfg.ClientAddr,
+			NextBatch:  e.nextBatch,
+		},
+		Epoch: e.epoch,
+	}
 	e.mu.Unlock()
 	if err := uc.WriteEdge(hello); err != nil {
 		return fmt.Errorf("topology: edge hello: %w", err)
@@ -361,6 +409,11 @@ func (e *Edge) session(uc *transport.UpstreamConn) error {
 	e.setLinkUp(true)
 	e.mu.Lock()
 	e.stats.UplinkSessions++
+	if e.lastTarget != "" && e.lastTarget != addr {
+		e.stats.UplinkRehomes++
+		e.noteCounterLocked("afl_edge_uplink_rehomes_total")
+	}
+	e.lastTarget = addr
 	e.mu.Unlock()
 	e.noteCounter("afl_edge_uplink_sessions_total")
 	if reply.Done {
@@ -392,6 +445,9 @@ func (e *Edge) session(uc *transport.UpstreamConn) error {
 				msg = &transport.EdgeMsg{Heartbeat: true}
 			}
 		}
+		e.mu.Lock()
+		msg.Epoch = e.epoch
+		e.mu.Unlock()
 		if err := uc.WriteEdge(msg); err != nil {
 			return fmt.Errorf("topology: edge send: %w", err)
 		}
@@ -436,10 +492,25 @@ func (e *Edge) nextToSend(lastSent *uint64) *transport.BatchMsg {
 	return nil
 }
 
-// handleReply folds one root reply into the edge: model adoption, ack
-// bookkeeping, shard-map relay, handoff merge. A Nack or Goodbye surfaces
-// as an error so the session reconnects (and re-Hellos) after backoff.
+// handleReply folds one root reply into the edge: epoch adoption, model
+// adoption, ack bookkeeping, shard-map and peer-list relay, handoff
+// merge. A Nack or Goodbye surfaces as an error so the session
+// reconnects (and re-Hellos) after backoff.
 func (e *Edge) handleReply(reply *transport.RootMsg) error {
+	// Epoch adoption happens even on a Nack: a NackFenced reply proves
+	// nothing about the root's own epoch, but any other reply from a
+	// promoted root carries the new epoch this edge must start fencing
+	// with.
+	e.adoptEpoch(reply.Epoch)
+	if reply.Nack == transport.NackFenced {
+		// The root this edge dialed is stale — it has fenced itself and is
+		// demoting. Rotate on (the uplink loop advances the target).
+		e.mu.Lock()
+		e.stats.FencedRoots++
+		e.noteCounterLocked("afl_edge_fenced_roots_total")
+		e.mu.Unlock()
+		return fmt.Errorf("topology: root refused: %s (stale primary demoting)", reply.Nack)
+	}
 	if reply.Nack != 0 {
 		return fmt.Errorf("topology: root refused: %s", reply.Nack)
 	}
@@ -455,10 +526,46 @@ func (e *Edge) handleReply(reply *transport.RootMsg) error {
 	if reply.Shards != nil {
 		e.applyShards(reply.Shards)
 	}
+	if len(reply.Peers) > 0 {
+		e.applyPeers(reply.Peers, reply.PeersVersion)
+	}
 	if len(reply.Handoff) > 0 {
 		e.mergeHandoff(reply.Handoff)
 	}
 	return nil
+}
+
+// adoptEpoch keeps the highest fencing epoch seen in any root reply.
+func (e *Edge) adoptEpoch(epoch uint64) {
+	e.mu.Lock()
+	if epoch > e.epoch {
+		e.epoch = epoch
+		e.noteGaugeLocked("afl_edge_root_epoch", float64(epoch))
+	}
+	e.mu.Unlock()
+}
+
+// applyPeers adopts a newer root peer list relayed in a reply.
+func (e *Edge) applyPeers(peers []string, version int) {
+	for _, p := range peers {
+		if p == "" {
+			log.Printf("topology: edge %d: rejecting peer list with empty address", e.cfg.EdgeID)
+			return
+		}
+	}
+	e.mu.Lock()
+	if version > e.peersSeen {
+		e.peersSeen = version
+		e.peers = append([]string(nil), peers...)
+	}
+	e.mu.Unlock()
+}
+
+// Epoch returns the highest fencing epoch this edge has observed.
+func (e *Edge) Epoch() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
 }
 
 // applyAck drops acknowledged batches from the pending queue and

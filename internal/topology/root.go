@@ -114,6 +114,10 @@ type RootStats struct {
 	// OversizeDropped mirror their transport.ServerStats counterparts for
 	// the edge-facing protocol.
 	Heartbeats, NacksSent, HandlerPanics, Checkpoints, OversizeDropped int
+	// FencedNacks counts requests refused with NackFenced because the
+	// sender carried a fencing epoch above this root's — proof a newer
+	// primary was promoted and this root must demote (internal/replica).
+	FencedNacks int
 }
 
 // edgeState is the root's durable view of one edge aggregator. An edge
@@ -149,14 +153,21 @@ type Root struct {
 	finished bool
 	restored bool
 	closed   bool
-	stats    RootStats
-	edges    map[int]*edgeState
-	shard    transport.ShardMap
-	deferred []*fl.Update
+	fenced   bool
+	// epoch is the fencing epoch this root serves under; peers is the
+	// static root peer list relayed to edges (internal/replica). Both are
+	// zero-valued on an unreplicated root.
+	epoch        uint64
+	peers        []string
+	peersVersion int
+	stats        RootStats
+	edges        map[int]*edgeState
+	shard        transport.ShardMap
+	deferred     []*fl.Update
 	// orphans holds filter snapshots of edges that died while no live
 	// survivor existed; they are adopted by the next edge to Hello so a
 	// total partition never loses learned filter state.
-	orphans [][]byte
+	orphans  [][]byte
 	conns    map[net.Conn]struct{}
 	listener net.Listener
 
@@ -165,6 +176,14 @@ type Root struct {
 	// mutex so no lock is ever held across the filter, the combiner or
 	// checkpoint file I/O.
 	roundSlot chan struct{}
+
+	// onCommit, when set (before Serve), receives one replication log
+	// record per applied batch, called while the round slot is held so
+	// records are emitted in strict version order. replPrevFilter is the
+	// filter snapshot the next record's delta is diffed against; it is
+	// only touched under the round slot.
+	onCommit       func(*transport.ReplRecord)
+	replPrevFilter []byte
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -405,16 +424,23 @@ func (r *Root) handle(conn net.Conn) {
 		}
 		return
 	}
+	if nack := r.fenceCheck(first.Epoch); nack != nil {
+		_ = uc.WriteRoot(nack)
+		r.Fence()
+		return
+	}
 	// sentShard tracks the shard-map version this connection has been
-	// sent; -1 forces a push in the Hello reply.
+	// sent; -1 forces a push in the Hello reply. sentPeers does the same
+	// for the root peer list.
 	sentShard := -1
+	sentPeers := -1
 	es, reply := r.admitEdge(first.Hello, conn)
 	if es == nil {
 		_ = uc.WriteRoot(reply)
 		return
 	}
 	defer r.releaseEdge(es, conn)
-	if !r.sendReply(uc, es, reply, &sentShard) {
+	if !r.sendReply(uc, es, reply, &sentShard, &sentPeers) {
 		return
 	}
 
@@ -426,6 +452,11 @@ func (r *Root) handle(conn net.Conn) {
 				r.stats.OversizeDropped++
 				r.mu.Unlock()
 			}
+			return
+		}
+		if nack := r.fenceCheck(msg.Epoch); nack != nil {
+			_ = uc.WriteRoot(nack)
+			r.Fence()
 			return
 		}
 		var reply *transport.RootMsg
@@ -447,7 +478,7 @@ func (r *Root) handle(conn net.Conn) {
 		default:
 			continue
 		}
-		if !r.sendReply(uc, es, reply, &sentShard) {
+		if !r.sendReply(uc, es, reply, &sentShard, &sentPeers) {
 			return
 		}
 		if reply.Nack != 0 || reply.Done || reply.Goodbye {
@@ -456,15 +487,22 @@ func (r *Root) handle(conn net.Conn) {
 	}
 }
 
-// sendReply decorates a reply with any pending shard-map push or handoff
-// for this edge, then writes it. An undelivered handoff is re-queued so a
-// broken write cannot lose a dead peer's filter state.
-func (r *Root) sendReply(uc *transport.UpstreamConn, es *edgeState, reply *transport.RootMsg, sentShard *int) bool {
+// sendReply decorates a reply with the root's fencing epoch and any
+// pending shard-map, peer-list or handoff push for this edge, then writes
+// it. An undelivered handoff is re-queued so a broken write cannot lose a
+// dead peer's filter state.
+func (r *Root) sendReply(uc *transport.UpstreamConn, es *edgeState, reply *transport.RootMsg, sentShard, sentPeers *int) bool {
 	var handoff []byte
 	r.mu.Lock()
+	reply.Epoch = r.epoch
 	if *sentShard != r.shard.Version && len(r.shard.Edges) > 0 {
 		reply.Shards = r.shard.Clone()
 		*sentShard = r.shard.Version
+	}
+	if *sentPeers != r.peersVersion && len(r.peers) > 0 {
+		reply.Peers = append([]string(nil), r.peers...)
+		reply.PeersVersion = r.peersVersion
+		*sentPeers = r.peersVersion
 	}
 	if reply.Nack == 0 && len(es.handoffs) > 0 {
 		handoff = es.handoffs[0]
@@ -667,9 +705,31 @@ func (r *Root) applyBatch(es *edgeState, b *transport.BatchMsg) *transport.RootM
 		every = 1
 	}
 	checkpointDue := r.cfg.CheckpointPath != "" && (r.finished || r.version%every == 0)
+	var rec *transport.ReplRecord
+	if r.onCommit != nil {
+		rec = &transport.ReplRecord{
+			Seq:          uint64(r.version),
+			Epoch:        r.epoch,
+			EdgeID:       es.id,
+			BatchID:      b.BatchID,
+			EdgeAddr:     es.clientAddr,
+			ShardVersion: r.shard.Version,
+			Delta:        vecmath.Clone(delta),
+			Accepted:     len(accepted),
+			Deferred:     len(deferred),
+			Rejected:     len(rejected),
+		}
+	}
 	r.noteBatch(es.id, "applied")
 	r.mu.Unlock()
 
+	if rec != nil {
+		// Still holding the round slot: records reach the replication
+		// stream in strict version order, and the filter is quiescent for
+		// the delta snapshot.
+		rec.FilterState, rec.FilterFull = r.filterReplState()
+		r.onCommit(rec)
+	}
 	if checkpointDue {
 		r.writeCheckpoint()
 	}
@@ -842,6 +902,10 @@ type rootCkpt struct {
 	Orphans      [][]byte
 	FilterName   string
 	FilterState  []byte
+	// Epoch is the fencing epoch (internal/replica). Persisting it is
+	// what makes fencing survive restarts: a promoted standby that
+	// crashes and comes back must not serve under a pre-promotion epoch.
+	Epoch uint64
 }
 
 type edgeCkpt struct {
@@ -852,10 +916,10 @@ type edgeCkpt struct {
 	Handoffs    [][]byte
 }
 
-// writeCheckpoint captures and persists the root state. The caller must
-// hold the round slot (the filter must be quiescent); no lock is held
-// across the file write.
-func (r *Root) writeCheckpoint() {
+// captureCkpt assembles the root's durable state. The caller must hold
+// the round slot (the filter must be quiescent); no lock is held across
+// the filter snapshot.
+func (r *Root) captureCkpt() rootCkpt {
 	r.mu.Lock()
 	ck := rootCkpt{
 		Global:       vecmath.Clone(r.global),
@@ -863,6 +927,7 @@ func (r *Root) writeCheckpoint() {
 		Stats:        r.stats,
 		ShardVersion: r.shard.Version,
 		FilterName:   r.filter.Name(),
+		Epoch:        r.epoch,
 	}
 	for _, u := range r.deferred {
 		ck.Deferred = append(ck.Deferred, fl.CloneUpdate(u))
@@ -887,6 +952,13 @@ func (r *Root) writeCheckpoint() {
 			ck.FilterState = state
 		}
 	}
+	return ck
+}
+
+// writeCheckpoint captures and persists the root state. The caller must
+// hold the round slot; no lock is held across the file write.
+func (r *Root) writeCheckpoint() {
+	ck := r.captureCkpt()
 	if err := checkpoint.Save(r.cfg.CheckpointPath, &ck); err != nil {
 		log.Printf("topology: root checkpoint failed: %v", err)
 		return
@@ -910,33 +982,54 @@ func (r *Root) restoreFromCheckpoint(path string) error {
 	if err != nil {
 		return fmt.Errorf("topology: restore root from %s: %w", path, err)
 	}
+	if err := r.adoptCkpt(&ck, "restore root from "+path); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.restored = true
+	r.mu.Unlock()
+	return nil
+}
+
+// adoptCkpt validates a decoded checkpoint and replaces the root's state
+// with it — the shared tail of the startup restore and a standby's
+// snapshot install. It is all-or-nothing up to the filter restore: the
+// filter is only touched after every structural validation passed. The
+// caller must guarantee filter quiescence (NewRoot before serving, or
+// the round slot held).
+func (r *Root) adoptCkpt(ck *rootCkpt, where string) error {
 	if len(ck.Global) != len(r.cfg.InitialParams) {
-		return fmt.Errorf("topology: restore root from %s: checkpoint holds a %d-parameter model, config expects %d",
-			path, len(ck.Global), len(r.cfg.InitialParams))
+		return fmt.Errorf("topology: %s: checkpoint holds a %d-parameter model, config expects %d",
+			where, len(ck.Global), len(r.cfg.InitialParams))
 	}
 	if ck.Version < 0 {
-		return fmt.Errorf("topology: restore root from %s: negative version %d", path, ck.Version)
+		return fmt.Errorf("topology: %s: negative version %d", where, ck.Version)
 	}
 	if ck.FilterName != r.filter.Name() {
-		return fmt.Errorf("topology: restore root from %s: checkpoint written by filter %q, root runs %q",
-			path, ck.FilterName, r.filter.Name())
+		return fmt.Errorf("topology: %s: checkpoint written by filter %q, root runs %q",
+			where, ck.FilterName, r.filter.Name())
 	}
 	if len(ck.FilterState) > 0 {
 		sf, ok := r.filter.(fl.StateSnapshotter)
 		if !ok {
-			return fmt.Errorf("topology: restore root from %s: checkpoint carries filter state but filter %q cannot restore it",
-				path, r.filter.Name())
+			return fmt.Errorf("topology: %s: checkpoint carries filter state but filter %q cannot restore it",
+				where, r.filter.Name())
 		}
 		if err := sf.RestoreState(ck.FilterState); err != nil {
-			return fmt.Errorf("topology: restore root from %s: %w", path, err)
+			return fmt.Errorf("topology: %s: %w", where, err)
 		}
 	}
+	r.mu.Lock()
 	r.global = vecmath.Clone(ck.Global)
 	r.version = ck.Version
 	r.stats = ck.Stats
 	r.shard.Version = ck.ShardVersion
 	r.deferred = ck.Deferred
 	r.orphans = ck.Orphans
+	if ck.Epoch > r.epoch {
+		r.epoch = ck.Epoch
+	}
+	r.edges = make(map[int]*edgeState, len(ck.Edges))
 	for _, ec := range ck.Edges {
 		r.edges[ec.ID] = &edgeState{
 			id:          ec.ID,
@@ -946,10 +1039,13 @@ func (r *Root) restoreFromCheckpoint(path string) error {
 			handoffs:    ec.Handoffs,
 		}
 	}
-	if r.version >= r.cfg.Rounds {
+	finished := r.version >= r.cfg.Rounds
+	if finished {
 		r.finished = true
+	}
+	r.mu.Unlock()
+	if finished {
 		r.closeDone()
 	}
-	r.restored = true
 	return nil
 }

@@ -1,0 +1,174 @@
+package transport
+
+import "fmt"
+
+// This file defines the primary<->standby replication protocol of the
+// replicated root (internal/replica). Like the upstream protocol it lives
+// in transport so the envelope shares the full wire hardening: the
+// byte-budget limitReader, per-operation deadlines, the fuzz harness
+// (fuzz_replica_test.go) and the flat-envelope shape discipline.
+//
+// The protocol is strict push-reply, mirroring the upstream protocol's
+// single-writer-per-side structure but with the roles swapped: the
+// standby opens the connection and sends one ReplicaMsg Hello, then the
+// PRIMARY drives — it pushes one PrimaryMsg at a time (a full snapshot,
+// an incremental log record, or an idle heartbeat) and the standby
+// answers each push with exactly one ReplicaMsg acknowledgement.
+//
+//	standby -> primary: Hello, then one ack per push
+//	primary -> standby: (Snapshot | Record | Heartbeat)*
+//
+// Replication is log-shipping over the root's committed batches: every
+// batch the primary applies becomes one ReplRecord with a sequence number
+// equal to the resulting global model version, so the record stream IS
+// the version history and a standby at seq S needs exactly the records
+// S+1, S+2, ... to catch up. A standby that attaches too far behind the
+// primary's in-memory record ring receives a full checkpoint snapshot
+// (the internal/checkpoint container, CRC-guarded) and resumes the log
+// from the snapshot's version.
+//
+// Every message in both directions carries the sender's fencing epoch.
+// An epoch is bumped exactly once per promotion and never reused, so
+// whichever side observes a higher epoch than its own knows it is stale:
+// a stale primary answers with NackFenced and demotes itself, a stale
+// standby adopts the higher epoch. See internal/replica for the fencing
+// invariant.
+
+// ReplHello introduces a standby to the primary it wants to stream from.
+type ReplHello struct {
+	// NodeID identifies the standby (unique per replication group, >= 0).
+	NodeID int
+	// Epoch is the highest fencing epoch the standby has observed.
+	Epoch uint64
+	// NextSeq is the first log sequence number the standby is missing
+	// (its applied version + 1). The primary resumes the stream there
+	// when its record ring still covers it, and sends a full snapshot
+	// otherwise.
+	NextSeq uint64
+	// FullSync demands a snapshot regardless of NextSeq — a standby
+	// whose incremental apply failed mid-record (model ahead of filter)
+	// must be re-grounded rather than streamed to.
+	FullSync bool
+}
+
+// ReplRecord is one incremental replication log record: everything a
+// standby must apply to mirror one committed batch on the primary.
+type ReplRecord struct {
+	// Seq is the log sequence number — the primary's global model version
+	// after applying the batch. Records are applied strictly in order.
+	Seq uint64
+	// Epoch is the primary's fencing epoch when the batch committed.
+	Epoch uint64
+	// EdgeID and BatchID advance the per-edge idempotency watermark on
+	// the standby, so a promoted standby answers replayed batches with a
+	// bare ack exactly as the dead primary would have.
+	EdgeID  int
+	BatchID uint64
+	// EdgeAddr is the edge's client-facing address (shard-map entry).
+	EdgeAddr string
+	// ShardVersion is the primary's shard-map version at commit time.
+	ShardVersion int
+	// Delta is the combined model delta the batch contributed (nil when
+	// every update was rejected or deferred).
+	Delta []float64
+	// Accepted, Deferred and Rejected are the filter verdict counts of
+	// the batch, mirrored into the standby's stats.
+	Accepted, Deferred, Rejected int
+	// FilterState, when non-nil, carries the primary's root-filter
+	// detection state: an incremental CMA delta since the previous record
+	// (mergeable via internal/core/merge) unless FilterFull is set, in
+	// which case it is a complete snapshot to restore. Both are the
+	// fl.StateSnapshotter gob payload.
+	FilterState []byte
+	// FilterFull marks FilterState as a complete snapshot rather than a
+	// mergeable delta (the first record of a stream, or a batch whose
+	// state change had no exact delta).
+	FilterFull bool
+}
+
+// PrimaryMsg is the primary->standby envelope: one per exchange, pushed
+// by the primary. Flat on purpose; see the package note in upstream.go.
+type PrimaryMsg struct {
+	// Snapshot, when non-nil, is the primary's full durable state in the
+	// internal/checkpoint container format (the same bytes a root
+	// checkpoint file holds). The standby replaces its state with it.
+	Snapshot []byte
+	// Record, when non-nil, is the next incremental log record.
+	Record *ReplRecord
+	// Heartbeat keeps the standby's promotion lease renewed while no
+	// batches are flowing.
+	Heartbeat bool
+	// Epoch is the primary's current fencing epoch.
+	Epoch uint64
+	// LatestSeq is the primary's newest log sequence number, letting the
+	// standby compute its replication lag on every exchange.
+	LatestSeq uint64
+	// Nack, when non-zero, refuses the standby (NackFenced: the standby's
+	// epoch proves this primary is stale and it is demoting itself;
+	// NackMalformed: a broken Hello).
+	Nack NackCode
+	// Goodbye signals the primary is shutting down cleanly.
+	Goodbye bool
+}
+
+// ReplicaMsg is the standby->primary envelope: the initial Hello, then
+// one acknowledgement per primary push.
+type ReplicaMsg struct {
+	Hello *ReplHello
+	// AckSeq is the highest log sequence number the standby has durably
+	// applied. The primary uses it for lag accounting and ring trimming.
+	AckSeq uint64
+	// Epoch is the highest fencing epoch the standby has observed. A
+	// primary that sees an epoch above its own has been superseded and
+	// demotes itself.
+	Epoch uint64
+}
+
+// Validate checks a received hello before the primary registers the
+// standby.
+func (h *ReplHello) Validate() error {
+	if h == nil {
+		return fmt.Errorf("transport: ReplHello: nil")
+	}
+	if h.NodeID < 0 {
+		return fmt.Errorf("transport: ReplHello: NodeID = %d, need >= 0", h.NodeID)
+	}
+	if h.NextSeq == 0 {
+		return fmt.Errorf("transport: ReplHello: NextSeq = 0, need >= 1")
+	}
+	return nil
+}
+
+// ReadReplica decodes the next standby->primary envelope (primary side).
+func (u *UpstreamConn) ReadReplica() (*ReplicaMsg, error) {
+	u.armRead()
+	u.lim.reset()
+	var msg ReplicaMsg
+	if err := u.dec.Decode(&msg); err != nil {
+		return nil, err
+	}
+	return &msg, nil
+}
+
+// WritePrimary encodes one primary->standby push (primary side).
+func (u *UpstreamConn) WritePrimary(msg *PrimaryMsg) error {
+	u.armWrite()
+	return u.enc.Encode(msg)
+}
+
+// ReadPrimary decodes the next primary->standby envelope (standby side).
+func (u *UpstreamConn) ReadPrimary() (*PrimaryMsg, error) {
+	u.armRead()
+	u.lim.reset()
+	var msg PrimaryMsg
+	if err := u.dec.Decode(&msg); err != nil {
+		return nil, err
+	}
+	return &msg, nil
+}
+
+// WriteReplica encodes one standby->primary message (standby side).
+func (u *UpstreamConn) WriteReplica(msg *ReplicaMsg) error {
+	u.armWrite()
+	return u.enc.Encode(msg)
+}

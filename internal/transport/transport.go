@@ -82,6 +82,10 @@ const (
 	// NackMalformed: the Hello advertised a model dimension that does not
 	// match the live global model.
 	NackMalformed
+	// NackFenced: the sender's fencing epoch proves a newer primary has
+	// been promoted; the receiving root is stale and demotes itself
+	// rather than split-braining the filter state (internal/replica).
+	NackFenced
 )
 
 // String implements fmt.Stringer.
@@ -97,6 +101,8 @@ func (c NackCode) String() string {
 		return "draining"
 	case NackMalformed:
 		return "malformed"
+	case NackFenced:
+		return "fenced"
 	default:
 		return fmt.Sprintf("NackCode(%d)", int(c))
 	}

@@ -78,6 +78,12 @@ type EdgeMsg struct {
 	// flowing; the root answers with Pong (and piggybacks shard-map or
 	// handoff pushes).
 	Heartbeat bool
+	// Epoch is the highest fencing epoch this edge has observed
+	// (internal/replica). It rides on every request so a resurrected old
+	// primary — whose epoch is lower — learns it has been superseded and
+	// answers NackFenced instead of applying state a newer primary owns.
+	// 0 means the edge has never seen a replicated root.
+	Epoch uint64
 }
 
 // RootMsg is the root->edge envelope: exactly one per EdgeMsg.
@@ -106,6 +112,16 @@ type RootMsg struct {
 	Done bool
 	// Goodbye signals the root is draining.
 	Goodbye bool
+	// Epoch is the root's current fencing epoch. Edges adopt the highest
+	// epoch they see and carry it back on every request (EdgeMsg.Epoch).
+	Epoch uint64
+	// Peers, together with PeersVersion, relays the static root peer
+	// list — the edge-facing addresses of every replica in the root's
+	// replication group — through the same piggyback mechanism as the
+	// shard map. Edges rotate through it to find the promoted standby
+	// after their primary dies. Nil when the root runs unreplicated.
+	Peers        []string
+	PeersVersion int
 }
 
 // ShardEntry maps one edge to its client-facing address.

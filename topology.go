@@ -8,6 +8,7 @@ import (
 
 	"github.com/asyncfl/asyncfilter/internal/fl"
 	"github.com/asyncfl/asyncfilter/internal/obsv"
+	"github.com/asyncfl/asyncfilter/internal/replica"
 	"github.com/asyncfl/asyncfilter/internal/topology"
 )
 
@@ -219,6 +220,37 @@ type RootServerConfig struct {
 	// TraceDepth bounds the decision trace ring for ObsvAddr (<= 0
 	// selects the default).
 	TraceDepth int
+	// Replication, when non-nil, makes this root one node of a replicated
+	// primary/standby group (DESIGN.md §13). /healthz then reports the
+	// node's role and fencing epoch.
+	Replication *ReplicationConfig
+}
+
+// ReplicationConfig turns a root into one node of a primary/standby
+// replication group: a primary streams every committed batch to attached
+// standbys; a standby mirrors the primary and promotes itself — with a
+// fenced epoch — once the primary's lease expires.
+type ReplicationConfig struct {
+	// NodeID identifies this node in the group (unique, >= 0).
+	NodeID int
+	// ReplListen is the replication channel's listen address. The primary
+	// needs it to accept standbys; standbys bind it too so they can serve
+	// the next standby generation after promotion ("" disables).
+	ReplListen string
+	// Upstreams lists the primary's replication addresses to mirror from.
+	// Empty means this node starts as the primary.
+	Upstreams []string
+	// Peers is the edge-facing address of every replica, relayed to edges
+	// so they can find the promoted standby when the primary dies.
+	Peers []string
+	// Lease is how long a standby tolerates primary silence before
+	// promoting itself (0 selects 2s); Heartbeat is the primary's idle
+	// push interval (0 selects Lease/4).
+	Lease, Heartbeat time.Duration
+	// MaxMessageBytes caps a decoded replication message (0 disables).
+	MaxMessageBytes int64
+	// Seed drives the standby's reconnect jitter.
+	Seed int64
 }
 
 // RootServerStats reports the root's lifetime counters.
@@ -243,9 +275,12 @@ type RootServerStats struct {
 	Checkpoints int
 }
 
-// RootServer is the top tier of a two-tier deployment.
+// RootServer is the top tier of a two-tier deployment — standalone, or
+// one node of a replicated group when RootServerConfig.Replication is
+// set.
 type RootServer struct {
 	inner   *topology.Root
+	node    *replica.Node
 	metrics *Metrics
 	obsvLis net.Listener
 	obsvSrv *http.Server
@@ -279,25 +314,98 @@ func NewRootServer(cfg RootServerConfig, filter *Filter) (*RootServer, error) {
 		return nil, err
 	}
 	srv := &RootServer{inner: root, metrics: metrics}
+	if rc := cfg.Replication; rc != nil {
+		node, err := replica.NewNode(replica.Config{
+			NodeID:          rc.NodeID,
+			ReplListen:      rc.ReplListen,
+			Upstreams:       rc.Upstreams,
+			Peers:           rc.Peers,
+			Lease:           rc.Lease,
+			Heartbeat:       rc.Heartbeat,
+			MaxMessageBytes: rc.MaxMessageBytes,
+			Seed:            rc.Seed,
+			Obsv:            hubOf(metrics),
+		}, root)
+		if err != nil {
+			_ = root.Close()
+			return nil, err
+		}
+		srv.node = node
+	}
 	if cfg.ObsvAddr != "" {
 		lis, err := net.Listen("tcp", cfg.ObsvAddr)
 		if err != nil {
-			_ = root.Close()
+			_ = srv.closeInner()
 			return nil, fmt.Errorf("asyncfilter: root observability listener: %w", err)
 		}
 		srv.obsvLis = lis
-		srv.obsvSrv = &http.Server{Handler: obsv.Handler(metrics.hub, root.Health)}
+		// A replicated node's health carries its role and fencing epoch.
+		health := root.Health
+		if srv.node != nil {
+			health = srv.node.Health
+		}
+		srv.obsvSrv = &http.Server{Handler: obsv.Handler(metrics.hub, health)}
 		go func() { _ = srv.obsvSrv.Serve(lis) }()
 	}
 	return srv, nil
 }
 
+// closeInner tears down the node (when replicated) or the bare root.
+func (r *RootServer) closeInner() error {
+	if r.node != nil {
+		return r.node.Close()
+	}
+	return r.inner.Close()
+}
+
 // Serve accepts edge connections until the configured rounds complete or
-// Close is called.
-func (r *RootServer) Serve(lis net.Listener) error { return r.inner.Serve(lis) }
+// Close is called. A replicated standby holds lis — refusing edges so
+// they rotate to the live primary — and serves on it after promotion.
+func (r *RootServer) Serve(lis net.Listener) error {
+	if r.node != nil {
+		return r.node.Serve(lis)
+	}
+	return r.inner.Serve(lis)
+}
 
 // ListenAndServe listens on addr and serves.
-func (r *RootServer) ListenAndServe(addr string) error { return r.inner.ListenAndServe(addr) }
+func (r *RootServer) ListenAndServe(addr string) error {
+	if r.node == nil {
+		return r.inner.ListenAndServe(addr)
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("asyncfilter: listen: %w", err)
+	}
+	return r.Serve(lis)
+}
+
+// Role reports a replicated node's current role ("primary", "standby",
+// "promoting" or "fenced"); empty for an unreplicated root.
+func (r *RootServer) Role() string {
+	if r.node == nil {
+		return ""
+	}
+	return r.node.Role().String()
+}
+
+// Epoch reports the fencing epoch (0 for an unreplicated root or a
+// first-generation primary).
+func (r *RootServer) Epoch() uint64 {
+	if r.node == nil {
+		return 0
+	}
+	return r.node.Epoch()
+}
+
+// ReplAddr returns the bound replication listener address, or "" when
+// replication is disabled or has no listener.
+func (r *RootServer) ReplAddr() string {
+	if r.node == nil {
+		return ""
+	}
+	return r.node.ReplAddr()
+}
 
 // ObsvAddr returns the bound introspection address, or "" when disabled.
 func (r *RootServer) ObsvAddr() string {
@@ -346,7 +454,7 @@ func (r *RootServer) Stats() RootServerStats {
 // treat a closed root as a partition and keep buffering, so a restarted
 // root (same CheckpointPath) resumes the deployment.
 func (r *RootServer) Close() error {
-	err := r.inner.Close()
+	err := r.closeInner()
 	if r.obsvSrv != nil {
 		_ = r.obsvSrv.Close()
 	}
