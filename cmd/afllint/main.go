@@ -1,6 +1,7 @@
 // Command afllint runs the repository's invariant analyzers (rawrand,
-// vecalias, lockio, typederr, floateq — see internal/analysis) over Go
-// packages. It supports two modes:
+// vecalias, lockio, typederr, floateq, lockorder, goroleak, netdeadline,
+// epochfence, hotalloc — see internal/analysis) over Go packages. It
+// supports two modes:
 //
 //   - standalone: `afllint [packages]` (default ./...) loads packages via
 //     the go tool and prints diagnostics; exit status 1 when any are
@@ -52,8 +53,9 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("afllint", flag.ContinueOnError)
 	printVersion := fs.String("V", "", "print version for the go vet handshake (-V=full)")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	tags := fs.String("tags", "", "comma-separated build tags for standalone package loading (GOFLAGS is honored too)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: afllint [-list] [packages]\n       go vet -vettool=<afllint> [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: afllint [-list] [-tags taglist] [packages]\n       go vet -vettool=<afllint> [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -76,12 +78,19 @@ func run(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runVet(rest[0])
 	}
-	return runStandalone(rest)
+	var buildFlags []string
+	if *tags != "" {
+		buildFlags = append(buildFlags, "-tags", *tags)
+	}
+	return runStandalone(buildFlags, rest)
 }
 
 // runStandalone loads the patterns through the go tool and reports.
-func runStandalone(patterns []string) int {
-	pkgs, err := analysis.Load("", patterns...)
+// buildFlags (e.g. -tags) are forwarded to the loader so tag-guarded
+// files are analyzed under the same build configuration they compile in;
+// GOFLAGS reaches the underlying go list invocation natively.
+func runStandalone(buildFlags, patterns []string) int {
+	pkgs, err := analysis.Load("", buildFlags, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2

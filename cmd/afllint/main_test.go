@@ -2,6 +2,7 @@ package main_test
 
 import (
 	"errors"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -23,8 +24,17 @@ func buildTool(t *testing.T) string {
 // exit code.
 func runIn(t *testing.T, dir string, name string, args ...string) (string, int) {
 	t.Helper()
+	return runInEnv(t, dir, nil, name, args...)
+}
+
+// runInEnv is runIn with extra environment variables appended.
+func runInEnv(t *testing.T, dir string, env []string, name string, args ...string) (string, int) {
+	t.Helper()
 	cmd := exec.Command(name, args...)
 	cmd.Dir = dir
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	out, err := cmd.CombinedOutput()
 	if err == nil {
 		return string(out), 0
@@ -45,7 +55,10 @@ func TestListRegistersAllAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("afllint -list exited %d:\n%s", code, out)
 	}
-	for _, name := range []string{"rawrand", "vecalias", "lockio", "typederr", "floateq"} {
+	for _, name := range []string{
+		"rawrand", "vecalias", "lockio", "typederr", "floateq",
+		"lockorder", "goroleak", "netdeadline", "epochfence", "hotalloc",
+	} {
 		if !strings.Contains(out, name) {
 			t.Errorf("afllint -list is missing analyzer %q:\n%s", name, out)
 		}
@@ -70,10 +83,41 @@ func TestStandaloneCleanAndDirty(t *testing.T) {
 	if code == 0 {
 		t.Fatalf("dirty module: afllint exited 0, want nonzero:\n%s", out)
 	}
-	for _, want := range []string{"(rawrand)", "(typederr)", "(floateq)", "(vecalias)"} {
+	for _, want := range []string{
+		"(rawrand)", "(typederr)", "(floateq)", "(vecalias)",
+		"(lockorder)", "(goroleak)", "(netdeadline)", "(epochfence)", "(hotalloc)",
+	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dirty module: no %s diagnostic in output:\n%s", want, out)
 		}
+	}
+}
+
+// TestBuildTags pins the loader's build-flag plumbing: the clean module
+// hides a rawrand violation behind the extras tag, so afllint must pass
+// without the tag and fail when it is supplied via -tags or GOFLAGS.
+func TestBuildTags(t *testing.T) {
+	bin := buildTool(t)
+
+	out, code := runIn(t, "testdata/clean", bin, "./...")
+	if code != 0 {
+		t.Fatalf("clean module without tags: afllint exited %d, want 0:\n%s", code, out)
+	}
+
+	out, code = runIn(t, "testdata/clean", bin, "-tags", "extras", "./...")
+	if code == 0 {
+		t.Fatalf("clean module with -tags extras: afllint exited 0, want nonzero:\n%s", out)
+	}
+	if !strings.Contains(out, "(rawrand)") {
+		t.Errorf("clean module with -tags extras: no rawrand diagnostic:\n%s", out)
+	}
+
+	out, code = runInEnv(t, "testdata/clean", []string{"GOFLAGS=-tags=extras"}, bin, "./...")
+	if code == 0 {
+		t.Fatalf("clean module with GOFLAGS=-tags=extras: afllint exited 0, want nonzero:\n%s", out)
+	}
+	if !strings.Contains(out, "(rawrand)") {
+		t.Errorf("clean module with GOFLAGS=-tags=extras: no rawrand diagnostic:\n%s", out)
 	}
 }
 

@@ -1,0 +1,14 @@
+//go:build extras
+
+// This file is excluded from the default build: afllint only sees it
+// when the extras tag is supplied (-tags or GOFLAGS), which is what the
+// build-tag plumbing test pins.
+package clean
+
+import "math/rand"
+
+// TaggedRoll draws from the global source — a rawrand violation that is
+// invisible without the extras tag.
+func TaggedRoll() int {
+	return rand.Intn(6)
+}

@@ -26,3 +26,14 @@ func IsBad(err error) bool {
 func Zero(x float64) bool {
 	return x == 0
 }
+
+// Scale allocates a fresh vector per call despite the hot-path marker.
+//
+//afl:hotpath
+func Scale(src []float64, k float64) []float64 {
+	out := make([]float64, len(src))
+	for i, v := range src {
+		out[i] = v * k
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package topology sits under an internal/topology import path so the
+// scoped epochfence analyzer applies to it.
+package topology
+
+// Root carries a fenced epoch counter.
+type Root struct {
+	epoch uint64
+}
+
+// Adopt raw-compares and raw-writes the epoch outside a fencing helper.
+func (r *Root) Adopt(e uint64) {
+	if e > r.epoch {
+		r.epoch = e
+	}
+}

@@ -1,0 +1,49 @@
+// Package transport sits under an internal/transport import path so the
+// scoped concurrency analyzers (lockorder, goroleak, netdeadline) apply
+// to it; each invariant is violated once.
+package transport
+
+import (
+	"net"
+	"sync"
+)
+
+// Server holds two mutexes acquired in opposite orders below.
+type Server struct {
+	mu    sync.Mutex
+	state sync.Mutex
+	conns []net.Conn
+	work  chan int
+}
+
+// lockAB acquires mu then state.
+func (s *Server) lockAB() {
+	s.mu.Lock()
+	s.state.Lock()
+	s.conns = nil
+	s.state.Unlock()
+	s.mu.Unlock()
+}
+
+// lockBA acquires state then mu: an ABBA inversion with lockAB.
+func (s *Server) lockBA() {
+	s.state.Lock()
+	s.mu.Lock()
+	s.conns = nil
+	s.mu.Unlock()
+	s.state.Unlock()
+}
+
+// Start spawns a goroutine with no stop path.
+func (s *Server) Start() {
+	go func() {
+		for v := range s.work {
+			_ = v
+		}
+	}()
+}
+
+// Pump reads from the conn without ever arming a deadline.
+func Pump(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf)
+}

@@ -148,11 +148,19 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []an
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
+				var rest string
+				if strings.HasPrefix(text, "want ") {
+					rest = strings.TrimPrefix(text, "want ")
+				} else if i := strings.LastIndex(c.Text, "// want "); i >= 0 {
+					// Embedded marker: a comment that is itself the
+					// diagnostic subject (a directive, a bare ignore) can
+					// carry its expectation inline.
+					rest = c.Text[i+len("// want "):]
+				} else {
 					continue
 				}
 				line := fset.Position(c.Pos()).Line
-				for _, q := range wantRe.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+				for _, q := range wantRe.FindAllString(rest, -1) {
 					pat, err := strconv.Unquote(q)
 					if err != nil {
 						t.Fatalf("%s:%d: bad want string %s: %v", name, line, q, err)

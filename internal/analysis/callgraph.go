@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file holds the call-graph vocabulary shared by the cross-function
+// analyzers (lockorder, goroleak, netdeadline, hotalloc): declaration
+// indexing, callee resolution, and a transitive-property fixpoint over
+// same-package calls. lockio predates these helpers and keeps its own
+// copies; new analyzers should build on these.
+
+// FuncDecls indexes every function and method declared in the pass's
+// files by its type-checker object. Functions without bodies (externally
+// implemented) are skipped. Iterate the result through SortedFuncs for
+// deterministic diagnostics.
+func FuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+		}
+	}
+	return decls
+}
+
+// SortedFuncs returns the declared functions in source order, so walks
+// over the declaration map produce deterministic diagnostics.
+func SortedFuncs(pass *Pass, decls map[*types.Func]*ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				if _, keep := decls[obj]; keep {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CalleeOf resolves a call expression to the invoked function or method
+// object, or nil for builtins, conversions, and dynamic calls through
+// function values.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			f, _ := s.Obj().(*types.Func)
+			return f
+		}
+		// Package-qualified call (pkg.Fn): no selection entry.
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// Classify computes the transitive closure of a per-function property
+// over same-package calls: a function has the property when direct
+// returns a non-empty reason for its declaration, or when it calls
+// (outside go statements and nested function literals) a same-package
+// function that has it. The result maps each qualifying function to a
+// human-readable reason chain.
+func Classify(pass *Pass, decls map[*types.Func]*ast.FuncDecl, direct func(fn *types.Func, decl *ast.FuncDecl) string) map[*types.Func]string {
+	out := make(map[*types.Func]string)
+	order := SortedFuncs(pass, decls)
+	for _, fn := range order {
+		if reason := direct(fn, decls[fn]); reason != "" {
+			out[fn] = reason
+		}
+	}
+	for {
+		changed := false
+		for _, fn := range order {
+			if out[fn] != "" {
+				continue
+			}
+			var reason string
+			InspectBody(decls[fn].Body, func(n ast.Node) {
+				if reason != "" {
+					return
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				callee := CalleeOf(pass.TypesInfo, call)
+				if callee == nil || callee.Pkg() != pass.Pkg {
+					return
+				}
+				if r := out[callee]; r != "" {
+					reason = "call to " + callee.Name() + " (" + r + ")"
+				}
+			})
+			if reason != "" {
+				out[fn] = reason
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}
+
+// InspectBody visits every node of a function body in source order,
+// skipping go-statement payloads and nested function literals: work a
+// function hands to another goroutine or defers into a stored closure is
+// not part of its own synchronous behavior.
+func InspectBody(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// NamedInterface looks up an interface type (e.g. net.Conn) among the
+// package's direct imports. Returns nil when the package does not import
+// path.
+func NamedInterface(pkg *types.Package, path, name string) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != path {
+			continue
+		}
+		if obj, ok := imp.Scope().Lookup(name).(*types.TypeName); ok {
+			iface, _ := obj.Type().Underlying().(*types.Interface)
+			return iface
+		}
+	}
+	return nil
+}
+
+// ImplementsOrPtr reports whether t or *t satisfies iface.
+func ImplementsOrPtr(t types.Type, iface *types.Interface) bool {
+	if t == nil || iface == nil {
+		return false
+	}
+	if types.Implements(t, iface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), iface)
+	}
+	return false
+}
+
+// ExprText renders simple ident/selector chains for diagnostics; other
+// expression shapes render as fallback.
+func ExprText(e ast.Expr, fallback string) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := ExprText(e.X, ""); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return fallback
+}
+
+// RecvTypeName returns the name of a method's receiver named type, or ""
+// for plain functions.
+func RecvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// NamedTypeName resolves the named type of an expression's static type
+// (unwrapping one pointer), or "".
+func NamedTypeName(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

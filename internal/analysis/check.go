@@ -44,6 +44,9 @@ func Check(pkgs []*Package, suite []Scoped) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sup := newSuppressor(pkg.Fset, pkg.Files)
+		// A reason-less //lint:ignore is a finding in its own right: it
+		// suppresses nothing and the author believes otherwise.
+		diags = append(diags, sup.malformed...)
 		for _, sc := range suite {
 			if !sc.applies(pkg.ImportPath) {
 				continue

@@ -1,0 +1,150 @@
+// Package epochfence makes PR 7's fencing discipline machine-checked:
+// replica/root epoch state moves raise-only, through named helpers.
+//
+// Invariant (topology/replica): an unexported integer struct field named
+// `epoch` is the fencing token that decides which primary generation is
+// live. It may only be written inside a fencing helper — a function whose
+// name mentions epoch or fence (PromoteEpoch, ObserveEpoch,
+// observeEpochLocked, fenceCheck...) — and inside such a helper every
+// write must be preceded by an ordered comparison against the same field
+// (the raise-only guard), so no code path can ever move an epoch
+// backwards and resurrect a fenced generation. Raw ordered or equality
+// comparisons against the field outside the helpers are also flagged:
+// scattered staleness decisions are how a second, subtly different
+// fencing rule creeps in. Plain reads (stamping an epoch into a message)
+// are unrestricted, and exported wire-struct fields (`Epoch`) are out of
+// scope — they are data in flight, not the fencing state.
+package epochfence
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis"
+)
+
+// Analyzer is the epochfence check.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochfence",
+	Doc:  "flags writes to epoch fencing fields outside raise-only helpers, unguarded writes inside them, and raw epoch comparisons",
+	Run:  run,
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	decls := analysis.FuncDecls(pass)
+	for _, fn := range analysis.SortedFuncs(pass, decls) {
+		c.checkFunc(fn, decls[fn])
+	}
+	return nil
+}
+
+// isFenceHelper reports whether the function is one of the sanctioned
+// fencing helpers, by name convention.
+func isFenceHelper(fn *types.Func) bool {
+	name := strings.ToLower(fn.Name())
+	return strings.Contains(name, "epoch") || strings.Contains(name, "fence")
+}
+
+// epochField resolves an expression to the epoch fencing field it
+// accesses, or nil. Only unexported integer struct fields named exactly
+// "epoch" qualify; exported wire fields (Epoch) are not fencing state.
+func (c *checker) epochField(expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "epoch" {
+		return nil
+	}
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok {
+		return nil
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || !field.IsField() || field.Exported() {
+		return nil
+	}
+	if basic, ok := field.Type().Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return field
+}
+
+func isOrderedCmp(op token.Token) bool {
+	switch op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func (c *checker) checkFunc(fn *types.Func, decl *ast.FuncDecl) {
+	helper := isFenceHelper(fn)
+
+	// Collect guard positions (ordered comparisons per field) and writes,
+	// then judge. The whole body — nested literals included — belongs to
+	// the declared function for helper purposes: a closure inside
+	// PromoteEpoch is still fencing code.
+	type write struct {
+		pos   token.Pos
+		field *types.Var
+	}
+	var writes []write
+	guards := make(map[*types.Var][]token.Pos)
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f := c.epochField(lhs); f != nil {
+					writes = append(writes, write{lhs.Pos(), f})
+				}
+			}
+		case *ast.IncDecStmt:
+			if f := c.epochField(n.X); f != nil {
+				writes = append(writes, write{n.X.Pos(), f})
+			}
+		case *ast.BinaryExpr:
+			fl, fr := c.epochField(n.X), c.epochField(n.Y)
+			if fl == nil && fr == nil {
+				return true
+			}
+			if isOrderedCmp(n.Op) {
+				for _, f := range []*types.Var{fl, fr} {
+					if f != nil {
+						guards[f] = append(guards[f], n.Pos())
+					}
+				}
+				if !helper {
+					c.pass.Reportf(n.Pos(), "raw epoch comparison outside a fencing helper: route the staleness decision through an epoch/fence helper so raise-only stays in one place")
+				}
+			} else if n.Op == token.EQL || n.Op == token.NEQ {
+				if !helper {
+					c.pass.Reportf(n.Pos(), "raw epoch comparison outside a fencing helper: route the staleness decision through an epoch/fence helper so raise-only stays in one place")
+				}
+			}
+		}
+		return true
+	})
+
+	for _, w := range writes {
+		if !helper {
+			c.pass.Reportf(w.pos, "epoch fencing field written outside a raise-only helper (PromoteEpoch/ObserveEpoch): route the write through one so the epoch can never move backwards")
+			continue
+		}
+		guarded := false
+		for _, g := range guards[w.field] {
+			if g < w.pos {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			c.pass.Reportf(w.pos, "epoch write in fencing helper %s is not preceded by a raise-only comparison against the field: guard it (if next <= current { refuse })", fn.Name())
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package epochfence_test
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis/analysistest"
+	"github.com/asyncfl/asyncfilter/internal/analysis/epochfence"
+)
+
+func TestEpochFence(t *testing.T) {
+	analysistest.Run(t, "a", "testdata/a", epochfence.Analyzer)
+}

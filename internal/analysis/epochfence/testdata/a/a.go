@@ -1,0 +1,77 @@
+package a
+
+type root struct {
+	epoch uint64
+	seq   uint64
+}
+
+// Wire structs carry exported Epoch fields: data in flight, not fencing
+// state — out of scope.
+type msg struct {
+	Epoch uint64
+}
+
+// Sanctioned raise-only helper: guard before write.
+func (r *root) ObserveEpoch(e uint64) {
+	if e > r.epoch {
+		r.epoch = e
+	}
+}
+
+func (r *root) PromoteEpoch(e uint64) bool {
+	if e <= r.epoch {
+		return false
+	}
+	r.epoch = e
+	return true
+}
+
+// Comparisons inside a fence-named helper are the sanctioned home for
+// staleness decisions.
+func (r *root) fenceCheck(e uint64) bool {
+	return e <= r.epoch
+}
+
+// Plain reads are unrestricted.
+func (r *root) stamp(m *msg) {
+	m.Epoch = r.epoch
+}
+
+// Exported Epoch fields are writable anywhere.
+func (r *root) forward(m *msg, e uint64) {
+	m.Epoch = e
+}
+
+// Other fields are not fencing state.
+func (r *root) advance() {
+	r.seq++
+}
+
+func (r *root) apply(e uint64) {
+	if e > r.epoch { // want `raw epoch comparison`
+		r.epoch = e // want `outside a raise-only helper`
+	}
+}
+
+func (r *root) reset() {
+	r.epoch = 0 // want `outside a raise-only helper`
+}
+
+func (r *root) bump() {
+	r.epoch++ // want `outside a raise-only helper`
+}
+
+func (r *root) isCurrent(e uint64) bool {
+	return e == r.epoch // want `raw epoch comparison`
+}
+
+// A helper by name that skips the guard is still wrong: nothing stops it
+// moving the epoch backwards.
+func (r *root) forceEpoch(e uint64) {
+	r.epoch = e // want `not preceded by a raise-only comparison`
+}
+
+func (r *root) adoptEpoch(e uint64) {
+	//lint:ignore epochfence fixture: suppression-path coverage for epochfence
+	r.epoch = e
+}

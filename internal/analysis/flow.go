@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// This file holds the shared forward dataflow walk the path-sensitive
+// analyzers (lockorder, netdeadline) are built on. It generalizes the
+// statement-ordered lock-state walk lockio introduced: facts are an
+// arbitrary string set threaded through straight-line code, branches fork
+// a copy of the state and fall-throughs merge by intersection (a fact
+// survives a join only when it holds on every incoming path), and
+// terminating branches (return, panic-free break/continue/goto) drop out
+// of the merge. The result is a dominance approximation: at any node, the
+// facts present are established on every path from function entry.
+
+// State is the set of facts established on the current path. Hooks mutate
+// it in place to add or retract facts.
+type State map[string]bool
+
+// Clone copies the state for a forked path.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// replace overwrites s with src in place.
+func (s State) replace(src State) {
+	for k := range s {
+		delete(s, k)
+	}
+	for k := range src {
+		s[k] = true
+	}
+}
+
+// intersectState keeps only facts present in both states.
+func intersectState(a, b State) State {
+	out := make(State)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// FlowWalker drives the walk. Hooks that are nil are skipped.
+type FlowWalker struct {
+	// Call observes every call expression in evaluation order with the
+	// facts established at that point; it may mutate the state (acquire a
+	// lock, arm a deadline).
+	Call func(call *ast.CallExpr, st State)
+	// Defer observes deferred calls. Deferred work runs at return, so the
+	// default is to ignore it; lockorder uses it to keep `defer
+	// mu.Unlock()` from retracting the held fact.
+	Defer func(call *ast.CallExpr, st State)
+	// Node observes channel operations (send statements, receive
+	// expressions, ranges over channels) with the current facts.
+	Node func(n ast.Node, st State)
+	// FuncLit, when set, is called for each nested function literal
+	// instead of the default (walking its body with a fresh empty state:
+	// a literal may run on another goroutine or after the facts expired,
+	// so it inherits nothing).
+	FuncLit func(lit *ast.FuncLit)
+}
+
+// WalkFunc walks one function body from an empty state.
+func (w *FlowWalker) WalkFunc(body *ast.BlockStmt) {
+	w.walkStmts(body.List, State{})
+}
+
+// walkStmts walks a statement list in order, mutating st. It returns true
+// when the list terminates (return/branch), in which case callers discard
+// its state changes.
+func (w *FlowWalker) walkStmts(stmts []ast.Stmt, st State) bool {
+	for _, stmt := range stmts {
+		if w.walkStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *FlowWalker) walkStmt(stmt ast.Stmt, st State) (terminates bool) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		w.walkExpr(s.X, st)
+	case *ast.DeferStmt:
+		if w.Defer != nil {
+			w.Defer(s.Call, st)
+		}
+		for _, arg := range s.Call.Args {
+			w.walkExpr(arg, st)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.enterLit(lit)
+		}
+	case *ast.GoStmt:
+		// The spawned body runs concurrently: it inherits no path facts
+		// and establishes none for the spawner. Arguments evaluate now.
+		for _, arg := range s.Call.Args {
+			w.walkExpr(arg, st)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.enterLit(lit)
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if comm, ok := clause.(*ast.CommClause); ok {
+				sub := st.Clone()
+				if comm.Comm != nil {
+					w.walkStmt(comm.Comm, sub)
+				}
+				w.walkStmts(comm.Body, sub)
+			}
+		}
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkExpr(s.Cond, st)
+		thenSt := st.Clone()
+		thenTerm := w.walkStmts(s.Body.List, thenSt)
+		elseSt := st.Clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.walkStmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			st.replace(elseSt)
+		case elseTerm:
+			st.replace(thenSt)
+		default:
+			st.replace(intersectState(thenSt, elseSt))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.walkExpr(s.Cond, st)
+		}
+		bodySt := st.Clone()
+		w.walkStmts(s.Body.List, bodySt)
+		st.replace(intersectState(st, bodySt))
+	case *ast.RangeStmt:
+		if w.Node != nil {
+			w.Node(s, st)
+		}
+		w.walkExpr(s.X, st)
+		bodySt := st.Clone()
+		w.walkStmts(s.Body.List, bodySt)
+		st.replace(intersectState(st, bodySt))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.walkExpr(s.Tag, st)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				sub := st.Clone()
+				w.walkStmts(cc.Body, sub)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				sub := st.Clone()
+				w.walkStmts(cc.Body, sub)
+			}
+		}
+	case *ast.SendStmt:
+		if w.Node != nil {
+			w.Node(s, st)
+		}
+		w.walkExpr(s.Value, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.walkExpr(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			w.walkExpr(lhs, st)
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			w.walkExpr(res, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto end straight-line flow; treating them as
+		// termination keeps guard patterns from leaking state.
+		return true
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+	default:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.walkExpr(e, st)
+				return false
+			}
+			return true
+		})
+	}
+	return false
+}
+
+// walkExpr visits an expression tree in evaluation order, invoking the
+// Call and Node hooks. Nested function literals are handed to enterLit.
+func (w *FlowWalker) walkExpr(expr ast.Expr, st State) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.enterLit(n)
+			return false
+		case *ast.CallExpr:
+			if w.Call != nil {
+				w.Call(n, st)
+			}
+		case *ast.UnaryExpr:
+			if w.Node != nil {
+				w.Node(n, st)
+			}
+		}
+		return true
+	})
+}
+
+func (w *FlowWalker) enterLit(lit *ast.FuncLit) {
+	if w.FuncLit != nil {
+		w.FuncLit(lit)
+		return
+	}
+	w.walkStmts(lit.Body.List, State{})
+}

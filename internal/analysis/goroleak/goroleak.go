@@ -1,0 +1,307 @@
+// Package goroleak flags goroutines spawned with no provable stop path.
+//
+// Invariant (transport/topology/replica): every `go` statement in
+// production code must reach a registered shutdown join — a
+// sync.WaitGroup.Done, a close of a done channel the spawner (or Close)
+// waits on, or a loop that receives from a channel this package closes.
+// A fire-and-forget goroutine survives Close, keeps a conn or a filter
+// alive past drain, and under churn accumulates into the exact slow leak
+// the replicated topology cannot tolerate.
+//
+// A goroutine body proves a stop path when it (or a same-package function
+// it calls synchronously) does any of:
+//
+//   - call (*sync.WaitGroup).Done — the spawner joins via Wait;
+//   - close(ch) — a done-channel the spawner can select on;
+//   - receive from / range over / select on a channel that this package
+//     closes somewhere (fields and locals are matched by object identity;
+//     channel-typed parameters are matched at the spawn site against the
+//     actual argument).
+//
+// Anything else — including goroutines whose body is a cross-package call
+// — is flagged; a goroutine that legitimately runs to completion on its
+// own carries a //lint:ignore goroleak with the reason.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis"
+)
+
+// Analyzer is the goroleak check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc:  "flags fire-and-forget goroutines with no WaitGroup.Done, done-channel close, or closed-channel receive",
+	Run:  run,
+}
+
+// stopFacts is the per-function classification: proven to stop, or
+// conditional on channel-typed parameters (stops if the spawn-site
+// argument for one of these indices is a package-closed channel).
+type stopFacts struct {
+	yes    bool
+	params map[int]bool
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// closed holds every channel object (local, field, package var) that
+	// close() is applied to anywhere in the package.
+	closed map[types.Object]bool
+	decls  map[*types.Func]*ast.FuncDecl
+	facts  map[*types.Func]*stopFacts
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:   pass,
+		closed: make(map[types.Object]bool),
+		decls:  analysis.FuncDecls(pass),
+		facts:  make(map[*types.Func]*stopFacts),
+	}
+
+	// Pass 1: package-wide close() sites, wherever they appear (goroutine
+	// bodies and deferred closures included).
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if obj := c.closeArg(call); obj != nil {
+					c.closed[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: direct stop facts per declared function, then a fixpoint
+	// over same-package synchronous calls.
+	order := analysis.SortedFuncs(pass, c.decls)
+	for _, fn := range order {
+		facts := &stopFacts{params: make(map[int]bool)}
+		params := paramIndex(fn)
+		c.scanBody(c.decls[fn].Body, params, facts)
+		c.facts[fn] = facts
+	}
+	for {
+		changed := false
+		for _, fn := range order {
+			facts := c.facts[fn]
+			if facts.yes {
+				continue
+			}
+			params := paramIndex(fn)
+			c.inspectCalls(c.decls[fn].Body, func(call *ast.CallExpr) {
+				if facts.yes {
+					return
+				}
+				c.applyCallee(call, params, facts)
+			})
+			if facts.yes {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Pass 3: judge every spawn site.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !c.spawnStops(g.Call) {
+				c.pass.Reportf(g.Pos(), "goroutine has no provable stop path (no WaitGroup.Done, done-channel close, or receive from a channel this package closes): join it to shutdown or justify with //lint:ignore goroleak <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnStops classifies the spawned call: a function literal is scanned
+// in place; a named same-package function uses its precomputed facts,
+// resolving parameter-conditional facts against the actual arguments.
+func (c *checker) spawnStops(call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		facts := &stopFacts{params: make(map[int]bool)}
+		c.scanBody(lit.Body, nil, facts)
+		if facts.yes {
+			return true
+		}
+		c.inspectCalls(lit.Body, func(inner *ast.CallExpr) {
+			if !facts.yes {
+				c.applyCallee(inner, nil, facts)
+			}
+		})
+		return facts.yes
+	}
+	callee := analysis.CalleeOf(c.pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() != c.pass.Pkg {
+		return false
+	}
+	facts := c.facts[callee]
+	if facts == nil {
+		return false
+	}
+	if facts.yes {
+		return true
+	}
+	for idx := range facts.params {
+		if idx < len(call.Args) && c.closed[c.chanObject(call.Args[idx])] {
+			return true
+		}
+	}
+	return false
+}
+
+// applyCallee folds one same-package call's facts into the caller's:
+// a proven callee proves the caller; a parameter-conditional callee
+// proves the caller when the argument is a closed channel, or defers the
+// condition to the caller's own parameter.
+func (c *checker) applyCallee(call *ast.CallExpr, callerParams map[types.Object]int, facts *stopFacts) {
+	callee := analysis.CalleeOf(c.pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() != c.pass.Pkg {
+		return
+	}
+	cf := c.facts[callee]
+	if cf == nil {
+		return
+	}
+	if cf.yes {
+		facts.yes = true
+		return
+	}
+	for idx := range cf.params {
+		if idx >= len(call.Args) {
+			continue
+		}
+		obj := c.chanObject(call.Args[idx])
+		if obj == nil {
+			continue
+		}
+		if c.closed[obj] {
+			facts.yes = true
+			return
+		}
+		if i, ok := callerParams[obj]; ok {
+			facts.params[i] = true
+		}
+	}
+}
+
+// scanBody records the direct stop facts of one body: WaitGroup.Done,
+// close(), and receives from closed channels or channel parameters.
+// Nested function literals are included (a deferred closure that closes
+// the done channel is the standard pattern); nested go statements are
+// not — a stop path registered by a *different* goroutine does not stop
+// this one.
+func (c *checker) scanBody(body *ast.BlockStmt, params map[types.Object]int, facts *stopFacts) {
+	recv := func(x ast.Expr) {
+		obj := c.chanObject(x)
+		if obj == nil {
+			return
+		}
+		if c.closed[obj] {
+			facts.yes = true
+		} else if i, ok := params[obj]; ok {
+			facts.params[i] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if isWaitGroupDone(c.pass.TypesInfo, n) || c.closeArg(n) != nil {
+				facts.yes = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				recv(n.X)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := c.pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					recv(n.X)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// inspectCalls visits the body's synchronous calls (skipping go-statement
+// payloads, keeping nested literals — they may run deferred).
+func (c *checker) inspectCalls(body *ast.BlockStmt, visit func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			visit(n)
+		}
+		return true
+	})
+}
+
+// closeArg returns the object of the channel being closed, or nil when
+// the call is not a close builtin on a resolvable channel.
+func (c *checker) closeArg(call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return nil
+	}
+	if _, builtin := c.pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+		return nil
+	}
+	return c.chanObject(call.Args[0])
+}
+
+// chanObject resolves a channel expression (ident or field selector) to
+// its variable object.
+func (c *checker) chanObject(expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return c.pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return c.pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isWaitGroupDone reports whether the call is (*sync.WaitGroup).Done.
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	callee := analysis.CalleeOf(info, call)
+	if callee == nil || callee.Name() != "Done" {
+		return false
+	}
+	if callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return false
+	}
+	return analysis.RecvTypeName(callee) == "WaitGroup"
+}
+
+// paramIndex maps a function's parameter objects to their indices.
+func paramIndex(fn *types.Func) map[types.Object]int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	out := make(map[types.Object]int, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		out[sig.Params().At(i)] = i
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package a
+
+import "sync"
+
+type S struct {
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	done     chan struct{}
+	events   chan int
+	never    chan struct{}
+	notified chan struct{}
+}
+
+func work() {}
+
+// WaitGroup join through a wrapper literal.
+func (s *S) goodWG() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// Loop that selects on a field channel closed by Close.
+func (s *S) goodLoop() {
+	go s.loop()
+}
+
+func (s *S) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// Done-channel close: the spawner joins by receiving s.done.
+func (s *S) goodSignal() {
+	go s.signal()
+	<-s.done
+}
+
+func (s *S) signal() {
+	defer close(s.done)
+	work()
+}
+
+// Transitive: runner stops because it calls loop synchronously.
+func (s *S) goodTransitive() {
+	go s.runner()
+}
+
+func (s *S) runner() {
+	work()
+	s.loop()
+}
+
+// Channel parameter, matched against a closed argument at the spawn site.
+func (s *S) goodParam() {
+	stop := make(chan struct{})
+	go watch(stop)
+	close(stop)
+}
+
+func watch(stop chan struct{}) {
+	<-stop
+}
+
+// Range over a package-closed channel.
+func (s *S) goodRange() {
+	go s.drain()
+}
+
+func (s *S) drain() {
+	for range s.events {
+		work()
+	}
+}
+
+func (s *S) Close() {
+	close(s.stop)
+	close(s.events)
+}
+
+func (s *S) badBare() {
+	go work() // want `no provable stop path`
+}
+
+func (s *S) badLoop() {
+	go func() { // want `no provable stop path`
+		for {
+			work()
+		}
+	}()
+}
+
+// The argument channel is never closed anywhere in the package.
+func (s *S) badParam() {
+	go watch(s.never) // want `no provable stop path`
+}
+
+// A go statement nested inside another goroutine's body is still judged.
+func (s *S) badNested() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		go work() // want `no provable stop path`
+	}()
+}
+
+// A stop path owned by a *different* goroutine does not count.
+func (s *S) badInnerSpawn() {
+	go func() { // want `no provable stop path`
+		go s.signal()
+		for {
+			work()
+		}
+	}()
+}
+
+func (s *S) ignored() {
+	//lint:ignore goroleak fixture: suppression-path coverage for goroleak
+	go work()
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis/analysistest"
+	"github.com/asyncfl/asyncfilter/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "a", "testdata/a", hotalloc.Analyzer)
+}

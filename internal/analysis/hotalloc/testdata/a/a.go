@@ -1,0 +1,114 @@
+package a
+
+// update has the update-struct shape: a direct []float64 field.
+type update struct {
+	delta []float64
+	tag   int
+}
+
+// meta has no vector payload; allocating it on the hot path is fine.
+type meta struct {
+	tag int
+}
+
+// apply is allocation-free: in-place AXPY over caller-owned buffers.
+//
+//afl:hotpath
+func apply(dst, src []float64) float64 {
+	var sum float64
+	for i := range src {
+		dst[i] += src[i]
+		sum += src[i]
+	}
+	return sum
+}
+
+//afl:hotpath
+func badMake(n int) []float64 {
+	return make([]float64, n) // want `allocates a \[\]float64 \(make\)`
+}
+
+//afl:hotpath
+func badLit() []float64 {
+	return []float64{1, 2} // want `allocates a \[\]float64 \(composite literal\)`
+}
+
+//afl:hotpath
+func badAppend(dst []float64, v float64) []float64 {
+	return append(dst, v) // want `appends to a \[\]float64`
+}
+
+//afl:hotpath
+func badStruct(d []float64) *update {
+	return &update{delta: d} // want `heap-allocates update struct update`
+}
+
+//afl:hotpath
+func badNew() *update {
+	return new(update) // want `heap-allocates update struct update`
+}
+
+func clone(src []float64) []float64 {
+	out := make([]float64, len(src))
+	copy(out, src)
+	return out
+}
+
+//afl:hotpath
+func badCall(src []float64) []float64 {
+	return clone(src) // want `calls clone, which allocates`
+}
+
+// Transitive: wraps clone through an intermediate helper.
+func cloneVia(src []float64) []float64 {
+	return clone(src)
+}
+
+//afl:hotpath
+func badTransitive(src []float64) []float64 {
+	return cloneVia(src) // want `calls cloneVia, which call to clone`
+}
+
+// A value composite is a copy into the return slot, not a heap
+// allocation.
+//
+//afl:hotpath
+func okValue(d []float64) update {
+	return update{delta: d, tag: 1}
+}
+
+// Non-vector allocations are not the hot-path concern.
+//
+//afl:hotpath
+func okMeta(tag int) *meta {
+	return &meta{tag: tag}
+}
+
+// Conversions reuse the operand's backing array.
+type vec []float64
+
+//afl:hotpath
+func okConvert(src []float64) vec {
+	return vec(src)
+}
+
+// Calls into another annotated function are that function's business.
+//
+//afl:hotpath
+func okCallsHot(dst, src []float64) float64 {
+	return apply(dst, src)
+}
+
+// Unannotated functions may allocate freely.
+func okNotHot(n int) []float64 {
+	return make([]float64, n)
+}
+
+//afl:hotpath
+func ignored(n int) []float64 {
+	//lint:ignore hotalloc fixture: suppression-path coverage for hotalloc
+	return make([]float64, n)
+}
+
+//afl:hotpath // want `misplaced`
+var scratch []float64

@@ -56,11 +56,20 @@ type listedPackage struct {
 // out of scope: the invariants the suite enforces are about production
 // determinism and aliasing, and tests legitimately pin exact float values
 // and ad-hoc RNGs.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+//
+// buildFlags are extra `go list` arguments (e.g. "-tags=integration")
+// inserted before the patterns, so the loaded file set matches what `go
+// vet`/`go build` would see under the same flags; GOFLAGS in the
+// environment is honored natively by the go tool. Without this, a
+// tag-guarded file silently escapes analysis in standalone mode while the
+// vettool path (which receives the post-tag-resolution file list from
+// cmd/go) still checks it.
+func Load(dir string, buildFlags []string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, buildFlags...)
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer

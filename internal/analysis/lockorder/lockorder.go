@@ -1,0 +1,297 @@
+// Package lockorder builds a lock-acquisition order graph for one
+// package and flags order inversions (potential ABBA deadlocks) and
+// re-acquisition of a lock already held (self-deadlock — sync.Mutex is
+// not reentrant).
+//
+// Invariant (transport/topology/replica): every pair of mutexes is always
+// acquired in the same order. The multi-process topology holds several
+// locks per process — server state, session, buffer, replica node — and a
+// single inverted pair deadlocks two goroutines forever with no test
+// failure until the exact interleaving fires. lockio already keeps
+// blocking I/O out of critical sections; lockorder extends that to static
+// deadlock-freedom between the locks themselves.
+//
+// The walk is the shared analysis.FlowWalker dominance approximation:
+// path-ordered with intersection merges, `defer mu.Unlock()` holds to
+// function end, goroutine bodies and function literals get a fresh lock
+// state. Lock identity is the receiver's named type plus the field name
+// ("Server.mu"), so two instances of the same struct share a graph node —
+// deliberately conservative: instance-distinct locks of one type (e.g.
+// parent/child of the same struct) flagged here need a //lint:ignore with
+// the proof. Calls into same-package functions propagate the callee's
+// transitively acquired lock set, so helper-mediated inversions are
+// caught; cross-package calls are invisible (each package is analyzed
+// against its own graph, matching the per-package vettool protocol).
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "flags inconsistent mutex acquisition order (ABBA deadlocks) and re-acquisition of a held lock",
+	Run:  run,
+}
+
+// edge records the first site where `to` was acquired while `from` was
+// held.
+type edge struct {
+	pos token.Pos
+	via string
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	acquires map[*types.Func]map[string]bool
+	// edges[from][to] is the first "to acquired while from held" site.
+	edges map[string]map[string]edge
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{
+		pass:     pass,
+		decls:    analysis.FuncDecls(pass),
+		acquires: make(map[*types.Func]map[string]bool),
+		edges:    make(map[string]map[string]edge),
+	}
+	order := analysis.SortedFuncs(pass, c.decls)
+
+	// Pass 1: the set of locks each function (transitively) acquires.
+	for _, fn := range order {
+		set := make(map[string]bool)
+		analysis.InspectBody(c.decls[fn].Body, func(n ast.Node) {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if lock, method, ok := c.mutexOp(call); ok && (method == "Lock" || method == "RLock") {
+					set[lock] = true
+				}
+			}
+		})
+		c.acquires[fn] = set
+	}
+	for {
+		changed := false
+		for _, fn := range order {
+			analysis.InspectBody(c.decls[fn].Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				callee := analysis.CalleeOf(pass.TypesInfo, call)
+				if callee == nil || callee.Pkg() != pass.Pkg || callee == fn {
+					return
+				}
+				for lock := range c.acquires[callee] {
+					if !c.acquires[fn][lock] {
+						c.acquires[fn][lock] = true
+						changed = true
+					}
+				}
+			})
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Pass 2: path-ordered walk recording order edges.
+	for _, fn := range order {
+		c.walk(c.decls[fn].Body)
+	}
+
+	// Pass 3: an edge whose reverse direction is (transitively) reachable
+	// closes a cycle; report at the edge site.
+	c.reportCycles()
+	return nil
+}
+
+// walk runs the flow walker over one body, threading the held-lock set.
+func (c *checker) walk(body *ast.BlockStmt) {
+	w := &analysis.FlowWalker{
+		Call: c.onCall,
+		Defer: func(call *ast.CallExpr, st analysis.State) {
+			// defer mu.Unlock() holds the lock to function end: leave the
+			// state untouched. Deferred helper calls run after the walk's
+			// scope and record nothing.
+		},
+	}
+	w.WalkFunc(body)
+}
+
+func (c *checker) onCall(call *ast.CallExpr, held analysis.State) {
+	if lock, method, ok := c.mutexOp(call); ok {
+		switch method {
+		case "Lock", "RLock":
+			if held[lock] {
+				c.pass.Reportf(call.Pos(), "lock %q acquired while already held (sync mutexes are not reentrant): release it first", lock)
+				return
+			}
+			for h := range held {
+				c.addEdge(h, lock, call.Pos(), "")
+			}
+			held[lock] = true
+		case "Unlock", "RUnlock":
+			delete(held, lock)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	callee := analysis.CalleeOf(c.pass.TypesInfo, call)
+	if callee == nil || callee.Pkg() != c.pass.Pkg {
+		return
+	}
+	for _, lock := range sortedKeys(c.acquires[callee]) {
+		if held[lock] {
+			c.pass.Reportf(call.Pos(), "call to %s acquires %q while it is already held (possible self-deadlock)", callee.Name(), lock)
+			continue
+		}
+		for h := range held {
+			c.addEdge(h, lock, call.Pos(), callee.Name())
+		}
+	}
+}
+
+func (c *checker) addEdge(from, to string, pos token.Pos, via string) {
+	m := c.edges[from]
+	if m == nil {
+		m = make(map[string]edge)
+		c.edges[from] = m
+	}
+	if _, seen := m[to]; !seen {
+		m[to] = edge{pos: pos, via: via}
+	}
+}
+
+// reportCycles flags every edge that participates in a cycle of the
+// acquisition graph: both sides of an inversion are reported, at the
+// position each order was first established.
+func (c *checker) reportCycles() {
+	type flagged struct {
+		pos      token.Pos
+		from, to string
+		via      string
+	}
+	var out []flagged
+	for from, tos := range c.edges {
+		for to, e := range tos {
+			if c.reachable(to, from) {
+				out = append(out, flagged{e.pos, from, to, e.via})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		if out[i].from != out[j].from {
+			return out[i].from < out[j].from
+		}
+		return out[i].to < out[j].to
+	})
+	for _, f := range out {
+		detail := ""
+		if f.via != "" {
+			detail = " (via call to " + f.via + ")"
+		}
+		c.pass.Reportf(f.pos, "lock order cycle: %q acquired while %q is held%s, but the reverse order also occurs in this package: establish a single acquisition order", f.to, f.from, detail)
+	}
+}
+
+// reachable reports whether `to` is reachable from `from` in the edge
+// graph.
+func (c *checker) reachable(from, to string) bool {
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == to {
+			return true
+		}
+		for next := range c.edges[cur] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// mutexOp classifies a call as a Lock/Unlock-family method on a
+// sync.Mutex or sync.RWMutex, returning the type-qualified lock name.
+// RLock/RUnlock map to the same lock node as Lock/Unlock: a read lock
+// still participates in ordering (it blocks behind a queued writer).
+func (c *checker) mutexOp(call *ast.CallExpr) (lock, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, found := c.pass.TypesInfo.Selections[sel]
+	if !found {
+		return "", "", false
+	}
+	callee, _ := s.Obj().(*types.Func)
+	if callee == nil {
+		return "", "", false
+	}
+	if !isSyncMutexMethod(callee) {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return c.lockName(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// isSyncMutexMethod reports whether f is a method of sync.Mutex or
+// sync.RWMutex.
+func isSyncMutexMethod(f *types.Func) bool {
+	if f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := analysis.RecvTypeName(f)
+	return recv == "Mutex" || recv == "RWMutex"
+}
+
+// lockName renders a stable, type-qualified identity for the mutex
+// expression: "Server.mu" for s.mu, "Server.Mutex" for an embedded mutex
+// on s, plain "mu" for a local or package-level variable.
+func (c *checker) lockName(x ast.Expr) string {
+	x = ast.Unparen(x)
+	if sel, ok := x.(*ast.SelectorExpr); ok {
+		if base := analysis.NamedTypeName(c.pass.TypesInfo, sel.X); base != "" && !isMutexTypeName(base) {
+			return base + "." + sel.Sel.Name
+		}
+		return analysis.ExprText(x, "mutex")
+	}
+	if base := analysis.NamedTypeName(c.pass.TypesInfo, x); base != "" && !isMutexTypeName(base) {
+		// Receiver with an embedded mutex: s.Lock().
+		return base + ".Mutex"
+	}
+	return analysis.ExprText(x, "mutex")
+}
+
+func isMutexTypeName(name string) bool {
+	return name == "Mutex" || name == "RWMutex" || strings.HasSuffix(name, "Mutex")
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

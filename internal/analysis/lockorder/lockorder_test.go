@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis/analysistest"
+	"github.com/asyncfl/asyncfilter/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "a", "testdata/a", lockorder.Analyzer)
+}

@@ -1,0 +1,132 @@
+package a
+
+import "sync"
+
+// Inverted pair: ab takes A then B, ba takes B then A. Both sides of the
+// cycle are reported, at the site each order is established.
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock order cycle`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock order cycle`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Consistent order: E before F everywhere, including with a deferred
+// unlock — no findings.
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func ef1(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func ef2(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// Sequential (non-nested) acquisition records no order edge.
+func sequential(e *E, f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// Re-acquiring a held mutex self-deadlocks immediately.
+func recur(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `acquired while already held`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Inversion through a same-package helper: cd holds C and calls lockD
+// (which acquires D), while dc takes D then C directly.
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d) // want `lock order cycle`
+	c.mu.Unlock()
+}
+
+func dc(c *C, d *D) {
+	d.mu.Lock()
+	c.mu.Lock() // want `lock order cycle`
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// Calling a helper that re-acquires the caller's lock self-deadlocks.
+func selfVia(c *C, d *D) {
+	c.mu.Lock()
+	lockC(c) // want `possible self-deadlock`
+	c.mu.Unlock()
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// An RWMutex read lock participates in ordering under the same node.
+
+type G struct{ mu sync.RWMutex }
+type H struct{ mu sync.Mutex }
+
+func gh(g *G, h *H) {
+	g.mu.RLock()
+	h.mu.Lock() // want `lock order cycle`
+	h.mu.Unlock()
+	g.mu.RUnlock()
+}
+
+func hg(g *G, h *H) {
+	h.mu.Lock()
+	//lint:ignore lockorder fixture: suppression-path coverage for lockorder
+	g.mu.RLock()
+	g.mu.RUnlock()
+	h.mu.Unlock()
+}
+
+// A branch that unlocks and returns does not leak the held state into
+// the fall-through path.
+func branchy(a *A, b *B, cond bool) {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	// b is no longer held here; no edge B->A is recorded... and none
+	// from a goroutine body either, which starts with a fresh state.
+	go func() {
+		a.mu.Lock()
+		a.mu.Unlock()
+	}()
+}

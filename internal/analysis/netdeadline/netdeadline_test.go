@@ -1,0 +1,12 @@
+package netdeadline_test
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/analysis/analysistest"
+	"github.com/asyncfl/asyncfilter/internal/analysis/netdeadline"
+)
+
+func TestNetDeadline(t *testing.T) {
+	analysistest.Run(t, "a", "testdata/a", netdeadline.Analyzer)
+}

@@ -1,0 +1,125 @@
+package a
+
+import (
+	"encoding/gob"
+	"net"
+	"time"
+)
+
+type C struct {
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+	rt   time.Duration
+}
+
+// armRead is the repo's arming-helper shape: config-guarded, so a zero
+// timeout deliberately disables deadlines.
+func (c *C) armRead() {
+	if c.rt > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.rt))
+	}
+}
+
+func goodDirect(c *C, buf []byte) {
+	_ = c.conn.SetReadDeadline(time.Now().Add(time.Second))
+	_, _ = c.conn.Read(buf)
+}
+
+func goodHelper(c *C) {
+	c.armRead()
+	var v int
+	_ = c.dec.Decode(&v)
+}
+
+// transitive: viaHelper arms because it calls armRead.
+func (c *C) viaHelper() {
+	c.armRead()
+}
+
+func goodTransitive(c *C) {
+	c.viaHelper()
+	var v int
+	_ = c.dec.Decode(&v)
+}
+
+func goodBoth(c *C, buf []byte) {
+	_ = c.conn.SetDeadline(time.Now().Add(time.Second))
+	_, _ = c.conn.Read(buf)
+	_, _ = c.conn.Write(buf)
+}
+
+func goodLoop(c *C) {
+	for {
+		c.armRead()
+		var v int
+		if err := c.dec.Decode(&v); err != nil {
+			return
+		}
+	}
+}
+
+func badRead(c *C, buf []byte) {
+	_, _ = c.conn.Read(buf) // want `net.Conn Read without a read deadline`
+}
+
+func badWrite(c *C, buf []byte) {
+	_, _ = c.conn.Write(buf) // want `net.Conn Write without a write deadline`
+}
+
+func badDecode(c *C) {
+	var v int
+	_ = c.dec.Decode(&v) // want `gob Decode without a read deadline`
+}
+
+func badEncode(c *C) {
+	_ = c.enc.Encode(1) // want `gob Encode without a write deadline`
+}
+
+// Arm after use does not count.
+func badOrder(c *C, buf []byte) {
+	_, _ = c.conn.Read(buf) // want `net.Conn Read without a read deadline`
+	_ = c.conn.SetReadDeadline(time.Now())
+}
+
+// A read arm does not license writes.
+func badWrongKind(c *C, buf []byte) {
+	_ = c.conn.SetReadDeadline(time.Now())
+	_, _ = c.conn.Write(buf) // want `net.Conn Write without a write deadline`
+}
+
+// A function literal is its own body: it inherits no arm from its
+// lexical context (it may run on another goroutine, long after).
+func badLit(c *C) {
+	_ = c.conn.SetWriteDeadline(time.Now())
+	f := func() {
+		_ = c.enc.Encode(1) // want `gob Encode without a write deadline`
+	}
+	f()
+}
+
+// Listener deadlines do not arm conn I/O.
+func badListener(lis *net.TCPListener, c *C, buf []byte) {
+	_ = lis.SetDeadline(time.Now())
+	_, _ = c.conn.Read(buf) // want `net.Conn Read without a read deadline`
+}
+
+func ignored(c *C, buf []byte) {
+	//lint:ignore netdeadline fixture: suppression-path coverage for netdeadline
+	_, _ = c.conn.Read(buf)
+}
+
+// wrapper implements net.Conn itself (the embedded conn supplies the
+// rest of the interface); its forwarding methods are exempt, because the
+// caller's SetDeadline on the wrapper forwards to the wrapped conn.
+type wrapper struct {
+	net.Conn
+}
+
+func (w *wrapper) Read(p []byte) (int, error)  { return w.Conn.Read(p) }
+func (w *wrapper) Write(p []byte) (int, error) { return w.Conn.Write(p) }
+
+// Using a wrapper from the outside is still checked.
+func badWrapperUse(w *wrapper, buf []byte) {
+	_, _ = w.Read(buf) // want `net.Conn Read without a read deadline`
+}

@@ -54,8 +54,9 @@ func suppressed() int {
 	return rand.Intn(7)
 }
 
-// unjustified: an ignore without a reason suppresses nothing.
+// unjustified: an ignore without a reason suppresses nothing, and is
+// itself a diagnostic.
 func unjustified() int {
-	//lint:ignore rawrand
+	//lint:ignore rawrand // want `missing its mandatory reason`
 	return rand.Intn(7) // want `use of math/rand.Intn`
 }

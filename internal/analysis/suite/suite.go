@@ -7,12 +7,21 @@ import (
 	"regexp"
 
 	"github.com/asyncfl/asyncfilter/internal/analysis"
+	"github.com/asyncfl/asyncfilter/internal/analysis/epochfence"
 	"github.com/asyncfl/asyncfilter/internal/analysis/floateq"
+	"github.com/asyncfl/asyncfilter/internal/analysis/goroleak"
+	"github.com/asyncfl/asyncfilter/internal/analysis/hotalloc"
 	"github.com/asyncfl/asyncfilter/internal/analysis/lockio"
+	"github.com/asyncfl/asyncfilter/internal/analysis/lockorder"
+	"github.com/asyncfl/asyncfilter/internal/analysis/netdeadline"
 	"github.com/asyncfl/asyncfilter/internal/analysis/rawrand"
 	"github.com/asyncfl/asyncfilter/internal/analysis/typederr"
 	"github.com/asyncfl/asyncfilter/internal/analysis/vecalias"
 )
+
+// concurrencyScope matches the packages that own goroutines, locks and
+// network connections; the concurrency analyzers apply there.
+var concurrencyScope = regexp.MustCompile(`/internal/(transport|topology|replica)$`)
 
 // Default returns the repository's analyzer suite:
 //
@@ -22,7 +31,13 @@ import (
 //     transport);
 //   - lockio in internal/transport, the only package mixing locks with
 //     connection I/O;
-//   - typederr and floateq everywhere.
+//   - lockorder, goroleak and netdeadline in the concurrency-bearing
+//     packages (transport, topology, replica);
+//   - epochfence wherever fenced epochs live (topology, replica) plus
+//     transport, which carries them on the wire;
+//   - typederr, floateq and hotalloc everywhere (hotalloc only fires
+//     inside functions annotated //afl:hotpath, so a repo-wide scope
+//     costs nothing on unannotated packages).
 func Default() []analysis.Scoped {
 	return []analysis.Scoped{
 		{
@@ -37,8 +52,25 @@ func Default() []analysis.Scoped {
 			Analyzer: lockio.Analyzer,
 			Include:  []*regexp.Regexp{regexp.MustCompile(`/internal/transport$`)},
 		},
+		{
+			Analyzer: lockorder.Analyzer,
+			Include:  []*regexp.Regexp{concurrencyScope},
+		},
+		{
+			Analyzer: goroleak.Analyzer,
+			Include:  []*regexp.Regexp{concurrencyScope},
+		},
+		{
+			Analyzer: netdeadline.Analyzer,
+			Include:  []*regexp.Regexp{concurrencyScope},
+		},
+		{
+			Analyzer: epochfence.Analyzer,
+			Include:  []*regexp.Regexp{concurrencyScope},
+		},
 		{Analyzer: typederr.Analyzer},
 		{Analyzer: floateq.Analyzer},
+		{Analyzer: hotalloc.Analyzer},
 	}
 }
 

@@ -11,10 +11,17 @@ import (
 //	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
 // placed either on the same line as the diagnostic or on the line
-// immediately above it. The reason is mandatory — a bare ignore is itself
-// ignored — so every deliberate exception in the tree is greppable and
-// self-justifying.
-const ignorePrefix = "lint:ignore "
+// immediately above it. The reason is mandatory — a directive without one
+// suppresses nothing and is itself reported as a diagnostic (under the
+// pseudo-analyzer name MalformedIgnore) — so every deliberate exception
+// in the tree is greppable and self-justifying, and a forgotten reason
+// cannot silently weaken the suite.
+const ignorePrefix = "lint:ignore"
+
+// MalformedIgnore is the pseudo-analyzer name malformed //lint:ignore
+// directives are reported under. It is not registered in the suite and
+// cannot itself be suppressed.
+const MalformedIgnore = "lintignore"
 
 // directive is one parsed //lint:ignore comment.
 type directive struct {
@@ -24,9 +31,9 @@ type directive struct {
 }
 
 // parseDirectives extracts the lint:ignore directives of one file, keyed
-// by the line the comment sits on.
-func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
-	var out []directive
+// by the line the comment sits on. Directives missing the mandatory
+// reason come back as malformed diagnostics instead.
+func parseDirectives(fset *token.FileSet, file *ast.File) (out []directive, malformed []Diagnostic) {
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -36,9 +43,18 @@ func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
 			}
 			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
 			name, reason, ok := strings.Cut(rest, " ")
-			if !ok || strings.TrimSpace(reason) == "" {
-				// No reason given: the directive is invalid and suppresses
-				// nothing.
+			reason = strings.TrimSpace(reason)
+			// A "reason" that is itself a trailing comment marker is no
+			// reason at all.
+			if !ok || name == "" || reason == "" || strings.HasPrefix(reason, "//") {
+				// No reason given: the directive suppresses nothing, and
+				// silently honoring it would hide that the exception is
+				// unjustified. Surface it.
+				malformed = append(malformed, Diagnostic{
+					Analyzer: MalformedIgnore,
+					Pos:      fset.Position(c.Pos()),
+					Message:  "//lint:ignore directive is missing its mandatory reason: write //lint:ignore <analyzer> <reason>",
+				})
 				continue
 			}
 			out = append(out, directive{
@@ -48,13 +64,16 @@ func parseDirectives(fset *token.FileSet, file *ast.File) []directive {
 			})
 		}
 	}
-	return out
+	return out, malformed
 }
 
 // suppressor answers whether a diagnostic is covered by a directive.
 type suppressor struct {
 	// byFile maps filename -> line -> analyzers suppressed on that line.
 	byFile map[string]map[int][]string
+	// malformed holds the diagnostics for reason-less directives; the
+	// driver reports them once per package.
+	malformed []Diagnostic
 }
 
 // newSuppressor indexes the directives of all files.
@@ -62,7 +81,9 @@ func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
 	s := &suppressor{byFile: make(map[string]map[int][]string)}
 	for _, f := range files {
 		name := fset.Position(f.Pos()).Filename
-		for _, d := range parseDirectives(fset, f) {
+		dirs, malformed := parseDirectives(fset, f)
+		s.malformed = append(s.malformed, malformed...)
+		for _, d := range dirs {
 			m := s.byFile[name]
 			if m == nil {
 				m = make(map[int][]string)
