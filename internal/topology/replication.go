@@ -79,10 +79,18 @@ func (r *Root) PromoteEpoch(epoch uint64) error {
 // not persist — the next checkpoint or snapshot install carries it.
 func (r *Root) ObserveEpoch(epoch uint64) {
 	r.mu.Lock()
+	r.observeEpochLocked(epoch)
+	r.mu.Unlock()
+}
+
+// observeEpochLocked is the single raise-only write path for observed
+// epochs (records, checkpoints, peer pushes); r.mu must be held. Keeping
+// every adoption behind this guard is what makes the fence monotone: no
+// caller can regress the epoch by writing the field directly.
+func (r *Root) observeEpochLocked(epoch uint64) {
 	if epoch > r.epoch {
 		r.epoch = epoch
 	}
-	r.mu.Unlock()
 }
 
 // SetOnCommit installs the per-applied-batch replication tap. It must be
@@ -218,9 +226,7 @@ func (r *Root) ApplyRecord(rec *transport.ReplRecord) error {
 		vecmath.Add(r.global, r.global, rec.Delta)
 	}
 	r.version = int(rec.Seq)
-	if rec.Epoch > r.epoch {
-		r.epoch = rec.Epoch
-	}
+	r.observeEpochLocked(rec.Epoch)
 	if rec.ShardVersion > r.shard.Version {
 		r.shard.Version = rec.ShardVersion
 	}

@@ -289,3 +289,58 @@ func TestReplicationLogMirrorsRoot(t *testing.T) {
 		t.Errorf("promoted root replies at epoch %d, want 1", reply.Epoch)
 	}
 }
+
+// TestEpochNeverRegressesUnderConcurrency: every epoch adoption path
+// (peer observation, record replay) funnels through the raise-only
+// helper, so a storm of stale observations racing a record stream can
+// never move the fence backwards. Under -race this also pins that every
+// adoption happens with the root lock held.
+func TestEpochNeverRegressesUnderConcurrency(t *testing.T) {
+	root, err := NewRoot(RootConfig{InitialParams: make([]float64, rootTestDim), Rounds: 64}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur := root.Epoch()
+			if cur < last {
+				t.Errorf("epoch regressed from %d to %d", last, cur)
+				return
+			}
+			last = cur
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// Mostly stale values, maximum 99: only raises may land.
+				root.ObserveEpoch(uint64((i*7 + g) % 100))
+			}
+		}(g)
+	}
+	for seq := 1; seq <= 32; seq++ {
+		rec := &transport.ReplRecord{Seq: uint64(seq), EdgeID: 1, BatchID: uint64(seq), Epoch: uint64(seq % 5)}
+		if err := root.ApplyRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := root.Epoch(); got != 99 {
+		t.Fatalf("epoch = %d, want 99 (the maximum observed)", got)
+	}
+}

@@ -707,18 +707,7 @@ func (r *Root) applyBatch(es *edgeState, b *transport.BatchMsg) *transport.RootM
 	checkpointDue := r.cfg.CheckpointPath != "" && (r.finished || r.version%every == 0)
 	var rec *transport.ReplRecord
 	if r.onCommit != nil {
-		rec = &transport.ReplRecord{
-			Seq:          uint64(r.version),
-			Epoch:        r.epoch,
-			EdgeID:       es.id,
-			BatchID:      b.BatchID,
-			EdgeAddr:     es.clientAddr,
-			ShardVersion: r.shard.Version,
-			Delta:        vecmath.Clone(delta),
-			Accepted:     len(accepted),
-			Deferred:     len(deferred),
-			Rejected:     len(rejected),
-		}
+		rec = r.buildReplRecord(es, b, delta, len(accepted), len(deferred), len(rejected))
 	}
 	r.noteBatch(es.id, "applied")
 	r.mu.Unlock()
@@ -734,6 +723,29 @@ func (r *Root) applyBatch(es *edgeState, b *transport.BatchMsg) *transport.RootM
 		r.writeCheckpoint()
 	}
 	return reply
+}
+
+// buildReplRecord assembles the replication record for one applied
+// batch; r.mu must be held. The record owns deep copies of everything it
+// carries: it outlives the lock and crosses the replication stream to
+// another goroutine (and usually another process).
+//
+//afl:hotpath
+func (r *Root) buildReplRecord(es *edgeState, b *transport.BatchMsg, delta []float64, accepted, deferred, rejected int) *transport.ReplRecord {
+	//lint:ignore hotalloc the record must own its payload: it escapes to the replication stream, so a fresh struct and a deep-copied delta are the contract (arena reuse tracked by ROADMAP item 2)
+	return &transport.ReplRecord{
+		Seq:          uint64(r.version),
+		Epoch:        r.epoch,
+		EdgeID:       es.id,
+		BatchID:      b.BatchID,
+		EdgeAddr:     es.clientAddr,
+		ShardVersion: r.shard.Version,
+		//lint:ignore hotalloc the delta is cloned because the caller's buffer is reused next round; the record's copy is the durable one
+		Delta:    vecmath.Clone(delta),
+		Accepted: accepted,
+		Deferred: deferred,
+		Rejected: rejected,
+	}
 }
 
 // filterBatch runs the root filter behind the same recover guard as the
@@ -1026,9 +1038,7 @@ func (r *Root) adoptCkpt(ck *rootCkpt, where string) error {
 	r.shard.Version = ck.ShardVersion
 	r.deferred = ck.Deferred
 	r.orphans = ck.Orphans
-	if ck.Epoch > r.epoch {
-		r.epoch = ck.Epoch
-	}
+	r.observeEpochLocked(ck.Epoch)
 	r.edges = make(map[int]*edgeState, len(ck.Edges))
 	for _, ec := range ck.Edges {
 		r.edges[ec.ID] = &edgeState{
