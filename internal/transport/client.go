@@ -60,6 +60,13 @@ type ClientConfig struct {
 	// long local training and NACK backoff pauses. Set it well below the
 	// server's LeaseDuration.
 	HeartbeatInterval time.Duration
+	// WriteTimeout arms a write deadline before each outbound encode
+	// (0 = no deadline), so a peer that stops draining its socket fails
+	// the client's send instead of parking it forever. Reads are
+	// deliberately unbounded: the protocol blocks on the server's
+	// schedule between tasks, and the lease/heartbeat machinery owns
+	// liveness in that direction.
+	WriteTimeout time.Duration
 	// Dial overrides how connections are established (nil = plain TCP).
 	// Tests plug in FaultDialer here to run a client through a flaky
 	// network.
@@ -107,6 +114,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.MaxRetries < 0 {
 		return nil, fmt.Errorf("transport: NewClient: MaxRetries = %d, need >= 0", cfg.MaxRetries)
+	}
+	if cfg.WriteTimeout < 0 {
+		return nil, fmt.Errorf("transport: NewClient: WriteTimeout = %v, need >= 0", cfg.WriteTimeout)
 	}
 	atk, err := attack.New(cfg.Attack)
 	if err != nil {
@@ -229,7 +239,7 @@ type connWriter struct {
 	wg    sync.WaitGroup
 }
 
-func startConnWriter(conn net.Conn) *connWriter {
+func startConnWriter(conn net.Conn, writeTimeout time.Duration) *connWriter {
 	w := &connWriter{
 		queue: make(chan *ClientMsg, 8),
 		dead:  make(chan struct{}),
@@ -245,6 +255,9 @@ func startConnWriter(conn net.Conn) *connWriter {
 			case <-w.stop:
 				return
 			case msg := <-w.queue:
+				if writeTimeout > 0 {
+					_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+				}
 				if err := enc.Encode(msg); err != nil {
 					// Unblock the decode loop: a one-sided write failure
 					// must not leave the client hanging on a read.
@@ -304,7 +317,7 @@ func (c *Client) RunConn(conn net.Conn) error {
 	// encode.
 	var send func(*ClientMsg) error
 	if c.cfg.HeartbeatInterval > 0 {
-		w := startConnWriter(conn)
+		w := startConnWriter(conn, c.cfg.WriteTimeout)
 		defer w.close()
 		send = w.send
 
@@ -328,7 +341,12 @@ func (c *Client) RunConn(conn net.Conn) error {
 		}()
 	} else {
 		enc := gob.NewEncoder(conn)
-		send = func(msg *ClientMsg) error { return enc.Encode(msg) }
+		send = func(msg *ClientMsg) error {
+			if c.cfg.WriteTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+			}
+			return enc.Encode(msg)
+		}
 	}
 
 	hello := &ClientMsg{Hello: &Hello{
@@ -342,6 +360,7 @@ func (c *Client) RunConn(conn net.Conn) error {
 
 	for {
 		var msg ServerMsg
+		//lint:ignore netdeadline the protocol read blocks on the server's task schedule by design; lease heartbeats (not deadlines) bound liveness here
 		if err := dec.Decode(&msg); err != nil {
 			return fmt.Errorf("transport: receive: %w", err)
 		}

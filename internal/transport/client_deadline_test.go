@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestClientWriteDeadlineUnsticksStalledPeer: a peer that accepts the
+// connection but never drains its socket must fail the client's send
+// once WriteTimeout elapses instead of parking it forever. Both write
+// paths are pinned: the synchronous encoder (no heartbeats) and the
+// single-writer goroutine (heartbeats enabled).
+func TestClientWriteDeadlineUnsticksStalledPeer(t *testing.T) {
+	parts := testData(t, 1)
+	for _, tc := range []struct {
+		name string
+		hb   time.Duration
+	}{
+		{"sync-writer", 0},
+		{"conn-writer", time.Hour},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			client, err := NewClient(ClientConfig{
+				ID: 1, Data: parts[0], Model: testModelConfig(), Trainer: testTrainer(),
+				WriteTimeout:      50 * time.Millisecond,
+				HeartbeatInterval: tc.hb,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			clientConn, serverConn := net.Pipe()
+			defer clientConn.Close()
+			defer serverConn.Close()
+			// The server side never reads: without a write deadline the
+			// hello encode would block on the pipe indefinitely.
+			done := make(chan error, 1)
+			go func() { done <- client.RunConn(clientConn) }()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("RunConn succeeded against a peer that never reads")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("RunConn still blocked after 5s: the write deadline did not fire")
+			}
+		})
+	}
+}
+
+// TestClientRejectsNegativeWriteTimeout pins the config validation.
+func TestClientRejectsNegativeWriteTimeout(t *testing.T) {
+	parts := testData(t, 1)
+	_, err := NewClient(ClientConfig{
+		Data: parts[0], Model: testModelConfig(), Trainer: testTrainer(),
+		WriteTimeout: -time.Second,
+	})
+	if err == nil {
+		t.Fatal("NewClient accepted a negative WriteTimeout")
+	}
+}
