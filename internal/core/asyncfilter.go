@@ -325,6 +325,8 @@ func (f *AsyncFilter) newEstimator() estimator {
 }
 
 // Filter implements fl.Filter, running the three AsyncFilter steps.
+//
+//afl:hotpath
 func (f *AsyncFilter) Filter(updates []*fl.Update, round int) (fl.FilterResult, error) {
 	f.rounds++
 	n := len(updates)
@@ -379,11 +381,14 @@ func (f *AsyncFilter) Filter(updates []*fl.Update, round int) (fl.FilterResult, 
 	for _, u := range updates {
 		pooled.Add(u.Delta)
 	}
+	//lint:ignore hotalloc per-round distance scratch sized by the batch; first target of the ROADMAP item 2 arena
 	dists := make([]float64, n)
 	for i, u := range updates {
+		//lint:ignore hotalloc the reference mean is a fresh vector per group until the arena lands (ROADMAP item 2)
 		ref := f.referenceMean(live, groupOf[i], pooled)
 		dists[i] = vecmath.Distance(ref, u.Delta)
 	}
+	//lint:ignore hotalloc scores escape through LastScores and the observer, so the round must own a fresh slice (ROADMAP item 2)
 	scores := f.normalize(updates, dists, live, groupOf)
 	f.lastScores = scores
 
@@ -422,6 +427,7 @@ func (f *AsyncFilter) Filter(updates []*fl.Update, round int) (fl.FilterResult, 
 					continue
 				}
 				if sums[k] == nil {
+					//lint:ignore hotalloc one accumulator per live staleness group per round; pooled once arenas land (ROADMAP item 2)
 					sums[k] = make([]float64, f.dim)
 				}
 				vecmath.Add(sums[k], sums[k], u.Delta)

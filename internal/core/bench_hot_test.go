@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+	"github.com/asyncfl/asyncfilter/internal/randx"
+)
+
+// BenchmarkHotFilter measures the annotated //afl:hotpath Filter call:
+// allocs/op here is the baseline the ROADMAP item 2 arena work must
+// drive down. Run via `make bench-hot` (with -benchmem).
+func BenchmarkHotFilter(b *testing.B) {
+	const (
+		dim = 256
+		n   = 32
+	)
+	f, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randx.New(1)
+	updates := make([]*fl.Update, n)
+	for i := range updates {
+		delta := make([]float64, dim)
+		for j := range delta {
+			delta[j] = rng.NormFloat64()
+		}
+		updates[i] = &fl.Update{ClientID: i, Staleness: i % 4, Delta: delta, NumSamples: 10}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Filter(updates, i+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package fl
+
+import "testing"
+
+// BenchmarkHotBufferAdd measures the annotated //afl:hotpath ingest
+// path: the deep copy per accepted update is the vecalias contract, and
+// its allocs/op is the baseline for the ROADMAP item 2 arena work. Run
+// via `make bench-hot` (with -benchmem).
+func BenchmarkHotBufferAdd(b *testing.B) {
+	const dim = 256
+	buf, err := NewBuffer(1<<30, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := &Update{ClientID: 1, Delta: make([]float64, dim), NumSamples: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !buf.Add(u) {
+			b.Fatal("update dropped")
+		}
+		if len(buf.updates) >= 1024 {
+			b.StopTimer()
+			buf.updates = buf.updates[:0]
+			b.StartTimer()
+		}
+	}
+}

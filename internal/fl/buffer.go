@@ -57,6 +57,8 @@ func (b *Buffer) notify(ev BufferEvent) {
 // on ingest: the buffer must never alias caller-owned memory, or a
 // malicious client could mutate its delta after submission and corrupt
 // the filter statistics computed from the buffered batch (Eq. 5).
+//
+//afl:hotpath
 func (b *Buffer) Add(u *Update) bool {
 	b.received++
 	if b.stalenessLimit > 0 && u.Staleness > b.stalenessLimit {
@@ -64,6 +66,7 @@ func (b *Buffer) Add(u *Update) bool {
 		b.notify(BufferEvent{DroppedStale: 1})
 		return false
 	}
+	//lint:ignore hotalloc the defensive deep copy is the vecalias invariant: the buffer must own its memory, so this allocation is the point (pool candidacy tracked by ROADMAP item 2)
 	b.updates = append(b.updates, CloneUpdate(u))
 	b.fresh++
 	b.notify(BufferEvent{Added: 1})

@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"net"
+	"testing"
+
+	"github.com/asyncfl/asyncfilter/internal/fl"
+)
+
+// BenchmarkHotWireEdgeBatch measures the annotated //afl:hotpath wire
+// codec (WriteEdge/ReadEdge): one edge batch encoded and decoded over an
+// in-memory pipe per iteration. allocs/op covers both gob sides and is
+// the wire baseline for the ROADMAP item 2 arena work. Run via
+// `make bench-hot` (with -benchmem).
+func BenchmarkHotWireEdgeBatch(b *testing.B) {
+	const dim = 256
+	edgeConn, rootConn := net.Pipe()
+	defer edgeConn.Close()
+	defer rootConn.Close()
+	edge := NewUpstreamConn(edgeConn, 0, 0, 0)
+	root := NewUpstreamConn(rootConn, 0, 0, 0)
+
+	msg := &EdgeMsg{Batch: &BatchMsg{
+		BatchID: 1,
+		Updates: []*fl.Update{{ClientID: 1, Delta: make([]float64, dim), NumSamples: 10}},
+	}}
+	errc := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(errc)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := root.ReadEdge(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.Batch.BatchID = uint64(i + 1)
+		if err := edge.WriteEdge(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(done)
+	edgeConn.Close()
+	if err := <-errc; err != nil && b.N > 0 {
+		// The reader exits with a closed-pipe error once the bench ends;
+		// anything before that would have stalled the writer anyway.
+		_ = err
+	}
+}

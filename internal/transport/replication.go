@@ -140,6 +140,8 @@ func (h *ReplHello) Validate() error {
 }
 
 // ReadReplica decodes the next standby->primary envelope (primary side).
+//
+//afl:hotpath
 func (u *UpstreamConn) ReadReplica() (*ReplicaMsg, error) {
 	u.armRead()
 	u.lim.reset()
@@ -151,12 +153,16 @@ func (u *UpstreamConn) ReadReplica() (*ReplicaMsg, error) {
 }
 
 // WritePrimary encodes one primary->standby push (primary side).
+//
+//afl:hotpath
 func (u *UpstreamConn) WritePrimary(msg *PrimaryMsg) error {
 	u.armWrite()
 	return u.enc.Encode(msg)
 }
 
 // ReadPrimary decodes the next primary->standby envelope (standby side).
+//
+//afl:hotpath
 func (u *UpstreamConn) ReadPrimary() (*PrimaryMsg, error) {
 	u.armRead()
 	u.lim.reset()
@@ -168,6 +174,8 @@ func (u *UpstreamConn) ReadPrimary() (*PrimaryMsg, error) {
 }
 
 // WriteReplica encodes one standby->primary message (standby side).
+//
+//afl:hotpath
 func (u *UpstreamConn) WriteReplica(msg *ReplicaMsg) error {
 	u.armWrite()
 	return u.enc.Encode(msg)

@@ -57,6 +57,8 @@ func (u *UpstreamConn) armWrite() {
 }
 
 // ReadEdge decodes the next edge->root envelope (root side).
+//
+//afl:hotpath
 func (u *UpstreamConn) ReadEdge() (*EdgeMsg, error) {
 	u.armRead()
 	u.lim.reset()
@@ -68,12 +70,16 @@ func (u *UpstreamConn) ReadEdge() (*EdgeMsg, error) {
 }
 
 // WriteRoot encodes one root->edge reply (root side).
+//
+//afl:hotpath
 func (u *UpstreamConn) WriteRoot(msg *RootMsg) error {
 	u.armWrite()
 	return u.enc.Encode(msg)
 }
 
 // ReadRoot decodes the next root->edge envelope (edge side).
+//
+//afl:hotpath
 func (u *UpstreamConn) ReadRoot() (*RootMsg, error) {
 	u.armRead()
 	u.lim.reset()
@@ -85,6 +91,8 @@ func (u *UpstreamConn) ReadRoot() (*RootMsg, error) {
 }
 
 // WriteEdge encodes one edge->root request (edge side).
+//
+//afl:hotpath
 func (u *UpstreamConn) WriteEdge(msg *EdgeMsg) error {
 	u.armWrite()
 	return u.enc.Encode(msg)
