@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test check vet lint race bench cover fuzz-smoke
+.PHONY: build test check vet lint race bench bench-hot cover fuzz-smoke
 
 # Coverage floor enforced by `make cover` and the CI coverage job.
 # Measured at the observability PR; raise when coverage rises, never
@@ -25,10 +25,26 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo's custom go/analysis suite (cmd/afllint): rawrand,
-# vecalias, lockio, typederr, floateq. Suppress an individual finding
-# with `//lint:ignore <analyzer> <reason>` on the line or the line above.
+# vecalias, lockio, typederr, floateq, plus the concurrency and
+# distributed-invariant analyzers lockorder, goroleak, netdeadline,
+# epochfence and hotalloc. Suppress an individual finding with
+# `//lint:ignore <analyzer> <reason>` on the line or the line above —
+# the reason is mandatory.
+#
+# It then smoke-tests the `go vet -vettool` protocol path against the
+# fixture modules: the clean module must pass and the dirty module must
+# fail, so a vet-protocol regression cannot hide behind the standalone
+# runner staying green.
 lint:
 	$(GO) run ./cmd/afllint ./...
+	$(GO) build -o bin/afllint ./cmd/afllint
+	cd cmd/afllint/testdata/clean && $(GO) vet -vettool=$(CURDIR)/bin/afllint ./...
+	@cd cmd/afllint/testdata/dirty && \
+	if $(GO) vet -vettool=$(CURDIR)/bin/afllint ./... >/dev/null 2>&1; then \
+		echo "vettool smoke: dirty fixture passed, want failure"; exit 1; \
+	else \
+		echo "vettool smoke: dirty fixture rejected as expected"; \
+	fi
 
 race:
 	$(GO) test -race -shuffle=on ./...
@@ -37,6 +53,16 @@ check: build vet lint race
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-hot measures the //afl:hotpath-annotated functions (filter apply,
+# buffer ingest, wire codec, replication record build) with allocation
+# counts — the baseline the ROADMAP item 2 arena work must drive down —
+# then captures an overload-experiment throughput snapshot (the served
+# hot path: ingest, filter, shed counters). CI uploads the snapshot as
+# BENCH_8.json.
+bench-hot:
+	$(GO) test -run=NONE -bench='^BenchmarkHot' -benchmem ./internal/core/ ./internal/fl/ ./internal/transport/ ./internal/topology/
+	$(GO) run ./cmd/aflbench -exp overload -rounds 8 -metrics-out BENCH_8.json
 
 # cover writes cover.out, prints the per-function breakdown tail, and
 # fails when total statement coverage drops below COVER_FLOOR.
