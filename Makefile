@@ -75,11 +75,12 @@ cover:
 		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'
 
 # fuzz-smoke runs each transport wire-decode fuzzer briefly: adversarial
-# gob streams on every protocol surface — client, edge uplink, and root
-# replication — must yield typed errors, never a panic or hang. Go runs
-# one fuzz target per invocation, hence the loop.
+# gob streams on every protocol surface — client, edge uplink, root
+# replication, and the quorum vote exchange — must yield typed errors,
+# never a panic or hang. Go runs one fuzz target per invocation, hence
+# the loop.
 FUZZ_TARGETS = FuzzDecodeClientMsg FuzzDecodeEdgeMsg FuzzDecodeRootMsg \
-	FuzzDecodeReplicaMsg FuzzDecodePrimaryMsg
+	FuzzDecodeReplicaMsg FuzzDecodePrimaryMsg FuzzDecodeVoteMsg
 fuzz-smoke:
 	@for target in $(FUZZ_TARGETS); do \
 		$(GO) test -run=NONE -fuzz=$$target'$$' -fuzztime=10s ./internal/transport/ || exit 1; \

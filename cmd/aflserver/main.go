@@ -30,6 +30,18 @@
 //	aflserver -role root -listen :9101 -replica-of host:9200 -repl-listen :9201 \
 //	    -replica-id 1 -peers host:9100,host:9101
 //
+// With -replica-peers (the replication addresses of every OTHER group
+// member) promotion switches from bare lease expiry to quorum elections:
+// an expired standby becomes a candidate and only serves after a
+// majority of the group durably grants its epoch, so a minority
+// partition can never produce a second primary. -replica-quorum
+// overrides the majority size and -vote-ledger persists the node's vote
+// so a crash-restarted voter cannot grant the same epoch twice:
+//
+//	aflserver -role root -listen :9101 -replica-of host:9200 -repl-listen :9201 \
+//	    -replica-id 1 -replica-peers host:9200,host:9202 \
+//	    -vote-ledger vote1.ckpt -peers host:9100,host:9101,host:9102
+//
 // With -checkpoint, the server snapshots its full state (global model,
 // round counter, filter history, buffered updates, client sessions) to
 // the given file, restores from it at startup when it exists, and writes
@@ -110,6 +122,9 @@ func run(args []string) error {
 		replicaOf  = fs.String("replica-of", "", "root role: comma-separated primary replication addresses; set to run as a standby")
 		peers      = fs.String("peers", "", "root role: comma-separated edge-facing addresses of every replica, relayed to edges for failover re-homing")
 		replicaID  = fs.Int("replica-id", 0, "root role: this node's id in the replication group")
+		replPeers  = fs.String("replica-peers", "", "root role: comma-separated replication addresses of every other group member; enables quorum elections")
+		replQuorum = fs.Int("replica-quorum", 0, "root role: vote grants needed to promote (0 = majority of the group)")
+		votePath   = fs.String("vote-ledger", "", "root role: persist this node's vote ledger to this file so a restarted voter cannot double-grant (\"\" keeps it in memory)")
 		replLease  = fs.Duration("replica-lease", 2*time.Second, "root role: standby promotes after this much primary silence")
 		replBeat   = fs.Duration("replica-heartbeat", 0, "root role: primary's idle replication push interval (0 = lease/4)")
 
@@ -198,7 +213,8 @@ func run(args []string) error {
 				ObsvAddr:          *obsvAddr,
 				TraceDepth:        *traceDepth,
 				Replication: replicationConfig(*replListen, *replicaOf, *peers,
-					*replicaID, *replLease, *replBeat, *maxMsg, *seed),
+					*replPeers, *votePath, *replicaID, *replQuorum,
+					*replLease, *replBeat, *maxMsg, *seed),
 			},
 		})
 	default:
@@ -351,7 +367,7 @@ func runEdge(opts edgeOptions) error {
 // replicationConfig assembles the root's replication config from the
 // flags; nil (replication disabled) unless -repl-listen or -replica-of
 // is set.
-func replicationConfig(replListen, replicaOf, peers string, id int, lease, beat time.Duration, maxMsg int64, seed int64) *asyncfilter.ReplicationConfig {
+func replicationConfig(replListen, replicaOf, peers, votePeers, votePath string, id, quorum int, lease, beat time.Duration, maxMsg int64, seed int64) *asyncfilter.ReplicationConfig {
 	if replListen == "" && replicaOf == "" {
 		return nil
 	}
@@ -360,6 +376,9 @@ func replicationConfig(replListen, replicaOf, peers string, id int, lease, beat 
 		ReplListen:      replListen,
 		Upstreams:       splitAddrs(replicaOf),
 		Peers:           splitAddrs(peers),
+		VotePeers:       splitAddrs(votePeers),
+		QuorumSize:      quorum,
+		VotePath:        votePath,
 		Lease:           lease,
 		Heartbeat:       beat,
 		MaxMessageBytes: maxMsg,

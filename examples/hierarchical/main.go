@@ -25,6 +25,16 @@
 // applied exactly once.
 //
 //	go run ./examples/hierarchical -standby -kill-root-at 5
+//
+// Adding -quorum instead runs a three-node root group — one primary, two
+// voting standbys — that promotes by majority election: when the primary
+// is killed, both survivors' leases expire, they exchange durable vote
+// grants over the replication mesh, and exactly one of them wins the
+// epoch and serves; the loser demotes and mirrors the winner. A minority
+// of the group (one node out of three) can never elect itself, so no
+// partition produces a second primary:
+//
+//	go run ./examples/hierarchical -quorum -kill-root-at 5
 package main
 
 import (
@@ -32,6 +42,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -81,7 +93,8 @@ func newEdge(id int, rootAddr string, params []float64) (*asyncfilter.EdgeServer
 func main() {
 	killEdgeAt := flag.Int("kill-edge-at", 0, "kill edge 0 after the root applies this many batches (0 disables)")
 	useStandby := flag.Bool("standby", false, "run a standby root mirroring the primary over the replication channel")
-	killRootAt := flag.Int("kill-root-at", 0, "kill the primary root after it applies this many batches; requires -standby (0 disables)")
+	useQuorum := flag.Bool("quorum", false, "run a three-node root group that elects its new primary by majority vote")
+	killRootAt := flag.Int("kill-root-at", 0, "kill the primary root after it applies this many batches; requires -standby or -quorum (0 disables)")
 	flag.Parse()
 	if *killEdgeAt >= rootRounds {
 		log.Fatalf("-kill-edge-at %d must be below the %d-round deployment", *killEdgeAt, rootRounds)
@@ -89,8 +102,15 @@ func main() {
 	if *killRootAt >= rootRounds {
 		log.Fatalf("-kill-root-at %d must be below the %d-round deployment", *killRootAt, rootRounds)
 	}
-	if *killRootAt > 0 && !*useStandby {
-		log.Fatal("-kill-root-at requires -standby (nothing would take over)")
+	if *killRootAt > 0 && !*useStandby && !*useQuorum {
+		log.Fatal("-kill-root-at requires -standby or -quorum (nothing would take over)")
+	}
+	numStandbys := 0
+	if *useStandby {
+		numStandbys = 1
+	}
+	if *useQuorum {
+		numStandbys = 2
 	}
 
 	spec, err := asyncfilter.ModelSpecFor(asyncfilter.MNIST)
@@ -121,24 +141,41 @@ func main() {
 	}
 	rootAddr := rootLis.Addr().String()
 
-	// With -standby both roots' edge-facing addresses form the peer list
-	// edges use to re-home after a failover; the lease is 1s so the
-	// standby promotes about a second after the primary goes silent.
-	var standbyLis net.Listener
+	// With -standby or -quorum every root's edge-facing address forms the
+	// peer list edges use to re-home after a failover; the lease is 1s so
+	// the survivors react about a second after the primary goes silent.
+	// The replication listeners are all bound before any node starts so
+	// the quorum vote mesh (everyone's replication address) is known up
+	// front.
+	standbyLis := make([]net.Listener, numStandbys)
 	var peers []string
-	if *useStandby {
-		standbyLis, err = net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
+	var replLis []net.Listener
+	var replAddrs []string
+	var voteDir string
+	if numStandbys > 0 {
+		peers = []string{rootAddr}
+		for i := range standbyLis {
+			standbyLis[i], err = net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			peers = append(peers, standbyLis[i].Addr().String())
 		}
-		peers = []string{rootAddr, standbyLis.Addr().String()}
-		rootCfg.Replication = &asyncfilter.ReplicationConfig{
-			NodeID:     0,
-			ReplListen: "127.0.0.1:0",
-			Peers:      peers,
-			Lease:      time.Second,
-			Seed:       100,
+		replLis = make([]net.Listener, 1+numStandbys)
+		replAddrs = make([]string, 1+numStandbys)
+		for i := range replLis {
+			if replLis[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+				log.Fatal(err)
+			}
+			replAddrs[i] = replLis[i].Addr().String()
 		}
+		if *useQuorum {
+			if voteDir, err = os.MkdirTemp("", "aflquorum"); err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(voteDir)
+		}
+		rootCfg.Replication = replicationFor(0, replLis, replAddrs, peers, voteDir, *useQuorum)
 	}
 	root, err := asyncfilter.NewRootServer(rootCfg, nil)
 	if err != nil {
@@ -150,27 +187,22 @@ func main() {
 	}()
 	fmt.Printf("root listening on %s (%d rounds, edge lease 1s)\n", rootAddr, rootRounds)
 
-	var standby *asyncfilter.RootServer
-	if *useStandby {
+	standbys := make([]*asyncfilter.RootServer, numStandbys)
+	for i := range standbys {
 		standbyCfg := rootCfg
-		standbyCfg.Replication = &asyncfilter.ReplicationConfig{
-			NodeID:    1,
-			Upstreams: []string{root.ReplAddr()},
-			Peers:     peers,
-			Lease:     time.Second,
-			Seed:      101,
-		}
-		standby, err = asyncfilter.NewRootServer(standbyCfg, nil)
+		standbyCfg.Replication = replicationFor(i+1, replLis, replAddrs, peers, voteDir, *useQuorum)
+		standbys[i], err = asyncfilter.NewRootServer(standbyCfg, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
+		s, lis := standbys[i], standbyLis[i]
 		go func() {
-			if err := standby.Serve(standbyLis); err != nil {
+			if err := s.Serve(lis); err != nil {
 				log.Println("standby serve:", err)
 			}
 		}()
-		fmt.Printf("standby root on %s mirroring %s (promotion lease 1s)\n",
-			standbyLis.Addr().String(), root.ReplAddr())
+		fmt.Printf("standby root %d on %s mirroring %s (lease 1s, quorum=%v)\n",
+			i+1, lis.Addr().String(), replAddrs[0], *useQuorum)
 	}
 
 	edges := make([]*asyncfilter.EdgeServer, numEdges)
@@ -260,21 +292,31 @@ func main() {
 		for root.Version() < *killRootAt {
 			time.Sleep(5 * time.Millisecond)
 		}
-		fmt.Printf("\nKILLING primary root at round %d (standby mirrored to round %d)\n",
-			root.Version(), standby.Version())
+		fmt.Printf("\nKILLING primary root at round %d (standbys mirrored to round %d)\n",
+			root.Version(), standbys[0].Version())
 		if err := root.Close(); err != nil {
 			log.Println("close primary root:", err)
 		}
 	}
 
-	// The surviving root's Done fires when the final batch is applied:
-	// the standby mirrors the primary to completion, so with -standby it
-	// is always the one to wait on (and the one serving after a kill).
+	// The surviving roots' Done fires when the final batch is applied:
+	// standbys mirror the serving node to completion (the election loser
+	// re-attaches to the winner), so every survivor is safe to wait on.
 	finalRoot := root
-	if standby != nil {
-		finalRoot = standby
+	for _, s := range standbys {
+		<-s.Done()
+		finalRoot = s
 	}
-	<-finalRoot.Done()
+	if len(standbys) == 0 {
+		<-finalRoot.Done()
+	}
+	// Evaluate the node that actually served the final rounds: after a
+	// kill exactly one survivor holds the primary role.
+	for _, s := range standbys {
+		if s.Role() == "primary" {
+			finalRoot = s
+		}
+	}
 	final := finalRoot.FinalParams()
 	// The edges learn Done on their next uplink exchange and finish their
 	// local servers, so every client exits cleanly on its next task request
@@ -297,10 +339,10 @@ func main() {
 			log.Println("close root:", err)
 		}
 	}
-	if standby != nil {
-		fmt.Printf("standby finished as %s at epoch %d (round %d)\n",
-			standby.Role(), standby.Epoch(), standby.Version())
-		if err := standby.Close(); err != nil {
+	for i, s := range standbys {
+		fmt.Printf("standby root %d finished as %s at epoch %d (round %d)\n",
+			i+1, s.Role(), s.Epoch(), s.Version())
+		if err := s.Close(); err != nil {
 			log.Println("close standby:", err)
 		}
 	}
@@ -319,4 +361,31 @@ func main() {
 	fmt.Printf("failover: %d expired edge leases, %d filter handoffs delivered, %d client re-homings\n",
 		rs.ExpiredEdgeLeases, rs.HandoffsDelivered, rehomed)
 	fmt.Printf("final accuracy %.2f%% (test loss %.4f)\n", 100*acc, loss)
+}
+
+// replicationFor builds node i's replication config: node 0 starts as
+// the primary, everyone else mirrors it. With quorum on, each node also
+// gets the vote mesh (every OTHER member's replication address) and a
+// durable vote ledger under voteDir, so promotion requires a majority
+// and a crash-restarted voter cannot grant the same epoch twice.
+func replicationFor(i int, replLis []net.Listener, replAddrs, peers []string, voteDir string, quorum bool) *asyncfilter.ReplicationConfig {
+	rc := &asyncfilter.ReplicationConfig{
+		NodeID:       i,
+		ReplListener: replLis[i],
+		Peers:        peers,
+		Lease:        time.Second,
+		Seed:         int64(100 + i),
+	}
+	if i > 0 {
+		rc.Upstreams = []string{replAddrs[0]}
+	}
+	if quorum {
+		for j, addr := range replAddrs {
+			if j != i {
+				rc.VotePeers = append(rc.VotePeers, addr)
+			}
+		}
+		rc.VotePath = filepath.Join(voteDir, fmt.Sprintf("vote%d.ckpt", i))
+	}
+	return rc
 }

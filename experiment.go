@@ -18,8 +18,10 @@ type Report interface {
 // "detection" (filter precision/recall per attack), "overload"
 // (admission-control throughput under a TCP client flood), "shard"
 // (per-shard vs merged filter state across edge aggregators, per attack),
-// "hierarchy" (single-server vs two-tier deployment over real TCP) and
-// "failover" (kill-the-primary drill against a replicated root).
+// "hierarchy" (single-server vs two-tier deployment over real TCP),
+// "failover" (kill-the-primary drill against a replicated root) and
+// "quorum" (the same kill against a three-node group that elects its new
+// primary by majority vote).
 func ExperimentIDs() []string {
 	return experiments.IDs()
 }
@@ -76,6 +78,13 @@ func RunExperiment(id string, scale ExperimentScale) (Report, error) {
 		// measures promotion latency, replication lag and the exactly-once
 		// batch accounting across the generation change.
 		return experiments.RunFailoverDrill(s)
+	case "quorum":
+		// Extension experiment: the hierarchy deployment with a three-node
+		// quorum-replicated root group, the primary killed at the halfway
+		// round — measures election latency, the winning candidacy's
+		// promotion latency, replication lag at promotion, and the vote
+		// traffic behind the single elected winner.
+		return experiments.RunQuorumDrill(s)
 	case "fig3":
 		return experiments.RunEmbedding("fig3", 0, s)
 	case "fig4":

@@ -1,0 +1,20 @@
+package checkpoint
+
+// VoteRecord is the durable state behind a replica node's election vote:
+// the highest epoch the node has granted a vote in and the candidate that
+// received it. It rides the same container format as every other
+// checkpoint (Save/Load), and the replica vote ledger writes it BEFORE a
+// grant leaves the wire — the quorum-intersection safety argument needs a
+// restarted voter to remember every grant it ever made, or two candidates
+// could each assemble a "majority" for the same epoch through the
+// crash-amnesiac voter they share.
+type VoteRecord struct {
+	// Epoch is the highest epoch this node has voted in. Raise-only: the
+	// ledger refuses to grant any epoch at or below it to a different
+	// candidate.
+	Epoch uint64
+	// VotedFor is the candidate NodeID granted at Epoch. Re-granting the
+	// same epoch to the same candidate is idempotent (a candidate retrying
+	// after a lost reply), never a safety violation.
+	VotedFor int
+}

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/obsv"
+	"github.com/asyncfl/asyncfilter/internal/replica"
+	"github.com/asyncfl/asyncfilter/internal/topology"
+	"github.com/asyncfl/asyncfilter/internal/transport"
+)
+
+// Quorum drill defaults: the hierarchy deployment shape over a
+// three-node replicated root group with quorum elections, the primary
+// killed halfway through. The lease is short so the drill measures the
+// protocol, not the wait.
+const (
+	quorumGroupSize  = 3
+	quorumRootRounds = 48
+	quorumLease      = 300 * time.Millisecond
+)
+
+// QuorumResult measures one kill-the-primary drill against a three-node
+// quorum group: how long the outage lasted, how fast the winning
+// candidacy ran, what the group had mirrored at the kill, and the vote
+// traffic behind the single elected winner.
+type QuorumResult struct {
+	ID string
+	// Rounds is the total global rounds committed (both generations);
+	// RoundsAtKill is the primary's version at the kill and
+	// MirroredAtKill the eventual winner's mirrored version at the same
+	// moment.
+	Rounds, RoundsAtKill, MirroredAtKill int
+	// ElectionLatency is kill-to-new-primary — the full outage window,
+	// lease expiry included. PromotionLatency is the winning candidacy
+	// alone: RoleCandidate entry to serving, as mirrored into
+	// afl_replica_election_seconds. Lease is what both are measured
+	// against.
+	ElectionLatency, PromotionLatency, Lease time.Duration
+	// Duration is first-client-start to deployment-done wall clock.
+	Duration time.Duration
+	// Epoch is the fencing epoch the winner serves under; Winner its
+	// node ID; QuorumSize the grants its election needed.
+	Epoch      uint64
+	Winner     int
+	QuorumSize int
+	// ElectionsStarted, VotesGranted and VotesRefused aggregate the vote
+	// traffic across the whole group; LagAtPromotion is the winner's
+	// RecordsLostOnPromote — committed primary batches it never received
+	// before serving.
+	ElectionsStarted, VotesGranted, VotesRefused int
+	LagAtPromotion                               int
+	// BatchesApplied, BatchesReplayed and BatchesLost are the winner's
+	// exactly-once accounting across the generation change; EdgeRehomes
+	// counts edge uplinks that re-homed to it.
+	BatchesApplied, BatchesReplayed, BatchesLost, EdgeRehomes int
+	// UpdatesReceived and Rejected aggregate the edge filter servers.
+	UpdatesReceived, Rejected int
+}
+
+// Render prints the quorum drill.
+func (q *QuorumResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: kill-the-primary drill, %d-node quorum group with %v lease, %d clients / %d malicious (extension experiment)\n\n",
+		q.ID, quorumGroupSize, q.Lease, hierarchyClients, hierarchyMalicious)
+	b.WriteString("| Metric | Value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| Rounds (total / at kill / mirrored at kill) | %d / %d / %d |\n",
+		q.Rounds, q.RoundsAtKill, q.MirroredAtKill)
+	fmt.Fprintf(&b, "| Election latency (kill to new primary) | %.0fms (lease %.0fms) |\n",
+		float64(q.ElectionLatency.Milliseconds()), float64(q.Lease.Milliseconds()))
+	fmt.Fprintf(&b, "| Promotion latency (winning candidacy) | %.0fms |\n",
+		float64(q.PromotionLatency.Milliseconds()))
+	fmt.Fprintf(&b, "| Winner | node %d at epoch %d (quorum %d) |\n", q.Winner, q.Epoch, q.QuorumSize)
+	fmt.Fprintf(&b, "| Vote traffic (candidacies / granted / refused) | %d / %d / %d |\n",
+		q.ElectionsStarted, q.VotesGranted, q.VotesRefused)
+	fmt.Fprintf(&b, "| Lag at promotion | %d records |\n", q.LagAtPromotion)
+	fmt.Fprintf(&b, "| Winner batches (applied / replayed / lost) | %d / %d / %d |\n",
+		q.BatchesApplied, q.BatchesReplayed, q.BatchesLost)
+	fmt.Fprintf(&b, "| Edge re-homes | %d |\n", q.EdgeRehomes)
+	fmt.Fprintf(&b, "| Updates (received / rejected) | %d / %d |\n", q.UpdatesReceived, q.Rejected)
+	fmt.Fprintf(&b, "| Duration | %.2fs |\n", q.Duration.Seconds())
+	return b.String()
+}
+
+// RunQuorumDrill benchmarks a quorum election end to end over loopback
+// TCP: the hierarchy deployment against a three-node replicated root
+// group (one primary, two standbys in a full vote mesh with persisted
+// ledgers), the primary killed at the halfway round. Exactly one
+// survivor may win the election; the deployment must finish on it with
+// every batch applied exactly once. Gauges land in scale.Obsv so
+// `aflbench -metrics-out` snapshots the drill.
+func RunQuorumDrill(scale Scale) (*QuorumResult, error) {
+	scale = scale.withDefaults()
+	rounds := quorumRootRounds
+	if scale.Rounds > 0 {
+		rounds = 2 * scale.Rounds
+	}
+	killAt := rounds / 2
+	if killAt < 1 {
+		killAt = 1
+	}
+	params, err := hierarchyParams()
+	if err != nil {
+		return nil, err
+	}
+	voteDir, err := os.MkdirTemp("", "aflquorum")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(voteDir)
+
+	// Every listener is bound up front: the edge-facing addresses form
+	// the static peer list edges re-home through, and the replication
+	// addresses form the vote mesh each node needs before construction.
+	edgeLis := make([]net.Listener, quorumGroupSize)
+	replLis := make([]net.Listener, quorumGroupSize)
+	peers := make([]string, quorumGroupSize)
+	replAddrs := make([]string, quorumGroupSize)
+	for i := range edgeLis {
+		if edgeLis[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		if replLis[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		peers[i] = edgeLis[i].Addr().String()
+		replAddrs[i] = replLis[i].Addr().String()
+	}
+
+	nodes := make([]*replica.Node, quorumGroupSize)
+	roots := make([]*topology.Root, quorumGroupSize)
+	hubs := make([]*obsv.Hub, quorumGroupSize)
+	for i := range nodes {
+		// Only the standbys' round target ends the deployment: the primary
+		// runs unbounded so a fast round rate cannot finish the run before
+		// the kill lands.
+		rootRounds := rounds
+		if i == 0 {
+			rootRounds = 1 << 30
+		}
+		roots[i], err = topology.NewRoot(topology.RootConfig{
+			InitialParams:  params,
+			Rounds:         rootRounds,
+			StalenessLimit: 10,
+		}, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		hubs[i] = obsv.NewHub(0)
+		cfg := replica.Config{
+			NodeID:       i,
+			ReplListener: replLis[i],
+			Peers:        peers,
+			VotePath:     filepath.Join(voteDir, fmt.Sprintf("vote%d.ckpt", i)),
+			Lease:        quorumLease,
+			Seed:         scale.BaseSeed + int64(i),
+			Obsv:         hubs[i],
+		}
+		for j, a := range replAddrs {
+			if j != i {
+				cfg.VotePeers = append(cfg.VotePeers, a)
+			}
+		}
+		if i != 0 {
+			cfg.Upstreams = []string{replAddrs[0]}
+		}
+		nodes[i], err = replica.NewNode(cfg, roots[i])
+		if err != nil {
+			_ = roots[i].Close()
+			return nil, err
+		}
+		go func(n *replica.Node, lis net.Listener) { _ = n.Serve(lis) }(nodes[i], edgeLis[i])
+		defer nodes[i].Close()
+	}
+
+	edges := make([]*topology.Edge, hierarchyEdges)
+	addrs := make([]string, hierarchyEdges)
+	for i := range edges {
+		filter, err := hierarchyFilter(scale.BaseSeed + int64(i))
+		if err != nil {
+			return nil, err
+		}
+		edge, err := topology.NewEdge(topology.EdgeConfig{
+			EdgeID:   i,
+			RootAddr: peers[0],
+			Server: transport.ServerConfig{
+				InitialParams:   params,
+				AggregationGoal: hierarchyEdgeGoal,
+				StalenessLimit:  10,
+				Rounds:          1 << 30,
+			},
+			HeartbeatEvery:    50 * time.Millisecond,
+			RetryBaseDelay:    5 * time.Millisecond,
+			RetryMaxDelay:     50 * time.Millisecond,
+			MaxPendingBatches: 32,
+			Seed:              scale.BaseSeed + int64(i),
+		}, filter, nil)
+		if err != nil {
+			return nil, err
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		edges[i] = edge
+		addrs[i] = lis.Addr().String()
+		go func(e *topology.Edge, l net.Listener) { _ = e.Serve(l) }(edge, lis)
+		defer edge.Close()
+	}
+
+	start := time.Now()
+	wait, err := launchHierarchyClients(scale.BaseSeed, addrs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Let the primary reach the kill round, then pull the plug.
+	deadline := time.Now().Add(2 * time.Minute)
+	for roots[0].Version() < killAt {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("quorum drill: primary stalled before kill round: %+v", roots[0].Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	roundsAtKill := roots[0].Version()
+	mirrored := []int{0, roots[1].Version(), roots[2].Version()}
+	killStart := time.Now()
+	if err := nodes[0].Close(); err != nil {
+		return nil, err
+	}
+
+	// Exactly one survivor may win — sampled continuously, not just at
+	// the end.
+	winner := -1
+	for winner < 0 {
+		primaries := 0
+		for i := 1; i < quorumGroupSize; i++ {
+			if nodes[i].Role() == replica.RolePrimary {
+				primaries++
+				winner = i
+			}
+		}
+		if primaries > 1 {
+			return nil, fmt.Errorf("quorum drill: two survivors serve as primary concurrently")
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("quorum drill: no election winner: node1 %+v, node2 %+v",
+				nodes[1].Stats(), nodes[2].Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	election := time.Since(killStart)
+	loser := quorumGroupSize - winner
+
+	select {
+	case <-roots[winner].Done():
+	case <-time.After(2 * time.Minute):
+		return nil, fmt.Errorf("quorum drill: elected root stalled: %+v", roots[winner].Stats())
+	}
+	duration := time.Since(start)
+	if nodes[loser].Role() == replica.RolePrimary {
+		return nil, fmt.Errorf("quorum drill: election loser serves as primary")
+	}
+
+	res := &QuorumResult{
+		ID:              "quorum",
+		RoundsAtKill:    roundsAtKill,
+		MirroredAtKill:  mirrored[winner],
+		ElectionLatency: election,
+		Lease:           quorumLease,
+		Duration:        duration,
+		Epoch:           nodes[winner].Epoch(),
+		Winner:          winner,
+		QuorumSize:      (quorumGroupSize / 2) + 1,
+	}
+	// The winning candidacy's own latency is mirrored into the winner's
+	// hub by the election code.
+	res.PromotionLatency = time.Duration(
+		hubs[winner].Registry.Gauge("afl_replica_election_seconds").Value() * float64(time.Second))
+	for _, e := range edges {
+		if err := e.Close(); err != nil {
+			return nil, err
+		}
+		st := e.Server().Stats()
+		res.UpdatesReceived += st.UpdatesReceived
+		res.Rejected += st.Rejected
+		res.EdgeRehomes += e.Stats().UplinkRehomes
+	}
+	for i := 1; i < quorumGroupSize; i++ {
+		if err := nodes[i].Close(); err != nil {
+			return nil, err
+		}
+	}
+	wait()
+
+	for _, n := range nodes {
+		st := n.Stats()
+		res.ElectionsStarted += st.ElectionsStarted
+		res.VotesGranted += st.VotesGranted
+		res.VotesRefused += st.VotesRefused
+	}
+	res.LagAtPromotion = nodes[winner].Stats().RecordsLostOnPromote
+	rs := roots[winner].Stats()
+	res.Rounds = rs.Rounds
+	res.BatchesApplied = rs.BatchesApplied
+	res.BatchesReplayed = rs.BatchesReplayed
+	res.BatchesLost = rs.BatchesLost
+
+	if scale.Obsv != nil {
+		reg := scale.Obsv.Registry
+		reg.Gauge("afl_quorum_rounds").Set(float64(res.Rounds))
+		reg.Gauge("afl_quorum_rounds_at_kill").Set(float64(res.RoundsAtKill))
+		reg.Gauge("afl_quorum_mirrored_at_kill").Set(float64(res.MirroredAtKill))
+		reg.Gauge("afl_quorum_election_ms").Set(float64(res.ElectionLatency.Milliseconds()))
+		reg.Gauge("afl_quorum_promotion_ms").Set(float64(res.PromotionLatency.Milliseconds()))
+		reg.Gauge("afl_quorum_lease_ms").Set(float64(res.Lease.Milliseconds()))
+		reg.Gauge("afl_quorum_epoch").Set(float64(res.Epoch))
+		reg.Gauge("afl_quorum_winner").Set(float64(res.Winner))
+		reg.Gauge("afl_quorum_size").Set(float64(res.QuorumSize))
+		reg.Gauge("afl_quorum_elections_started").Set(float64(res.ElectionsStarted))
+		reg.Gauge("afl_quorum_votes_granted").Set(float64(res.VotesGranted))
+		reg.Gauge("afl_quorum_votes_refused").Set(float64(res.VotesRefused))
+		reg.Gauge("afl_quorum_lag_at_promotion").Set(float64(res.LagAtPromotion))
+		reg.Gauge("afl_quorum_batches_applied").Set(float64(res.BatchesApplied))
+		reg.Gauge("afl_quorum_batches_replayed").Set(float64(res.BatchesReplayed))
+		reg.Gauge("afl_quorum_batches_lost").Set(float64(res.BatchesLost))
+		reg.Gauge("afl_quorum_edge_rehomes").Set(float64(res.EdgeRehomes))
+		reg.Gauge("afl_quorum_updates_received").Set(float64(res.UpdatesReceived))
+		reg.Gauge("afl_quorum_updates_rejected").Set(float64(res.Rejected))
+		reg.Gauge("afl_quorum_duration_seconds").Set(duration.Seconds())
+	}
+	return res, nil
+}

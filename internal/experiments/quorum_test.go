@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuorumDrill runs the three-node election drill at a reduced round
+// count over real loopback TCP: exactly one survivor must win, the
+// deployment must finish on it, and the exactly-once accounting must
+// hold across the generation change.
+func TestQuorumDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a replicated-root TCP deployment")
+	}
+	res, err := RunQuorumDrill(Scale{Rounds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 12 {
+		t.Errorf("rounds = %d, want the full 12-round deployment", res.Rounds)
+	}
+	if res.RoundsAtKill < 6 {
+		t.Errorf("primary killed at round %d, want >= 6", res.RoundsAtKill)
+	}
+	if res.Winner != 1 && res.Winner != 2 {
+		t.Errorf("winner = node %d, want a survivor", res.Winner)
+	}
+	if res.Epoch < 1 {
+		t.Errorf("winner epoch = %d, want >= 1", res.Epoch)
+	}
+	if res.QuorumSize != 2 {
+		t.Errorf("quorum size = %d, want 2 in a group of 3", res.QuorumSize)
+	}
+	if res.ElectionLatency <= 0 || res.PromotionLatency <= 0 {
+		t.Errorf("latencies = %v / %v, want both positive", res.ElectionLatency, res.PromotionLatency)
+	}
+	if res.PromotionLatency > res.ElectionLatency {
+		t.Errorf("winning candidacy %v exceeds the whole outage window %v",
+			res.PromotionLatency, res.ElectionLatency)
+	}
+	// The winner's majority is at least its own grant plus one voter.
+	if res.VotesGranted < 1 {
+		t.Errorf("votes granted = %d, want >= 1", res.VotesGranted)
+	}
+	if res.ElectionsStarted < 1 {
+		t.Errorf("elections started = %d, want >= 1", res.ElectionsStarted)
+	}
+	if res.BatchesApplied != res.Rounds {
+		t.Errorf("elected root applied %d batches over %d rounds — application and version must move together",
+			res.BatchesApplied, res.Rounds)
+	}
+	if res.UpdatesReceived == 0 {
+		t.Error("no updates received")
+	}
+	out := res.Render()
+	for _, label := range []string{"Election latency", "Promotion latency", "Lag at promotion", "Vote traffic"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("render lost %q:\n%s", label, out)
+		}
+	}
+}

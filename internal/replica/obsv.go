@@ -1,0 +1,51 @@
+package replica
+
+import "github.com/asyncfl/asyncfilter/internal/obsv"
+
+// statMirror maps every /metrics counter of the afl_replica family to
+// the Stats field it mirrors, in the transport statMirror idiom: the
+// mirroring runs as an OnCollect callback so a scrape always reflects
+// Node.Stats() exactly, and a reflection test asserts the table covers
+// every Stats field — a counter added to Stats without a mirror entry
+// (RecordsLostOnPromote and Promotions once lived only in Stats()) fails
+// the build's tests, not a production debugging session.
+var statMirror = []struct {
+	Name string
+	Get  func(st *Stats) int
+}{
+	{"afl_replica_records_streamed_total", func(st *Stats) int { return st.RecordsStreamed }},
+	{"afl_replica_snapshots_served_total", func(st *Stats) int { return st.SnapshotsServed }},
+	{"afl_replica_standby_attaches_total", func(st *Stats) int { return st.StandbyAttaches }},
+	{"afl_replica_records_applied_total", func(st *Stats) int { return st.RecordsApplied }},
+	{"afl_replica_snapshots_installed_total", func(st *Stats) int { return st.SnapshotsInstalled }},
+	{"afl_replica_uplink_failures_total", func(st *Stats) int { return st.UplinkFailures }},
+	{"afl_replica_promotions_total", func(st *Stats) int { return st.Promotions }},
+	{"afl_replica_records_lost_on_promote_total", func(st *Stats) int { return st.RecordsLostOnPromote }},
+	{"afl_replica_fenced_nacks_sent_total", func(st *Stats) int { return st.FencedNacksSent }},
+	{"afl_replica_fenced_observed_total", func(st *Stats) int { return st.FencedObserved }},
+	{"afl_replica_elections_started_total", func(st *Stats) int { return st.ElectionsStarted }},
+	{"afl_replica_elections_won_total", func(st *Stats) int { return st.ElectionsWon }},
+	{"afl_replica_elections_lost_total", func(st *Stats) int { return st.ElectionsLost }},
+	{"afl_replica_votes_total", func(st *Stats) int { return st.VotesGranted }},
+	{"afl_replica_votes_refused_total", func(st *Stats) int { return st.VotesRefused }},
+}
+
+// registerStatMirror wires the stats mirror into the node's hub. The
+// collector calls n.Stats() on the scraping goroutine, so the mirrored
+// counters are exactly the values Stats() returns at scrape time.
+func (n *Node) registerStatMirror() {
+	if n.cfg.Obsv == nil {
+		return
+	}
+	reg := n.cfg.Obsv.Registry
+	mirror := make([]*obsv.Counter, len(statMirror))
+	for i, m := range statMirror {
+		mirror[i] = reg.Counter(m.Name)
+	}
+	reg.OnCollect(func() {
+		st := n.Stats()
+		for i, m := range statMirror {
+			mirror[i].Set(uint64(m.Get(&st)))
+		}
+	})
+}

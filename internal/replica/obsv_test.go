@@ -1,0 +1,108 @@
+package replica
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/asyncfl/asyncfilter/internal/obsv"
+)
+
+// statMirror must cover every Stats field exactly once: the /metrics
+// contract is "afl_replica counters match Node.Stats() exactly", so a
+// new stats field without a mirror entry — RecordsLostOnPromote and
+// Promotions once lived only in Stats() — is a bug this test catches.
+func TestReplicaStatMirrorCoversAllStats(t *testing.T) {
+	typ := reflect.TypeOf(Stats{})
+	if typ.NumField() != len(statMirror) {
+		t.Fatalf("Stats has %d fields but statMirror has %d entries — add the missing mirror",
+			typ.NumField(), len(statMirror))
+	}
+
+	// Give every field a distinct value and demand every getter reads a
+	// distinct field: the multiset of getter outputs must be exactly the
+	// field values.
+	var st Stats
+	v := reflect.ValueOf(&st).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetInt(int64(i + 1))
+	}
+	seen := make(map[int]string, len(statMirror))
+	for _, m := range statMirror {
+		got := m.Get(&st)
+		if got < 1 || got > typ.NumField() {
+			t.Errorf("%s reads %d, not a planted field value", m.Name, got)
+			continue
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s and %s read the same Stats field", m.Name, prev)
+		}
+		seen[got] = m.Name
+	}
+
+	// The ISSUE-named series must exist under these exact names.
+	names := make(map[string]bool, len(statMirror))
+	for _, m := range statMirror {
+		names[m.Name] = true
+	}
+	for _, want := range []string{
+		"afl_replica_promotions_total",
+		"afl_replica_records_lost_on_promote_total",
+		"afl_replica_votes_total",
+	} {
+		if !names[want] {
+			t.Errorf("statMirror is missing the %s series", want)
+		}
+	}
+}
+
+// TestPromotionCountersOnMetrics walks a lease-only failover with the
+// hub attached and asserts the promotion counters land on a scrape
+// exactly as Stats() reports them.
+func TestPromotionCountersOnMetrics(t *testing.T) {
+	hub := obsv.NewHub(0)
+	pNode, err := NewNode(Config{
+		NodeID:     0,
+		ReplListen: "127.0.0.1:0",
+		Lease:      200 * time.Millisecond,
+	}, testRoot(t, newFilter(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	startNode(t, pNode)
+
+	sNode, err := NewNode(Config{
+		NodeID:    1,
+		Upstreams: []string{pNode.ReplAddr()},
+		Lease:     200 * time.Millisecond,
+		Obsv:      hub,
+	}, testRoot(t, newFilter(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	startNode(t, sNode)
+
+	waitFor(t, 10*time.Second, "standby attached", func() bool {
+		return pNode.Stats().StandbyAttaches >= 1
+	})
+	if err := pNode.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "standby promoted", func() bool {
+		return sNode.Role() == RolePrimary
+	})
+
+	st := sNode.Stats()
+	snap := hub.Registry.Snapshot()
+	if got := snap.Counters["afl_replica_promotions_total"]; got != uint64(st.Promotions) || got != 1 {
+		t.Errorf("afl_replica_promotions_total = %d, want %d (and 1)", got, st.Promotions)
+	}
+	if got := snap.Counters["afl_replica_records_lost_on_promote_total"]; got != uint64(st.RecordsLostOnPromote) {
+		t.Errorf("afl_replica_records_lost_on_promote_total = %d, want %d", got, st.RecordsLostOnPromote)
+	}
+	// A lease-only pair scrapes quorum size 1 — the gauge distinguishes
+	// it from a real quorum group on a dashboard.
+	if got := snap.Gauges["afl_replica_quorum_size"]; got != 1 {
+		t.Errorf("afl_replica_quorum_size = %v, want 1", got)
+	}
+}

@@ -55,18 +55,35 @@ func (n *Node) acceptStandbys() {
 	}
 }
 
-// handleStandby drives one attached standby: validate its hello, decide
-// between ring catch-up and a full snapshot, then push records (and
-// heartbeats while idle) until the connection breaks or the node stops.
+// handleStandby drives one inbound replication connection. A VoteRequest
+// makes it a one-shot vote exchange; a Hello attaches a standby:
+// validate it, decide between ring catch-up and a full snapshot, then
+// push records (and heartbeats while idle) until the connection breaks
+// or the node stops.
 func (n *Node) handleStandby(conn net.Conn) {
 	uc := transport.NewUpstreamConn(conn, n.cfg.MaxMessageBytes, n.cfg.ReadTimeout, n.cfg.WriteTimeout)
 	first, err := uc.ReadReplica()
-	if err != nil || first.Hello == nil {
+	if err != nil {
+		return
+	}
+	if first.Vote != nil {
+		n.answerVote(uc, first.Vote)
+		return
+	}
+	if first.Hello == nil {
 		return
 	}
 	hello := first.Hello
 	if err := hello.Validate(); err != nil {
 		_ = uc.WritePrimary(&transport.PrimaryMsg{Nack: transport.NackMalformed, Epoch: n.root.Epoch()})
+		return
+	}
+	if r := n.Role(); r != RolePrimary {
+		// Every group member answers on this listener so votes can reach
+		// it, but only a primary has an authoritative log to stream.
+		// NackNotPrimary sends the dialer rotating WITHOUT refreshing its
+		// lease — a mesh of leaderless standbys must still elect.
+		_ = uc.WritePrimary(&transport.PrimaryMsg{Nack: transport.NackNotPrimary, Epoch: n.root.Epoch()})
 		return
 	}
 	if hello.Epoch > n.root.Epoch() {

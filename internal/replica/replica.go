@@ -17,6 +17,16 @@
 // epoch is bumped exactly once per promotion and persisted before the
 // promoted root accepts its first edge, so two roots can never both
 // believe they own the same epoch.
+//
+// With Config.VotePeers set the group promotes by quorum election
+// instead of bare lease expiry (election.go): an expired standby becomes
+// a candidate, durably grants itself a fresh epoch, and may only enter
+// RolePromoting after a majority of the group grants the same epoch —
+// each voter persisting its grant (internal/checkpoint.VoteRecord)
+// before the reply leaves the wire. Quorum intersection then guarantees
+// at most one winner per epoch even across voter crashes, and a
+// minority partition parks in RoleCandidate without ever binding the
+// edge listener.
 package replica
 
 import (
@@ -47,6 +57,10 @@ const (
 	// RoleFenced is a demoted old primary: a peer proved a newer epoch
 	// exists and the node has torn itself down.
 	RoleFenced
+	// RoleCandidate is a standby whose lease expired in a quorum group:
+	// it is collecting votes and serves nothing until a majority of the
+	// group grants its epoch. A minority partition parks here forever.
+	RoleCandidate
 )
 
 // String names the role for /healthz and logs.
@@ -60,13 +74,15 @@ func (r Role) String() string {
 		return "promoting"
 	case RoleFenced:
 		return "fenced"
+	case RoleCandidate:
+		return "candidate"
 	default:
 		return fmt.Sprintf("role(%d)", int(r))
 	}
 }
 
 // gaugeValue encodes the role for the afl_replica_role gauge:
-// 0 primary, 1 standby, 2 promoting, 3 fenced.
+// 0 primary, 1 standby, 2 promoting, 3 fenced, 4 candidate.
 func (r Role) gaugeValue() float64 { return float64(int(r)) }
 
 // Config parameterizes one replication node.
@@ -76,9 +92,14 @@ type Config struct {
 	NodeID int
 	// ReplListen is the address the replication channel listens on. A
 	// primary must set it to accept standbys; a standby binds it too so
-	// it can serve the next generation of standbys after promotion.
-	// Empty disables the replication listener.
+	// it can answer vote requests and serve the next generation of
+	// standbys after promotion. Empty disables the replication listener.
 	ReplListen string
+	// ReplListener, when non-nil, is a pre-bound replication listener
+	// used instead of ReplListen. Group deployments bind every member's
+	// listener first so the full VotePeers/Upstreams address mesh is
+	// known before any node is constructed.
+	ReplListener net.Listener
 	// Upstreams is the list of primary replication addresses a standby
 	// dials (rotating on failure). Empty means this node starts as the
 	// primary.
@@ -88,6 +109,23 @@ type Config struct {
 	// the promoted standby when the primary dies. Should include this
 	// node's own edge address.
 	Peers []string
+	// VotePeers lists the replication addresses of every OTHER group
+	// member (self excluded). Non-empty switches promotion from
+	// lease-only to quorum elections: a standby whose lease expires
+	// becomes a candidate and may only promote after a majority of the
+	// group grants its epoch. Standbys also rotate through these
+	// addresses when re-attaching, so an election loser finds the winner.
+	VotePeers []string
+	// QuorumSize is the number of distinct grants (the candidate's own
+	// durable self-grant included) required to promote. 0 selects a
+	// majority of the group implied by VotePeers: (len(VotePeers)+1)/2+1.
+	// Values above the group size are rejected as unwinnable.
+	QuorumSize int
+	// VotePath persists the node's vote ledger (internal/checkpoint
+	// format) so a crash-and-restart voter cannot grant the same epoch
+	// twice. Empty keeps the ledger in memory only — acceptable for
+	// tests, not for a durable group.
+	VotePath string
 	// Lease is how long a standby waits without hearing from its primary
 	// before promoting itself. 0 selects a default; a standby group
 	// should use the same lease everywhere.
@@ -129,6 +167,13 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxMessageBytes < 0 {
 		return fmt.Errorf("replica: Config: MaxMessageBytes = %d, need >= 0", c.MaxMessageBytes)
+	}
+	if c.QuorumSize < 0 {
+		return fmt.Errorf("replica: Config: QuorumSize = %d, need >= 0", c.QuorumSize)
+	}
+	if group := len(c.VotePeers) + 1; c.QuorumSize > group {
+		return fmt.Errorf("replica: Config: QuorumSize %d is unwinnable in a group of %d (VotePeers + self)",
+			c.QuorumSize, group)
 	}
 	return nil
 }
@@ -172,7 +217,7 @@ type Stats struct {
 	// RecordsApplied and SnapshotsInstalled count what a standby
 	// mirrored; UplinkFailures counts failed dials or broken sessions.
 	RecordsApplied, SnapshotsInstalled, UplinkFailures int
-	// Promotions counts lease-expiry promotions (0 or 1 per node);
+	// Promotions counts promotions to primary (0 or 1 per node);
 	// RecordsLostOnPromote is the replication lag at promotion time —
 	// committed primary batches the standby never received. The edges'
 	// batch replay reconciles most of them; the watermark audit counts
@@ -183,6 +228,15 @@ type Stats struct {
 	// newer epoch; FencedObserved counts times this node learned it was
 	// stale (or its upstream was) from a replication exchange.
 	FencedNacksSent, FencedObserved int
+	// ElectionsStarted, ElectionsWon and ElectionsLost count this node's
+	// candidacies in a quorum group: every lease expiry starts one, a
+	// majority of grants wins it, anything else (no quorum, a resurfaced
+	// primary, an overtaking epoch) loses it back to standby.
+	ElectionsStarted, ElectionsWon, ElectionsLost int
+	// VotesGranted and VotesRefused count this node's voter-side
+	// decisions. A grant is durable before it is counted: the ledger
+	// persists (epoch, candidate) before the reply leaves the wire.
+	VotesGranted, VotesRefused int
 }
 
 // subscriber is one attached standby on the primary side. The record
@@ -214,6 +268,17 @@ type Node struct {
 	closed      bool
 	standbyConn net.Conn // current upstream session, closed on promote/Close
 	rng         *rand.Rand
+
+	ledger       *voteLedger
+	quorum       int       // grants needed to promote; <= 1 selects lease-only promotion
+	uplinks      []string  // Upstreams ∪ VotePeers: the standby's dial rotation
+	nextElection time.Time // candidacy backoff; separate from lastHeard so a lost election never reads as a live primary
+	epochHint    uint64    // highest epoch a refusing voter advertised; the next candidacy jumps above it
+
+	// promotingHook, when non-nil, runs after the node enters
+	// RolePromoting and before the won epoch is persisted — the test seam
+	// for killing a candidate mid-promotion.
+	promotingHook func()
 
 	replLis  net.Listener
 	promoted chan struct{}
@@ -250,7 +315,33 @@ func NewNode(cfg Config, root *topology.Root) (*Node, error) {
 	} else {
 		n.role = RoleStandby
 	}
-	if cfg.ReplListen != "" {
+	ledger, err := newVoteLedger(cfg.VotePath)
+	if err != nil {
+		return nil, err
+	}
+	n.ledger = ledger
+	n.quorum = cfg.QuorumSize
+	if n.quorum == 0 && len(cfg.VotePeers) > 0 {
+		n.quorum = (len(cfg.VotePeers)+1)/2 + 1
+	}
+	if n.quorum < 1 {
+		n.quorum = 1
+	}
+	// Standbys rotate over every known replication address: the configured
+	// upstreams first, then the vote mesh, so an election loser finds
+	// whichever peer won.
+	seen := make(map[string]struct{})
+	for _, addr := range append(append([]string{}, cfg.Upstreams...), cfg.VotePeers...) {
+		if _, dup := seen[addr]; dup {
+			continue
+		}
+		seen[addr] = struct{}{}
+		n.uplinks = append(n.uplinks, addr)
+	}
+	switch {
+	case cfg.ReplListener != nil:
+		n.replLis = cfg.ReplListener
+	case cfg.ReplListen != "":
 		lis, err := net.Listen("tcp", cfg.ReplListen)
 		if err != nil {
 			return nil, fmt.Errorf("replica: listen %s: %w", cfg.ReplListen, err)
@@ -263,6 +354,8 @@ func NewNode(cfg Config, root *topology.Root) (*Node, error) {
 	}
 	n.noteRole(n.role)
 	n.noteEpoch()
+	n.noteQuorum()
+	n.registerStatMirror()
 	return n, nil
 }
 
@@ -320,6 +413,14 @@ func (n *Node) Serve(edgeLis net.Listener) error {
 	role := n.role
 	n.mu.Unlock()
 
+	// The replication listener answers from the start on every role: a
+	// primary accepts standbys, and any group member — standby included —
+	// must answer vote exchanges for elections to make quorum.
+	if n.replLis != nil {
+		n.wg.Add(1)
+		go n.acceptStandbys()
+	}
+
 	if role == RolePrimary {
 		return n.servePrimary(edgeLis)
 	}
@@ -347,12 +448,9 @@ func (n *Node) Serve(edgeLis net.Listener) error {
 	}
 }
 
-// servePrimary starts the replication accept loop and serves edges.
+// servePrimary serves edges (the replication accept loop is already
+// running — Serve starts it for every role).
 func (n *Node) servePrimary(edgeLis net.Listener) error {
-	if n.replLis != nil {
-		n.wg.Add(1)
-		go n.acceptStandbys()
-	}
 	err := n.root.Serve(edgeLis)
 	if n.root.Fenced() {
 		n.noteFenced()
@@ -434,6 +532,15 @@ func (n *Node) noteEpoch() {
 		return
 	}
 	n.cfg.Obsv.Registry.Gauge("afl_replica_epoch").Set(float64(n.root.Epoch()))
+}
+
+// noteQuorum mirrors the configured quorum size into
+// afl_replica_quorum_size (1 means lease-only promotion).
+func (n *Node) noteQuorum() {
+	if n.cfg.Obsv == nil {
+		return
+	}
+	n.cfg.Obsv.Registry.Gauge("afl_replica_quorum_size").Set(float64(n.quorum))
 }
 
 // noteLag mirrors the replication lag in records into

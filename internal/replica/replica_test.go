@@ -123,6 +123,9 @@ func TestConfigValidation(t *testing.T) {
 		{Heartbeat: -time.Second},
 		{Lease: time.Second, Heartbeat: 2 * time.Second},
 		{MaxMessageBytes: -1},
+		{QuorumSize: -1},
+		// Unwinnable: 3 grants can never arrive in a group of 2.
+		{QuorumSize: 3, VotePeers: []string{"127.0.0.1:1"}},
 	}
 	for i, cfg := range cases {
 		if err := cfg.Validate(); err == nil {

@@ -37,7 +37,7 @@ func (n *Node) standbyLoop() {
 			return
 		default:
 		}
-		addr := n.cfg.Upstreams[target%len(n.cfg.Upstreams)]
+		addr := n.uplinks[target%len(n.uplinks)]
 		conn, err := n.dial(addr)
 		if err != nil {
 			n.mu.Lock()
@@ -73,7 +73,10 @@ func (n *Node) standbyLoop() {
 // every push and ack it. Returns nil only when the node is stopping.
 func (n *Node) standbySession(conn net.Conn) error {
 	n.mu.Lock()
-	if n.closed || n.role != RoleStandby {
+	// A candidate keeps mirroring: hearing a live primary mid-election
+	// refreshes lastHeard, which makes the election stand down instead of
+	// fencing a healthy generation.
+	if n.closed || (n.role != RoleStandby && n.role != RoleCandidate) {
 		n.mu.Unlock()
 		return nil
 	}
@@ -178,7 +181,10 @@ func (n *Node) standbySession(conn net.Conn) error {
 	}
 }
 
-// watchdog promotes the node once the primary's lease expires.
+// watchdog reacts to an expired primary lease: in a quorum group it runs
+// elections (retrying on loss — a minority partition retries forever and
+// never serves); without a quorum it promotes outright, PR 7's
+// lease-only behavior.
 func (n *Node) watchdog() {
 	defer n.wg.Done()
 	interval := n.cfg.Lease / 4
@@ -196,24 +202,56 @@ func (n *Node) watchdog() {
 		case <-ticker.C:
 			n.mu.Lock()
 			expired := n.role == RoleStandby && !n.closed &&
-				!n.lastHeard.IsZero() && time.Since(n.lastHeard) > n.cfg.Lease
+				!n.lastHeard.IsZero() && time.Since(n.lastHeard) > n.cfg.Lease &&
+				time.Now().After(n.nextElection)
 			n.mu.Unlock()
-			if expired {
+			if !expired {
+				continue
+			}
+			if n.quorum <= 1 {
 				n.promote()
+				return
+			}
+			if n.runElection() {
 				return
 			}
 		}
 	}
 }
 
-// promote runs the promotion sequence: cut the upstream session, bump
-// and persist the fencing epoch, publish the peer list, and flip to
-// primary so Serve hands the edge listener to the root.
+// promote runs the lease-only promotion sequence of a non-quorum group:
+// cut the upstream session, bump and persist the fencing epoch, publish
+// the peer list, and flip to primary so Serve hands the edge listener to
+// the root. Quorum groups reach the same tail through runElection.
 func (n *Node) promote() {
-	n.mu.Lock()
-	if n.role != RoleStandby || n.closed {
-		n.mu.Unlock()
+	lost, ok := n.beginPromoting()
+	if !ok {
 		return
+	}
+
+	// PromoteEpoch persists the new epoch before returning; it can only
+	// refuse when a concurrent adoption raised the epoch first, in which
+	// case go above that one.
+	for {
+		next := n.root.Epoch() + 1
+		if err := n.root.PromoteEpoch(next); err == nil {
+			log.Printf("replica: node %d: lease expired, promoting to primary at epoch %d (%d records behind)",
+				n.cfg.NodeID, next, lost)
+			break
+		}
+	}
+	n.completePromotion(lost)
+}
+
+// beginPromoting moves a standby (or an election-winning candidate) into
+// RolePromoting: it cuts the upstream session and freezes the lag
+// accounting. Returns the records lost and false when the node is not in
+// a promotable state.
+func (n *Node) beginPromoting() (uint64, bool) {
+	n.mu.Lock()
+	if (n.role != RoleStandby && n.role != RoleCandidate) || n.closed {
+		n.mu.Unlock()
+		return 0, false
 	}
 	n.role = RolePromoting
 	conn := n.standbyConn
@@ -229,18 +267,13 @@ func (n *Node) promote() {
 		// generation lands after the epoch bump.
 		_ = conn.Close()
 	}
+	return lost, true
+}
 
-	// PromoteEpoch persists the new epoch before returning; it can only
-	// refuse when a concurrent adoption raised the epoch first, in which
-	// case go above that one.
-	for {
-		next := n.root.Epoch() + 1
-		if err := n.root.PromoteEpoch(next); err == nil {
-			log.Printf("replica: node %d: lease expired, promoting to primary at epoch %d (%d records behind)",
-				n.cfg.NodeID, next, lost)
-			break
-		}
-	}
+// completePromotion finishes a promotion whose epoch is already
+// persisted: publish the peer list, release the edge listener, and flip
+// to primary.
+func (n *Node) completePromotion(lost uint64) {
 	if len(n.cfg.Peers) > 0 {
 		n.root.SetPeers(n.cfg.Peers)
 	}

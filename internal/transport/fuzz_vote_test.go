@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+// recordedVoteSession encodes a realistic election through the
+// production gob path, both directions interleaved the way a voter's
+// wire sees them: a candidate's VoteRequest, the voter's persisted
+// grant, a rival's request for the same epoch, the refusal advertising
+// the spent epoch, and a retry one epoch up. The fuzzer starts from
+// bytes a real quorum election puts on the replication wire.
+func recordedVoteSession(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	requests := []ReplicaMsg{
+		{Vote: &VoteRequest{CandidateID: 1, Epoch: 3, LastSeq: 17}, Epoch: 2},
+		{Vote: &VoteRequest{CandidateID: 2, Epoch: 3, LastSeq: 17}, Epoch: 2},
+		{Vote: &VoteRequest{CandidateID: 2, Epoch: 4, LastSeq: 17}, Epoch: 3},
+	}
+	grants := []PrimaryMsg{
+		{Grant: &VoteGrant{VoterID: 0, Granted: true, Epoch: 3, LastSeq: 17}, Epoch: 2, LatestSeq: 17},
+		{Grant: &VoteGrant{VoterID: 0, Granted: false, Epoch: 3, LastSeq: 17}, Epoch: 2, LatestSeq: 17},
+		{Grant: &VoteGrant{VoterID: 0, Granted: true, Epoch: 4, LastSeq: 17}, Epoch: 3, LatestSeq: 17},
+	}
+	for i := range requests {
+		if err := enc.Encode(&requests[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(&grants[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeVoteMsg drives the vote protocol's decode paths — the
+// voter's ReplicaMsg decode and the candidate's PrimaryMsg decode, both
+// behind the byte-budget limitReader exactly as the election code builds
+// them — with adversarial bytes. Same contract as the other wire
+// fuzzers: typed errors or decoded messages, never a panic, never
+// unbounded memory. Decoded VoteRequests additionally go through
+// Validate, the first gate answerVote applies.
+func FuzzDecodeVoteMsg(f *testing.F) {
+	session := recordedVoteSession(f)
+	f.Add(session)
+	f.Add(session[:len(session)/2])    // truncated mid-exchange
+	f.Add(session[1:])                 // missing type preamble
+	f.Add([]byte{})                    // empty stream
+	f.Add([]byte{0xff, 0xff, 0xff})    // junk length prefix
+	f.Add(bytes.Repeat([]byte{7}, 64)) // repetitive garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Voter side: a one-shot vote exchange reads one ReplicaMsg.
+		lim := newLimitReader(bytes.NewReader(data), 1<<16)
+		dec := gob.NewDecoder(lim)
+		for i := 0; i < 16; i++ {
+			lim.reset()
+			var msg ReplicaMsg
+			if err := dec.Decode(&msg); err != nil {
+				break // typed error: the voter hangs up here
+			}
+			if msg.Vote != nil {
+				_ = msg.Vote.Validate()
+			}
+		}
+		// Candidate side: the reply must carry a Grant or be dropped.
+		lim = newLimitReader(bytes.NewReader(data), 1<<16)
+		dec = gob.NewDecoder(lim)
+		for i := 0; i < 16; i++ {
+			lim.reset()
+			var msg PrimaryMsg
+			if err := dec.Decode(&msg); err != nil {
+				return // typed error: a missing vote, never a panic
+			}
+			if msg.Grant != nil {
+				_, _, _ = msg.Grant.Granted, msg.Grant.Epoch, msg.Grant.VoterID
+			}
+		}
+	})
+}
+
+// TestVoteFuzzSeedDecodes guards the recorded election against rot: the
+// interleaved session must decode cleanly through both sides'
+// production decode stacks, every request passing Validate and the
+// grants alternating granted/refused/granted as recorded.
+func TestVoteFuzzSeedDecodes(t *testing.T) {
+	session := recordedVoteSession(t)
+	lim := newLimitReader(bytes.NewReader(session), 1<<16)
+	dec := gob.NewDecoder(lim)
+	votes, grants, granted := 0, 0, 0
+	for i := 0; i < 6; i++ {
+		lim.reset()
+		// The stream alternates request/reply; decode each into its own
+		// side's envelope.
+		if i%2 == 0 {
+			var msg ReplicaMsg
+			if err := dec.Decode(&msg); err != nil {
+				t.Fatalf("vote session message %d: %v", i, err)
+			}
+			if msg.Vote == nil {
+				t.Fatalf("vote session message %d: no VoteRequest", i)
+			}
+			if err := msg.Vote.Validate(); err != nil {
+				t.Fatalf("vote session message %d: recorded request invalid: %v", i, err)
+			}
+			votes++
+			continue
+		}
+		var msg PrimaryMsg
+		if err := dec.Decode(&msg); err != nil {
+			t.Fatalf("vote session message %d: %v", i, err)
+		}
+		if msg.Grant == nil {
+			t.Fatalf("vote session message %d: no VoteGrant", i)
+		}
+		grants++
+		if msg.Grant.Granted {
+			granted++
+		}
+	}
+	if votes != 3 || grants != 3 || granted != 2 {
+		t.Fatalf("vote session decoded %d requests, %d grants (%d granted); want 3, 3, 2", votes, grants, granted)
+	}
+}

@@ -33,6 +33,15 @@ import "fmt"
 // a stale primary answers with NackFenced and demotes itself, a stale
 // standby adopts the higher epoch. See internal/replica for the fencing
 // invariant.
+//
+// The same listener also carries the quorum election protocol, a strict
+// request-reply exchange between replica-group peers: a candidate whose
+// lease expired opens a connection and sends one ReplicaMsg carrying a
+// VoteRequest instead of a Hello; the voter answers with exactly one
+// PrimaryMsg carrying a VoteGrant and the connection closes. A voter
+// persists its grant (raise-only per epoch, internal/checkpoint format)
+// BEFORE the grant leaves the wire, so a voter that crashes and restarts
+// can never hand the same epoch to a second candidate.
 
 // ReplHello introduces a standby to the primary it wants to stream from.
 type ReplHello struct {
@@ -86,6 +95,54 @@ type ReplRecord struct {
 	FilterFull bool
 }
 
+// VoteRequest asks a replica-group peer for its vote in a quorum
+// election. A candidate may only enter RolePromoting after a majority of
+// the configured group has granted it the same epoch.
+type VoteRequest struct {
+	// CandidateID is the requesting node's id (unique per group, >= 0).
+	CandidateID int
+	// Epoch is the fencing epoch the candidate wants to promote under —
+	// strictly above every epoch it has observed or voted in.
+	Epoch uint64
+	// LastSeq is the candidate's applied log position. Voters refuse
+	// candidates behind their own position, so the most-caught-up standby
+	// wins ties and RecordsLostOnPromote shrinks.
+	LastSeq uint64
+}
+
+// Validate checks a received vote request before the voter consults its
+// ledger.
+func (v *VoteRequest) Validate() error {
+	if v == nil {
+		return fmt.Errorf("transport: VoteRequest: nil")
+	}
+	if v.CandidateID < 0 {
+		return fmt.Errorf("transport: VoteRequest: CandidateID = %d, need >= 0", v.CandidateID)
+	}
+	if v.Epoch == 0 {
+		return fmt.Errorf("transport: VoteRequest: Epoch = 0, need >= 1")
+	}
+	return nil
+}
+
+// VoteGrant is the voter's reply to a VoteRequest. Granted is only set
+// after the voter has durably recorded the (epoch, candidate) pair, so
+// each voter hands out at most one grant per epoch across restarts.
+type VoteGrant struct {
+	// VoterID identifies the voter; candidates count grants by distinct
+	// voter, never by connection.
+	VoterID int
+	// Granted reports whether the voter's ledger accepted the request.
+	Granted bool
+	// Epoch echoes the requested epoch when granted; on refusal it is the
+	// highest epoch the voter has granted or observed, letting a stale
+	// candidate pick a higher target for its next attempt.
+	Epoch uint64
+	// LastSeq is the voter's own applied log position (diagnostics: a
+	// refused candidate can see how far behind it was).
+	LastSeq uint64
+}
+
 // PrimaryMsg is the primary->standby envelope: one per exchange, pushed
 // by the primary. Flat on purpose; see the package note in upstream.go.
 type PrimaryMsg struct {
@@ -109,6 +166,9 @@ type PrimaryMsg struct {
 	Nack NackCode
 	// Goodbye signals the primary is shutting down cleanly.
 	Goodbye bool
+	// Grant, when non-nil, answers a ReplicaMsg VoteRequest; it is the
+	// only message of a vote exchange's reply direction.
+	Grant *VoteGrant
 }
 
 // ReplicaMsg is the standby->primary envelope: the initial Hello, then
@@ -122,6 +182,10 @@ type ReplicaMsg struct {
 	// primary that sees an epoch above its own has been superseded and
 	// demotes itself.
 	Epoch uint64
+	// Vote, when non-nil, makes this connection a one-shot vote exchange
+	// instead of a replication session: the peer answers with a single
+	// PrimaryMsg Grant and both sides hang up.
+	Vote *VoteRequest
 }
 
 // Validate checks a received hello before the primary registers the

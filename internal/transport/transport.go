@@ -86,6 +86,12 @@ const (
 	// been promoted; the receiving root is stale and demotes itself
 	// rather than split-braining the filter state (internal/replica).
 	NackFenced
+	// NackNotPrimary: a standby-attach reached a replica-group member
+	// that is not the primary (every member answers on the replication
+	// listener so vote exchanges can reach it). The dialer rotates to the
+	// next peer; deliberately not a lease-refreshing reply, so a mesh of
+	// leaderless standbys still expires its leases and elects.
+	NackNotPrimary
 )
 
 // String implements fmt.Stringer.
@@ -103,6 +109,8 @@ func (c NackCode) String() string {
 		return "malformed"
 	case NackFenced:
 		return "fenced"
+	case NackNotPrimary:
+		return "not-primary"
 	default:
 		return fmt.Sprintf("NackCode(%d)", int(c))
 	}

@@ -229,7 +229,9 @@ type RootServerConfig struct {
 // ReplicationConfig turns a root into one node of a primary/standby
 // replication group: a primary streams every committed batch to attached
 // standbys; a standby mirrors the primary and promotes itself — with a
-// fenced epoch — once the primary's lease expires.
+// fenced epoch — once the primary's lease expires. With VotePeers set
+// the group instead elects the new primary by majority vote, so a
+// minority partition refuses to serve (DESIGN.md §13).
 type ReplicationConfig struct {
 	// NodeID identifies this node in the group (unique, >= 0).
 	NodeID int
@@ -237,12 +239,32 @@ type ReplicationConfig struct {
 	// needs it to accept standbys; standbys bind it too so they can serve
 	// the next standby generation after promotion ("" disables).
 	ReplListen string
+	// ReplListener, when non-nil, is a pre-bound replication listener
+	// used instead of ReplListen. Quorum groups bind every member's
+	// listener first so the full VotePeers address mesh is known before
+	// any node is constructed.
+	ReplListener net.Listener
 	// Upstreams lists the primary's replication addresses to mirror from.
 	// Empty means this node starts as the primary.
 	Upstreams []string
 	// Peers is the edge-facing address of every replica, relayed to edges
 	// so they can find the promoted standby when the primary dies.
 	Peers []string
+	// VotePeers lists the replication addresses of every OTHER group
+	// member (self excluded). Non-empty switches promotion from bare
+	// lease expiry to quorum elections: an expired standby becomes a
+	// candidate and only serves after a majority of the group grants its
+	// epoch, so a minority partition can never produce a second primary.
+	VotePeers []string
+	// QuorumSize is the number of distinct vote grants (the candidate's
+	// own included) required to promote. 0 selects a majority of the
+	// group implied by VotePeers; values above the group size are
+	// rejected as unwinnable.
+	QuorumSize int
+	// VotePath persists this node's vote ledger so a crashed-and-
+	// restarted voter cannot grant the same epoch twice ("" keeps the
+	// ledger in memory only — fine for tests, not for a durable group).
+	VotePath string
 	// Lease is how long a standby tolerates primary silence before
 	// promoting itself (0 selects 2s); Heartbeat is the primary's idle
 	// push interval (0 selects Lease/4).
@@ -318,8 +340,12 @@ func NewRootServer(cfg RootServerConfig, filter *Filter) (*RootServer, error) {
 		node, err := replica.NewNode(replica.Config{
 			NodeID:          rc.NodeID,
 			ReplListen:      rc.ReplListen,
+			ReplListener:    rc.ReplListener,
 			Upstreams:       rc.Upstreams,
 			Peers:           rc.Peers,
+			VotePeers:       rc.VotePeers,
+			QuorumSize:      rc.QuorumSize,
+			VotePath:        rc.VotePath,
 			Lease:           rc.Lease,
 			Heartbeat:       rc.Heartbeat,
 			MaxMessageBytes: rc.MaxMessageBytes,
