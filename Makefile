@@ -56,13 +56,17 @@ bench:
 
 # bench-hot measures the //afl:hotpath-annotated functions (filter apply,
 # buffer ingest, wire codec, replication record build) with allocation
-# counts — the baseline the ROADMAP item 2 arena work must drive down —
-# then captures an overload-experiment throughput snapshot (the served
-# hot path: ingest, filter, shed counters). CI uploads the snapshot as
-# BENCH_8.json.
+# counts, gates them against the committed gob-era BENCH_8 baseline via
+# cmd/benchgate (the binary codec + arena work must hold its >= 50%
+# allocs/op win on the two gated paths, and nothing may regress), then
+# captures an overload-experiment throughput snapshot (the served hot
+# path: ingest, filter, shed counters). CI uploads the snapshots as
+# BENCH_10.
 bench-hot:
-	$(GO) test -run=NONE -bench='^BenchmarkHot' -benchmem ./internal/core/ ./internal/fl/ ./internal/transport/ ./internal/topology/
-	$(GO) run ./cmd/aflbench -exp overload -rounds 8 -metrics-out BENCH_8.json
+	$(GO) test -run=NONE -bench='^BenchmarkHot' -benchmem ./internal/core/ ./internal/fl/ ./internal/transport/ ./internal/topology/ | tee bench-hot.txt
+	$(GO) run ./cmd/benchgate -in bench-hot.txt -baseline BENCH_8_allocs.json -out BENCH_10_allocs.json \
+		-gate 'BenchmarkHotBufferAdd=0.5,BenchmarkHotWireEdgeBatch=0.5'
+	$(GO) run ./cmd/aflbench -exp overload -rounds 8 -metrics-out BENCH_10.json
 
 # cover writes cover.out, prints the per-function breakdown tail, and
 # fails when total statement coverage drops below COVER_FLOOR.
@@ -80,7 +84,8 @@ cover:
 # never a panic or hang. Go runs one fuzz target per invocation, hence
 # the loop.
 FUZZ_TARGETS = FuzzDecodeClientMsg FuzzDecodeEdgeMsg FuzzDecodeRootMsg \
-	FuzzDecodeReplicaMsg FuzzDecodePrimaryMsg FuzzDecodeVoteMsg
+	FuzzDecodeReplicaMsg FuzzDecodePrimaryMsg FuzzDecodeVoteMsg \
+	FuzzDecodeBinaryEnvelope
 fuzz-smoke:
 	@for target in $(FUZZ_TARGETS); do \
 		$(GO) test -run=NONE -fuzz=$$target'$$' -fuzztime=10s ./internal/transport/ || exit 1; \

@@ -1,0 +1,206 @@
+// Command benchgate parses `go test -bench -benchmem` output and fails
+// when hot-path allocation counts regress against a committed baseline.
+//
+// Usage:
+//
+//	benchgate -in bench-hot.txt -baseline BENCH_8_allocs.json \
+//	    -out BENCH_10_allocs.json \
+//	    -gate 'BenchmarkHotBufferAdd=0.5,BenchmarkHotWireEdgeBatch=0.5'
+//
+// Every benchmark in the baseline must appear in the new output (a
+// silently vanished benchmark would otherwise pass its own gate) and
+// must satisfy new_allocs <= baseline_allocs * ratio. The ratio is 1.0 —
+// no regression — unless -gate names a stricter one. Gating is on
+// allocs/op only: allocation counts are deterministic where ns/op is
+// machine noise. The parsed numbers are written to -out so CI can
+// archive the snapshot next to the throughput metrics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's parsed -benchmem line.
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		in       = fs.String("in", "", "bench output to parse (go test -bench -benchmem)")
+		out      = fs.String("out", "", "write the parsed results as JSON (optional)")
+		baseline = fs.String("baseline", "", "baseline JSON to gate against (optional)")
+		gates    = fs.String("gate", "", "comma-separated Name=ratio overrides (default ratio 1.0)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	results, err := Parse(string(data))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("%s: no benchmark lines found", *in)
+	}
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	blob, err := os.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	base := map[string]BenchResult{}
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("%s: %w", *baseline, err)
+	}
+	ratios, err := parseGates(*gates)
+	if err != nil {
+		return err
+	}
+	failures := Gate(results, base, ratios)
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		if r, ok := results[name]; ok {
+			fmt.Printf("%-32s allocs/op %6.0f -> %6.0f (gate ratio %.2f)\n",
+				name, b.AllocsPerOp, r.AllocsPerOp, gateRatio(ratios, name))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchgate: %d benchmarks within the allocation gate\n", len(base))
+	return nil
+}
+
+// Parse extracts every `BenchmarkName  N  ns/op  B/op  allocs/op` line.
+// The -cpu suffix (BenchmarkFoo-8) is stripped so baselines compare
+// across machines.
+func Parse(out string) (map[string]BenchResult, error) {
+	results := map[string]BenchResult{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 8 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var res BenchResult
+		var got int
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp, got = v, got+1
+			case "B/op":
+				res.BytesPerOp, got = v, got+1
+			case "allocs/op":
+				res.AllocsPerOp, got = v, got+1
+			}
+		}
+		if got < 3 {
+			return nil, fmt.Errorf("%s: missing -benchmem columns (got %d of 3)", name, got)
+		}
+		results[name] = res
+	}
+	return results, nil
+}
+
+// Gate checks every baseline benchmark against the new results and
+// returns the human-readable failures (empty = pass). A benchmark
+// missing from the new run is a failure: a gate that no longer measures
+// anything must not pass silently.
+func Gate(results, base map[string]BenchResult, ratios map[string]float64) []string {
+	var failures []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		r, ok := results[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from the new bench output", name))
+			continue
+		}
+		ratio := gateRatio(ratios, name)
+		if limit := b.AllocsPerOp * ratio; r.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op exceeds %.1f (baseline %.0f x ratio %.2f)",
+				name, r.AllocsPerOp, limit, b.AllocsPerOp, ratio))
+		}
+	}
+	return failures
+}
+
+func gateRatio(ratios map[string]float64, name string) float64 {
+	if r, ok := ratios[name]; ok {
+		return r
+	}
+	return 1.0
+}
+
+// parseGates parses `Name=0.5,Other=0.8`.
+func parseGates(s string) (map[string]float64, error) {
+	ratios := map[string]float64{}
+	if s == "" {
+		return ratios, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -gate entry %q (want Name=ratio)", part)
+		}
+		r, err := strconv.ParseFloat(val, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad -gate ratio in %q", part)
+		}
+		ratios[name] = r
+	}
+	return ratios, nil
+}

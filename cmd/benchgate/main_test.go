@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+BenchmarkHotFilter 	   22172	     51098 ns/op	   11288 B/op	     156 allocs/op
+BenchmarkHotBufferAdd-8 	 4825612	       251.9 ns/op	      54 B/op	       1 allocs/op
+BenchmarkHotWireEdgeBatch    	  327783	      3570 ns/op	    2216 B/op	       5 allocs/op
+PASS
+ok  	example.com/x	1.0s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(sampleOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	// The -cpu suffix must be stripped.
+	r, ok := results["BenchmarkHotBufferAdd"]
+	if !ok {
+		t.Fatal("BenchmarkHotBufferAdd-8 not normalized")
+	}
+	if r.AllocsPerOp != 1 || r.BytesPerOp != 54 || r.NsPerOp != 251.9 {
+		t.Fatalf("bad result: %+v", r)
+	}
+	if r := results["BenchmarkHotFilter"]; r.AllocsPerOp != 156 {
+		t.Fatalf("bad filter result: %+v", r)
+	}
+}
+
+func TestParseRejectsMissingBenchmem(t *testing.T) {
+	if _, err := Parse("BenchmarkX 	 10	 100 ns/op	 5 B/op	 3 MB/s\n"); err == nil {
+		t.Fatal("line without allocs/op accepted")
+	}
+}
+
+func TestGate(t *testing.T) {
+	results, err := Parse(sampleOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]BenchResult{
+		"BenchmarkHotFilter":        {AllocsPerOp: 156},
+		"BenchmarkHotBufferAdd":     {AllocsPerOp: 2},
+		"BenchmarkHotWireEdgeBatch": {AllocsPerOp: 11},
+	}
+	gates := map[string]float64{"BenchmarkHotBufferAdd": 0.5, "BenchmarkHotWireEdgeBatch": 0.5}
+	if failures := Gate(results, base, gates); len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+
+	// A regression past the ratio fails.
+	base["BenchmarkHotBufferAdd"] = BenchResult{AllocsPerOp: 1}
+	if failures := Gate(results, base, gates); len(failures) != 1 ||
+		!strings.Contains(failures[0], "BenchmarkHotBufferAdd") {
+		t.Fatalf("regression not caught: %v", failures)
+	}
+	base["BenchmarkHotBufferAdd"] = BenchResult{AllocsPerOp: 2}
+
+	// A benchmark that vanished from the new output fails.
+	base["BenchmarkHotGone"] = BenchResult{AllocsPerOp: 3}
+	failures := Gate(results, base, gates)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("missing benchmark not caught: %v", failures)
+	}
+}
+
+func TestParseGates(t *testing.T) {
+	ratios, err := parseGates("A=0.5, B=0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratios["A"] != 0.5 || ratios["B"] != 0.8 {
+		t.Fatalf("bad ratios: %v", ratios)
+	}
+	for _, bad := range []string{"A", "A=", "A=0", "A=-1", "A=x"} {
+		if _, err := parseGates(bad); err == nil {
+			t.Errorf("parseGates(%q) accepted", bad)
+		}
+	}
+}

@@ -16,13 +16,23 @@
 //     above, and calls whose result type is []float64 (a fresh slice in
 //     any sane implementation).
 //
-// Every surviving allocation on the hot path is therefore either fixed
-// or carries a //lint:ignore hotalloc with a justification — today
-// usually "deep copy required by vecalias until the sync.Pool arenas
-// land", which is exactly the work list for the arena PR. A directive
-// that is not the doc comment of a function declaration is itself
-// flagged, so annotations cannot silently detach from the code they
-// gate.
+// Pooled allocators are the sanctioned escape hatch: a function whose
+// doc comment carries the
+//
+//	//afl:pooled
+//
+// directive (and the cross-package fl.Arena getters listed in
+// crossPooled — export data carries no doc comments) hands out recycled
+// memory, so calling it from a hot path is amortized reuse, not a
+// per-call allocation, and is not flagged even when the result type is
+// []float64. The allocation inside the pool's miss path lives in the
+// unannotated pool package and is the pool's own business.
+//
+// Every surviving allocation on the hot path is therefore either fixed,
+// pooled, or carries a //lint:ignore hotalloc with a justification. A
+// directive (either kind) that is not the doc comment of a function
+// declaration is itself flagged, so annotations cannot silently detach
+// from the code they gate.
 package hotalloc
 
 import (
@@ -38,6 +48,16 @@ import (
 // Directive is the hot-path annotation comment.
 const Directive = "//afl:hotpath"
 
+// PooledDirective marks a function returning pooled (amortized) memory.
+const PooledDirective = "//afl:pooled"
+
+// crossPooled lists pooled allocators outside the package under
+// analysis, keyed by types.Func.FullName.
+var crossPooled = map[string]bool{
+	"(*github.com/asyncfl/asyncfilter/internal/fl.Arena).GetVec":    true,
+	"(*github.com/asyncfl/asyncfilter/internal/fl.Arena).GetUpdate": true,
+}
+
 // Analyzer is the hotalloc check.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotalloc",
@@ -49,6 +69,7 @@ type checker struct {
 	pass      *analysis.Pass
 	decls     map[*types.Func]*ast.FuncDecl
 	annotated map[*types.Func]bool
+	pooled    map[*types.Func]bool
 	allocates map[*types.Func]string
 }
 
@@ -57,6 +78,7 @@ func run(pass *analysis.Pass) error {
 		pass:      pass,
 		decls:     analysis.FuncDecls(pass),
 		annotated: make(map[*types.Func]bool),
+		pooled:    make(map[*types.Func]bool),
 	}
 	accepted := make(map[token.Pos]bool)
 	order := analysis.SortedFuncs(pass, c.decls)
@@ -70,6 +92,10 @@ func run(pass *analysis.Pass) error {
 				c.annotated[fn] = true
 				accepted[cm.Pos()] = true
 			}
+			if isPooledDirective(cm.Text) {
+				c.pooled[fn] = true
+				accepted[cm.Pos()] = true
+			}
 		}
 	}
 
@@ -77,8 +103,11 @@ func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
 		for _, cg := range file.Comments {
 			for _, cm := range cg.List {
-				if isDirective(cm.Text) && !accepted[cm.Pos()] {
+				switch {
+				case isDirective(cm.Text) && !accepted[cm.Pos()]:
 					pass.Reportf(cm.Pos(), "misplaced %s: the directive must be in the doc comment of a function declaration", Directive)
+				case isPooledDirective(cm.Text) && !accepted[cm.Pos()]:
+					pass.Reportf(cm.Pos(), "misplaced %s: the directive must be in the doc comment of a function declaration", PooledDirective)
 				}
 			}
 		}
@@ -106,6 +135,10 @@ func run(pass *analysis.Pass) error {
 
 func isDirective(text string) bool {
 	return text == Directive || strings.HasPrefix(text, Directive+" ")
+}
+
+func isPooledDirective(text string) bool {
+	return text == PooledDirective || strings.HasPrefix(text, PooledDirective+" ")
 }
 
 // checkHot reports every per-call allocation site in a hot-path body.
@@ -177,6 +210,11 @@ func (c *checker) allocSite(n ast.Node, report bool) string {
 			return ""
 		}
 		callee := analysis.CalleeOf(c.pass.TypesInfo, n)
+		// Pooled allocators hand out recycled memory: amortized, not a
+		// per-call allocation.
+		if callee != nil && (c.pooled[callee] || crossPooled[callee.FullName()]) {
+			return ""
+		}
 		if callee != nil && callee.Pkg() == c.pass.Pkg {
 			if !report {
 				// Classify adds same-package transitivity itself.

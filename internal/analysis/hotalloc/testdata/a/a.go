@@ -112,3 +112,23 @@ func ignored(n int) []float64 {
 
 //afl:hotpath // want `misplaced`
 var scratch []float64
+
+// getVec hands out recycled pool memory: the miss-path make below is the
+// pool's own (unannotated) business, and hot-path callers are amortized.
+//
+//afl:pooled
+func getVec(n int) []float64 {
+	return make([]float64, n)
+}
+
+//afl:hotpath
+func okPooled(n int) []float64 {
+	v := getVec(n)
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+//afl:pooled // want `misplaced`
+var pooledScratch []float64

@@ -122,3 +122,50 @@ func (b *Buffer) Requeue(u *Update) {
 	//lint:ignore vecalias fixture exercises the suppression mechanism
 	b.updates = append(b.updates, u)
 }
+
+// OwnedAdd declares the ownership-transfer contract: its callers hand
+// the update over, so retaining it is the point, not a leak.
+//
+//afl:owned
+func (b *Buffer) OwnedAdd(u *Update) {
+	b.updates = append(b.updates, u)
+}
+
+// OwnedPut likewise adopts a raw slice.
+//
+//afl:owned
+func (b *Buffer) OwnedPut(d []float64) {
+	b.last = d
+}
+
+// GiveAway passes memory it does not own to an ownership-taking
+// function: the callee will retain it, but it still belongs to this
+// function's caller.
+func (b *Buffer) GiveAway(u *Update) {
+	b.OwnedAdd(u) // want `hands caller-owned vector memory to OwnedAdd`
+}
+
+// GiveAwayField leaks through a field of a caller-owned struct.
+func GiveAwayField(b *Buffer, u *Update) {
+	b.OwnedPut(u.Delta) // want `hands caller-owned vector memory to OwnedPut`
+}
+
+// ForwardOwned owns its parameter, so forwarding it onward is legal.
+//
+//afl:owned
+func (b *Buffer) ForwardOwned(u *Update) {
+	b.OwnedAdd(u)
+}
+
+// GiveAwayClone launders before the handoff; the clone is freshly owned.
+func (b *Buffer) GiveAwayClone(u *Update) {
+	b.OwnedAdd(CloneUpdate(u))
+}
+
+// OwnedLocal hands over locally materialized memory: never tainted.
+func (b *Buffer) OwnedLocal(n int) {
+	b.OwnedPut(make([]float64, n))
+}
+
+//afl:owned // want `misplaced //afl:owned`
+var ownedScratch []float64

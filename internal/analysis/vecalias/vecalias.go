@@ -20,9 +20,26 @@
 //     plain float64 elements copies values, and dereferencing a pointer
 //     (*u) is treated as a value-copy boundary.
 //   - Sinks: an assignment whose left side roots in a receiver, pointer
-//     parameter, or package-level variable (retention), and a return of
+//     parameter, or package-level variable (retention), a return of
 //     an expression whose static type is []float64 (handing the caller an
-//     alias of another caller's buffer).
+//     alias of another caller's buffer), and an argument to an
+//     ownership-taking function (see below) — you cannot give away
+//     memory you do not own.
+//
+// Ownership transfer: a function whose doc comment carries the
+//
+//	//afl:owned
+//
+// directive declares that its callers transfer ownership of every
+// vector-carrying argument to it (fl.Buffer.Add after the arena rewrite,
+// fl.Arena.PutVec/PutUpdate). Inside such a function parameters are NOT
+// taint sources — retaining them is the point. Symmetrically, passing a
+// still-caller-owned (tainted) argument *to* an ownership-taking
+// function is flagged: the passer must either own the memory itself
+// (be //afl:owned, or have materialized the vector locally) or clone.
+// Cross-package ownership-taking functions are listed in crossOwned,
+// since export data does not carry doc comments. A directive that is not
+// the doc comment of a function declaration is itself flagged.
 //
 // Local bookkeeping — maps and slices that never leave the function —
 // is deliberately not flagged.
@@ -32,9 +49,25 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"github.com/asyncfl/asyncfilter/internal/analysis"
 )
+
+// OwnedDirective marks a function taking ownership of vector-carrying
+// arguments.
+const OwnedDirective = "//afl:owned"
+
+// crossOwned lists ownership-taking functions outside the package under
+// analysis, keyed by types.Func.FullName (doc comments are invisible
+// through export data).
+var crossOwned = map[string]bool{
+	"(*github.com/asyncfl/asyncfilter/internal/fl.Buffer).Add":       true,
+	"(*github.com/asyncfl/asyncfilter/internal/fl.Buffer).Requeue":   true,
+	"(*github.com/asyncfl/asyncfilter/internal/fl.Buffer).RequeueAt": true,
+	"(*github.com/asyncfl/asyncfilter/internal/fl.Arena).PutVec":     true,
+	"(*github.com/asyncfl/asyncfilter/internal/fl.Arena).PutUpdate":  true,
+}
 
 // Analyzer is the vecalias check.
 var Analyzer = &analysis.Analyzer{
@@ -44,16 +77,55 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	owned, accepted := collectOwned(pass)
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, cm := range cg.List {
+				if isOwnedDirective(cm.Text) && !accepted[cm.Pos()] {
+					pass.Reportf(cm.Pos(), "misplaced %s: the directive must be in the doc comment of a function declaration", OwnedDirective)
+				}
+			}
+		}
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn)
+			checkFunc(pass, fn, owned)
 		}
 	}
 	return nil
+}
+
+// collectOwned gathers the //afl:owned functions of this package and the
+// comment positions legitimately hosting the directive.
+func collectOwned(pass *analysis.Pass) (map[*types.Func]bool, map[token.Pos]bool) {
+	owned := make(map[*types.Func]bool)
+	accepted := make(map[token.Pos]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, cm := range fn.Doc.List {
+				if !isOwnedDirective(cm.Text) {
+					continue
+				}
+				accepted[cm.Pos()] = true
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	return owned, accepted
+}
+
+func isOwnedDirective(text string) bool {
+	return text == OwnedDirective || strings.HasPrefix(text, OwnedDirective+" ")
 }
 
 // funcCheck carries per-function dataflow state.
@@ -65,13 +137,17 @@ type funcCheck struct {
 	// outer holds objects whose memory outlives the call: the receiver,
 	// pointer parameters, and (checked separately) package-level vars.
 	outer map[types.Object]bool
+	// owned holds this package's //afl:owned functions, for the
+	// give-away-what-you-don't-own call check.
+	owned map[*types.Func]bool
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, owned map[*types.Func]bool) {
 	fc := &funcCheck{
 		pass:    pass,
 		tainted: make(map[types.Object]bool),
 		outer:   make(map[types.Object]bool),
+		owned:   owned,
 	}
 	if fn.Recv != nil {
 		for _, field := range fn.Recv.List {
@@ -82,13 +158,17 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			}
 		}
 	}
+	// An //afl:owned function owns its parameters by contract: they are
+	// not taint sources, so retaining them is legal.
+	fnObj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	selfOwned := fnObj != nil && owned[fnObj]
 	for _, field := range fn.Type.Params.List {
 		for _, name := range field.Names {
 			obj := pass.TypesInfo.Defs[name]
 			if obj == nil {
 				continue
 			}
-			if carries(obj.Type(), nil) {
+			if !selfOwned && carries(obj.Type(), nil) {
 				fc.tainted[obj] = true
 			}
 			if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
@@ -122,9 +202,29 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			fc.checkStore(n)
 		case *ast.ReturnStmt:
 			fc.checkReturn(n)
+		case *ast.CallExpr:
+			fc.checkGiveAway(n)
 		}
 		return true
 	})
+}
+
+// checkGiveAway reports passing a still-caller-owned vector argument to
+// an ownership-taking (//afl:owned) function: the callee will retain the
+// memory, but this function never owned it.
+func (fc *funcCheck) checkGiveAway(call *ast.CallExpr) {
+	callee := analysis.CalleeOf(fc.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	if !fc.owned[callee] && !crossOwned[callee.FullName()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if fc.taintedExpr(arg) && fc.carriesExpr(arg) {
+			fc.pass.Reportf(arg.Pos(), "hands caller-owned vector memory to %s, which takes ownership (%s): clone first, or mark this function %s if its callers transfer ownership", callee.Name(), OwnedDirective, OwnedDirective)
+		}
+	}
 }
 
 // propagateAssign taints simple local variables assigned from tainted

@@ -210,19 +210,33 @@ func TestFingerprint(t *testing.T) {
 		t.Errorf("fingerprint %08x is not the container's stored CRC", fp)
 	}
 
-	// Equal states fingerprint equally; a different state differs.
-	raw2, err := Encode(&state)
+	// Equal encodings fingerprint equally; a different state differs.
+	// The fingerprint identifies state *bytes*, not semantic state: gob
+	// walks maps in randomized order, so samplePayload's two-entry
+	// Groups map can legitimately re-encode to different bytes. Use a
+	// deterministic single-entry map for the equality half.
+	det := samplePayload()
+	det.Groups = map[int][]float64{3: {4, 5}}
+	rawA, err := Encode(&det)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp2, err := Fingerprint(raw2)
+	fpA, err := Fingerprint(rawA)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fp2 != fp {
-		t.Error("identical states produced different fingerprints")
+	rawB, err := Encode(&det)
+	if err != nil {
+		t.Fatal(err)
 	}
-	other := samplePayload()
+	fpB, err := Fingerprint(rawB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpB != fpA {
+		t.Error("identical encodings produced different fingerprints")
+	}
+	other := det
 	other.Version++
 	raw3, err := Encode(&other)
 	if err != nil {
@@ -230,7 +244,7 @@ func TestFingerprint(t *testing.T) {
 	}
 	if fp3, err := Fingerprint(raw3); err != nil {
 		t.Fatal(err)
-	} else if fp3 == fp {
+	} else if fp3 == fpA {
 		t.Error("different states share a fingerprint")
 	}
 

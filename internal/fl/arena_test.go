@@ -1,0 +1,189 @@
+package fl
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaRejectsBadDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewArena(0) did not panic")
+		}
+	}()
+	NewArena(0)
+}
+
+// TestArenaBalance drives the debug free list and asserts the get/put
+// counters stay balanced and that returned vectors are actually reused.
+func TestArenaBalance(t *testing.T) {
+	const dim, n = 8, 32
+	a := NewArena(dim)
+	var violations []string
+	a.EnableDebug(func(kind string) { violations = append(violations, kind) })
+
+	vecs := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := a.GetVec()
+		if len(v) != dim {
+			t.Fatalf("GetVec len = %d, want %d", len(v), dim)
+		}
+		for j := range v {
+			v[j] = float64(i)
+		}
+		vecs = append(vecs, v)
+	}
+	for _, v := range vecs {
+		a.PutVec(v)
+	}
+	// Second wave must be served entirely from the free list.
+	for i := 0; i < n; i++ {
+		v := a.GetVec()
+		for j := range v {
+			if v[j] != 0 {
+				t.Fatalf("reused vector not zeroed: v[%d] = %v", j, v[j])
+			}
+		}
+		vecs[i] = v
+	}
+	s := a.Stats()
+	if s.VecGets != 2*n || s.VecPuts != n || s.VecNews != n {
+		t.Fatalf("stats = %+v, want gets=%d puts=%d news=%d", s, 2*n, n, n)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+}
+
+func TestArenaDoublePut(t *testing.T) {
+	a := NewArena(4)
+	var violations []string
+	a.EnableDebug(func(kind string) { violations = append(violations, kind) })
+
+	v := a.GetVec()
+	a.PutVec(v)
+	a.PutVec(v)
+	if len(violations) != 1 || violations[0] != "double-put" {
+		t.Fatalf("violations = %v, want [double-put]", violations)
+	}
+	if s := a.Stats(); s.VecPuts != 1 {
+		t.Fatalf("VecPuts = %d, want 1 (second put rejected)", s.VecPuts)
+	}
+}
+
+func TestArenaUseAfterReturn(t *testing.T) {
+	a := NewArena(4)
+	var violations []string
+	a.EnableDebug(func(kind string) { violations = append(violations, kind) })
+
+	v := a.GetVec()
+	a.PutVec(v)
+	v[2] = 42 // illegal: ownership ended at PutVec
+	_ = a.GetVec()
+	if len(violations) != 1 || violations[0] != "use-after-return" {
+		t.Fatalf("violations = %v, want [use-after-return]", violations)
+	}
+}
+
+func TestArenaWrongDimDropped(t *testing.T) {
+	a := NewArena(4)
+	a.PutVec(make([]float64, 5))
+	a.PutVec(nil)
+	s := a.Stats()
+	if s.VecDrops != 2 || s.VecPuts != 0 {
+		t.Fatalf("stats = %+v, want 2 drops, 0 puts", s)
+	}
+}
+
+func TestArenaUpdateRecycle(t *testing.T) {
+	a := NewArena(4)
+	u := a.GetUpdate()
+	u.ClientID = 7
+	u.BaseVersion = 3
+	u.Delta = a.GetVec()
+	a.PutUpdate(u)
+	a.PutUpdate(nil) // no-op
+
+	u2 := a.GetUpdate()
+	if u2.ClientID != 0 || u2.BaseVersion != 0 || u2.Delta != nil {
+		t.Fatalf("recycled update not zeroed: %+v", u2)
+	}
+	s := a.Stats()
+	if s.UpdateGets != 2 || s.UpdatePuts != 1 || s.VecPuts != 1 {
+		t.Fatalf("stats = %+v, want updGets=2 updPuts=1 vecPuts=1", s)
+	}
+}
+
+// TestArenaConcurrentStress exercises the production sync.Pool path with
+// concurrent ingest (GetUpdate/GetVec -> Buffer.Add) and drain
+// (Drain -> PutUpdate), the exact shape of the serving hot path (where
+// the server mutex plays the role of mu here; the Buffer itself is not
+// concurrency-safe). Run under -race this proves the ownership handoff
+// publishes safely.
+func TestArenaConcurrentStress(t *testing.T) {
+	const dim, producers, perProducer = 16, 8, 200
+	a := NewArena(dim)
+	buf, err := NewBuffer(1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				u := a.GetUpdate()
+				u.ClientID = p
+				u.BaseVersion = i
+				u.NumSamples = 1
+				u.Delta = a.GetVec()
+				for j := range u.Delta {
+					u.Delta[j] = float64(p*perProducer + i)
+				}
+				mu.Lock()
+				buf.Add(u)
+				mu.Unlock()
+			}
+		}(p)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	drained := 0
+	recycle := func() {
+		mu.Lock()
+		batch := buf.Drain()
+		mu.Unlock()
+		for _, u := range batch {
+			want := u.Delta[0]
+			for j := range u.Delta {
+				if u.Delta[j] != want {
+					t.Errorf("torn vector: u.Delta[%d] = %v, want %v", j, u.Delta[j], want)
+					break
+				}
+			}
+			a.PutUpdate(u)
+			drained++
+		}
+	}
+	for {
+		select {
+		case <-done:
+			recycle()
+			if want := producers * perProducer; drained != want {
+				t.Fatalf("drained %d updates, want %d", drained, want)
+			}
+			s := a.Stats()
+			if s.VecGets != s.VecPuts || s.VecDrops != 0 {
+				t.Fatalf("unbalanced arena after quiesce: %+v", s)
+			}
+			return
+		default:
+			recycle()
+		}
+	}
+}

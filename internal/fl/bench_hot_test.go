@@ -2,27 +2,36 @@ package fl
 
 import "testing"
 
-// BenchmarkHotBufferAdd measures the annotated //afl:hotpath ingest
-// path: the deep copy per accepted update is the vecalias contract, and
-// its allocs/op is the baseline for the ROADMAP item 2 arena work. Run
-// via `make bench-hot` (with -benchmem).
+// BenchmarkHotBufferAdd measures the annotated //afl:hotpath ingest path
+// as the server drives it since the arena work: an Update and its delta
+// vector come from the arena, ownership transfers through Buffer.Add,
+// and a periodic drain recycles everything — the full steady-state
+// lifecycle, which should be allocation-free once the pools are warm.
+// Run via `make bench-hot` (with -benchmem); the allocs/op gate lives in
+// cmd/benchgate.
 func BenchmarkHotBufferAdd(b *testing.B) {
 	const dim = 256
 	buf, err := NewBuffer(1<<30, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	u := &Update{ClientID: 1, Delta: make([]float64, dim), NumSamples: 10}
+	arena := NewArena(dim)
+	src := make([]float64, dim)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		u := arena.GetUpdate()
+		u.ClientID = 1
+		u.NumSamples = 10
+		u.Delta = arena.GetVec()
+		copy(u.Delta, src)
 		if !buf.Add(u) {
 			b.Fatal("update dropped")
 		}
-		if len(buf.updates) >= 1024 {
-			b.StopTimer()
-			buf.updates = buf.updates[:0]
-			b.StartTimer()
+		if buf.Len() >= 1024 {
+			for _, d := range buf.Drain() {
+				arena.PutUpdate(d)
+			}
 		}
 	}
 }

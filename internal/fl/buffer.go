@@ -52,13 +52,20 @@ func (b *Buffer) notify(ev BufferEvent) {
 	b.obs.ObserveBuffer(ev)
 }
 
-// Add offers an update to the buffer. It returns false when the update was
-// discarded for exceeding the staleness limit. The update is deep-copied
-// on ingest: the buffer must never alias caller-owned memory, or a
-// malicious client could mutate its delta after submission and corrupt
-// the filter statistics computed from the buffered batch (Eq. 5).
+// Add offers an update to the buffer and takes ownership of it. The
+// vecalias invariant — the buffer must never share memory with a client
+// that can still mutate it, or a malicious client could rewrite its delta
+// after submission and corrupt the filter statistics computed from the
+// buffered batch (Eq. 5) — used to be enforced by a defensive deep copy
+// here. It is now an ownership transfer: the codec layer materializes
+// each delta into memory no client aliases (an Arena vector or a freshly
+// gob-decoded slice) and Add adopts it, so the invariant holds with zero
+// copies. On a true return the buffer owns u and the caller must not
+// touch it again; on a false return (staleness drop) ownership stays
+// with the caller, who may recycle it into an Arena.
 //
 //afl:hotpath
+//afl:owned
 func (b *Buffer) Add(u *Update) bool {
 	b.received++
 	if b.stalenessLimit > 0 && u.Staleness > b.stalenessLimit {
@@ -66,8 +73,7 @@ func (b *Buffer) Add(u *Update) bool {
 		b.notify(BufferEvent{DroppedStale: 1})
 		return false
 	}
-	//lint:ignore hotalloc the defensive deep copy is the vecalias invariant: the buffer must own its memory, so this allocation is the point (pool candidacy tracked by ROADMAP item 2)
-	b.updates = append(b.updates, CloneUpdate(u))
+	b.updates = append(b.updates, u)
 	b.fresh++
 	b.notify(BufferEvent{Added: 1})
 	return true
@@ -104,7 +110,11 @@ func (b *Buffer) Drain() []*Update {
 // next aggregation round. Their staleness is incremented to reflect the
 // extra round they waited; updates pushed past the staleness limit are
 // dropped and counted. Requeued updates may grow the buffer past the goal
-// but do not by themselves make it Ready.
+// but do not by themselves make it Ready. Ownership of every update in
+// the slice — requeued or dropped — transfers to the buffer: they came
+// from Drain, no client alias remains, and dropped ones go to the GC.
+//
+//afl:owned
 func (b *Buffer) Requeue(updates []*Update) {
 	requeued, stale := 0, 0
 	for _, u := range updates {
@@ -114,7 +124,6 @@ func (b *Buffer) Requeue(updates []*Update) {
 			stale++
 			continue
 		}
-		//lint:ignore vecalias requeued updates come from Drain, which already transferred ownership to the server; they were cloned on first ingest and no client alias remains
 		b.updates = append(b.updates, u)
 		requeued++
 	}
@@ -129,7 +138,11 @@ func (b *Buffer) Requeue(updates []*Update) {
 // exact for updates deferred across several rounds, including partial
 // watchdog rounds. Updates past the staleness limit are dropped; the
 // number dropped is returned so callers can account for them. Like
-// Requeue, it never re-arms Ready by itself.
+// Requeue, it never re-arms Ready by itself, and like Requeue it takes
+// ownership of every update in the slice (dropped ones go to the GC —
+// arena recycling is deliberately best-effort on this cold path).
+//
+//afl:owned
 func (b *Buffer) RequeueAt(updates []*Update, version int) (dropped int) {
 	requeued := 0
 	for _, u := range updates {
@@ -139,7 +152,6 @@ func (b *Buffer) RequeueAt(updates []*Update, version int) (dropped int) {
 			dropped++
 			continue
 		}
-		//lint:ignore vecalias requeued updates come from Drain, which already transferred ownership to the server; they were cloned on first ingest and no client alias remains
 		b.updates = append(b.updates, u)
 		requeued++
 	}

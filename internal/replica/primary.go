@@ -61,7 +61,9 @@ func (n *Node) acceptStandbys() {
 // push records (and heartbeats while idle) until the connection breaks
 // or the node stops.
 func (n *Node) handleStandby(conn net.Conn) {
-	uc := transport.NewUpstreamConn(conn, n.cfg.MaxMessageBytes, n.cfg.ReadTimeout, n.cfg.WriteTimeout)
+	// Acceptor side: the attaching standby's (or vote candidate's) first
+	// bytes negotiate gob or binary.
+	uc := transport.AcceptUpstreamConn(conn, n.cfg.MaxMessageBytes, n.cfg.ReadTimeout, n.cfg.WriteTimeout)
 	first, err := uc.ReadReplica()
 	if err != nil {
 		return

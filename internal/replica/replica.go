@@ -143,6 +143,12 @@ type Config struct {
 	RetryBaseDelay, RetryMaxDelay time.Duration
 	// Seed drives the reconnect jitter.
 	Seed int64
+	// Codec selects the replication wire codec (zero = gob, the legacy
+	// stream). transport.CodecBinary negotiates the binary frame
+	// envelope: attaching standbys and vote candidates announce it with
+	// the connection preamble, and every member's replication listener
+	// sniffs, so mixed-codec groups interoperate during a rollout.
+	Codec transport.Codec
 	// Dial overrides the replication dialer (tests inject faulty links).
 	Dial func(addr string) (net.Conn, error)
 	// LogDepth bounds the in-memory record ring a late-attaching standby
@@ -167,6 +173,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxMessageBytes < 0 {
 		return fmt.Errorf("replica: Config: MaxMessageBytes = %d, need >= 0", c.MaxMessageBytes)
+	}
+	if c.Codec != transport.CodecGob && c.Codec != transport.CodecBinary {
+		return fmt.Errorf("replica: Config: unknown Codec %v", c.Codec)
 	}
 	if c.QuorumSize < 0 {
 		return fmt.Errorf("replica: Config: QuorumSize = %d, need >= 0", c.QuorumSize)

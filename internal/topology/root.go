@@ -414,7 +414,8 @@ func (r *Root) handle(conn net.Conn) {
 	}
 	defer r.untrackConn(conn)
 
-	uc := transport.NewUpstreamConn(conn, r.cfg.MaxMessageBytes, r.cfg.ReadTimeout, r.cfg.WriteTimeout)
+	// Acceptor side: the edge's first bytes negotiate gob or binary.
+	uc := transport.AcceptUpstreamConn(conn, r.cfg.MaxMessageBytes, r.cfg.ReadTimeout, r.cfg.WriteTimeout)
 	first, err := uc.ReadEdge()
 	if err != nil || first.Hello == nil {
 		if err != nil && uc.Oversize() {

@@ -50,21 +50,31 @@ func (s *Server) quarantineCooldown() time.Duration {
 // circuit breaker, per-client rate limit, staleness limit, and the
 // bounded in-flight budget with staleness-aware shedding. All decisions
 // happen under s.mu; replies are the caller's job, outside the lock.
-func (s *Server) receiveUpdate(sess *clientSession, msg *UpdateMsg) admissionVerdict {
+//
+// Ownership of delta transfers to the server: an admitted update carries
+// it into the buffer (and the arena recycles it when the round that
+// drains it commits), a refused one is recycled here. Callers must not
+// touch delta after this call.
+//
+//afl:owned
+func (s *Server) receiveUpdate(sess *clientSession, baseVersion int, delta []float64) admissionVerdict {
 	now := time.Now()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.arena.PutVec(delta)
 		return admissionVerdict{goodbye: true}
 	}
 	if s.finished {
 		s.mu.Unlock()
+		s.arena.PutVec(delta)
 		return admissionVerdict{}
 	}
 	s.stats.UpdatesReceived++
-	if len(msg.Delta) != len(s.global) {
+	if len(delta) != len(s.global) {
 		s.stats.DroppedMalformed++
 		s.mu.Unlock()
+		s.arena.PutVec(delta)
 		return admissionVerdict{}
 	}
 	if s.cfg.LeaseDuration > 0 {
@@ -79,6 +89,7 @@ func (s *Server) receiveUpdate(sess *clientSession, msg *UpdateMsg) admissionVer
 			s.stats.NacksSent++
 			retry := sess.quarantinedUntil.Sub(now)
 			s.mu.Unlock()
+			s.arena.PutVec(delta)
 			return admissionVerdict{nack: NackQuarantined, retryAfter: retry}
 		}
 		sess.quarantinedUntil = time.Time{}
@@ -93,18 +104,18 @@ func (s *Server) receiveUpdate(sess *clientSession, msg *UpdateMsg) admissionVer
 			s.stats.NacksSent++
 			retry := time.Duration((1 - sess.tokens) / s.cfg.ClientRateLimit * float64(time.Second))
 			s.mu.Unlock()
+			s.arena.PutVec(delta)
 			return admissionVerdict{nack: NackRateLimited, retryAfter: retry}
 		}
 		sess.tokens--
 	}
 
-	update := &fl.Update{
-		ClientID:    sess.id,
-		BaseVersion: msg.BaseVersion,
-		Staleness:   s.version - msg.BaseVersion,
-		Delta:       msg.Delta,
-		NumSamples:  sess.weight(),
-	}
+	update := s.arena.GetUpdate()
+	update.ClientID = sess.id
+	update.BaseVersion = baseVersion
+	update.Staleness = s.version - baseVersion
+	update.Delta = delta
+	update.NumSamples = sess.weight()
 
 	// Bounded in-flight budget with staleness-aware shedding: the stalest
 	// work is the least valuable to the model and the most filter-hostile,
@@ -119,12 +130,15 @@ func (s *Server) receiveUpdate(sess *clientSession, msg *UpdateMsg) admissionVer
 			s.stats.NacksSent++
 			s.mu.Unlock()
 			s.observeShed(shedVersion, []*fl.Update{update})
+			s.recycleShed([]*fl.Update{update})
 			return admissionVerdict{nack: NackOverloaded, retryAfter: overloadRetryAfter}
 		}
 		shed = s.buffer.Shed(s.buffer.Len() - s.cfg.MaxPendingUpdates + 1)
 		s.stats.DroppedShed += len(shed)
 	}
 
+	// Buffer.Add adopts the update on success; a staleness drop leaves
+	// ownership here and the memory goes straight back to the arena.
 	added := s.buffer.Add(update)
 	if !added {
 		s.stats.DroppedStale++
@@ -133,11 +147,30 @@ func (s *Server) receiveUpdate(sess *clientSession, msg *UpdateMsg) admissionVer
 	}
 	s.mu.Unlock()
 
+	if !added {
+		s.arena.PutUpdate(update)
+	}
 	s.observeShed(shedVersion, shed)
+	s.recycleShed(shed)
 	if added {
 		s.maybeAggregate(forceNone)
 	}
 	return admissionVerdict{}
+}
+
+// recycleShed returns shed updates to the arena — unless the shed
+// observer test hook is installed, in which case the hook keeps them.
+// Runs without s.mu held, after observeShed. Callers transfer ownership
+// of the shed updates: they must not touch them after this call.
+//
+//afl:owned
+func (s *Server) recycleShed(shed []*fl.Update) {
+	if s.shedObserver != nil {
+		return
+	}
+	for _, u := range shed {
+		s.arena.PutUpdate(u)
+	}
 }
 
 // observeShed recomputes the true staleness of shed updates against the

@@ -7,18 +7,17 @@ import (
 	"github.com/asyncfl/asyncfilter/internal/fl"
 )
 
-// BenchmarkHotWireEdgeBatch measures the annotated //afl:hotpath wire
-// codec (WriteEdge/ReadEdge): one edge batch encoded and decoded over an
-// in-memory pipe per iteration. allocs/op covers both gob sides and is
-// the wire baseline for the ROADMAP item 2 arena work. Run via
-// `make bench-hot` (with -benchmem).
-func BenchmarkHotWireEdgeBatch(b *testing.B) {
+// benchWireEdgeBatch drives one edge batch per iteration through an
+// initiator/acceptor UpstreamConn pair over an in-memory pipe — the
+// annotated //afl:hotpath wire codec end to end, write and read sides
+// both counted in allocs/op.
+func benchWireEdgeBatch(b *testing.B, codec Codec) {
 	const dim = 256
 	edgeConn, rootConn := net.Pipe()
 	defer edgeConn.Close()
 	defer rootConn.Close()
-	edge := NewUpstreamConn(edgeConn, 0, 0, 0)
-	root := NewUpstreamConn(rootConn, 0, 0, 0)
+	edge := NewUpstreamConnCodec(edgeConn, codec, 0, 0, 0)
+	root := AcceptUpstreamConn(rootConn, 0, 0, 0)
 
 	msg := &EdgeMsg{Batch: &BatchMsg{
 		BatchID: 1,
@@ -56,4 +55,18 @@ func BenchmarkHotWireEdgeBatch(b *testing.B) {
 		// anything before that would have stalled the writer anyway.
 		_ = err
 	}
+}
+
+// BenchmarkHotWireEdgeBatch measures the binary frame envelope — the
+// serving codec since ROADMAP item 2 — and is gated against the gob-era
+// BENCH_8 baseline by cmd/benchgate. Run via `make bench-hot`.
+func BenchmarkHotWireEdgeBatch(b *testing.B) {
+	benchWireEdgeBatch(b, CodecBinary)
+}
+
+// BenchmarkHotWireEdgeBatchGob measures the legacy gob stream over the
+// same pipe, keeping the rollback codec's cost visible next to the
+// binary numbers.
+func BenchmarkHotWireEdgeBatchGob(b *testing.B) {
+	benchWireEdgeBatch(b, CodecGob)
 }

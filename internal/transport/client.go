@@ -71,6 +71,14 @@ type ClientConfig struct {
 	// Tests plug in FaultDialer here to run a client through a flaky
 	// network.
 	Dial func(addr string) (net.Conn, error)
+	// Codec selects the wire codec. The zero value is CodecGob — the
+	// legacy reflective stream, byte-identical to previous releases —
+	// so existing deployments (and the deterministic fault-injection
+	// schedules that count its I/O operations) are unaffected.
+	// CodecBinary negotiates the length-prefixed binary envelope via the
+	// connection preamble; the server answers in kind. Roll back to gob
+	// by leaving this zero (or passing -codec gob to the CLI).
+	Codec Codec
 }
 
 // ErrServerGoodbye is returned by Run and RunConn when the server said
@@ -117,6 +125,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.WriteTimeout < 0 {
 		return nil, fmt.Errorf("transport: NewClient: WriteTimeout = %v, need >= 0", cfg.WriteTimeout)
+	}
+	if cfg.Codec != CodecGob && cfg.Codec != CodecBinary {
+		return nil, fmt.Errorf("transport: NewClient: unknown codec %v", cfg.Codec)
 	}
 	atk, err := attack.New(cfg.Attack)
 	if err != nil {
@@ -226,12 +237,72 @@ func (c *Client) backoff(n int) time.Duration {
 	return BackoffDelay(jitter, c.cfg.RetryBaseDelay, c.cfg.RetryMaxDelay, n)
 }
 
+// clientWire abstracts the client side of a connection over the
+// negotiated codec: one encoder and one decoder whose concurrent use is
+// disciplined by the caller (a single writer — the protocol loop or the
+// connWriter goroutine — and a single reader).
+type clientWire interface {
+	// writeMsg transmits one client message.
+	writeMsg(msg *ClientMsg) error
+	// readMsg decodes the next server message into msg (which must be
+	// freshly zeroed; decoded task parameters may reuse a scratch buffer
+	// owned by the wire, valid until the next readMsg).
+	readMsg(msg *ServerMsg) error
+}
+
+// gobClientWire is the legacy reflective gob stream.
+type gobClientWire struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func (w *gobClientWire) writeMsg(msg *ClientMsg) error {
+	//lint:ignore netdeadline forwarding wrapper: deadline policy belongs to the caller (startConnWriter arms the write before every flush)
+	return w.enc.Encode(msg)
+}
+
+func (w *gobClientWire) readMsg(msg *ServerMsg) error {
+	//lint:ignore netdeadline forwarding wrapper: the protocol read loop in RunConn owns the (deliberately unarmed) read policy
+	return w.dec.Decode(msg)
+}
+
+// binClientWire is the binary frame envelope. Task parameters decode
+// into a reused scratch slab: the protocol loop copies them into the
+// local model (model.SetParams copies) and never retains the slice.
+type binClientWire struct {
+	bin    *binConn
+	params []float64
+}
+
+func (w *binClientWire) writeMsg(msg *ClientMsg) error { return w.bin.writeClientMsg(msg) }
+
+// readMsg owns the scratch slab it threads through readServerMsg; the
+// decoded Task aliases it only until the next call, and the protocol
+// loop copies parameters into the model before reading again.
+//
+//afl:owned
+func (w *binClientWire) readMsg(msg *ServerMsg) error {
+	params, err := w.bin.readServerMsg(msg, w.params)
+	w.params = params
+	return err
+}
+
+// newClientWire builds the wire for one established connection. A binary
+// client announces itself with the connection preamble before its first
+// frame; a gob client's byte stream is identical to previous releases.
+func newClientWire(conn net.Conn, codec Codec) clientWire {
+	if codec == CodecBinary {
+		return &binClientWire{bin: newBinConn(conn, 0, true)}
+	}
+	return &gobClientWire{enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
 // connWriter owns all writes on a client connection. Heartbeats must go
-// out while the main loop is busy training, and a gob encoder is not safe
-// for concurrent use, so every outbound message funnels through one
-// writer goroutine via a buffered queue — no lock is ever held around the
-// blocking encode. A failed encode closes the connection so the reader
-// side unblocks too.
+// out while the main loop is busy training, and neither a gob encoder
+// nor the binary framing state is safe for concurrent writers, so every
+// outbound message funnels through one writer goroutine via a buffered
+// queue — no lock is ever held around the blocking encode. A failed
+// encode closes the connection so the reader side unblocks too.
 type connWriter struct {
 	queue chan *ClientMsg
 	dead  chan struct{}
@@ -239,7 +310,7 @@ type connWriter struct {
 	wg    sync.WaitGroup
 }
 
-func startConnWriter(conn net.Conn, writeTimeout time.Duration) *connWriter {
+func startConnWriter(conn net.Conn, wire clientWire, writeTimeout time.Duration) *connWriter {
 	w := &connWriter{
 		queue: make(chan *ClientMsg, 8),
 		dead:  make(chan struct{}),
@@ -249,7 +320,6 @@ func startConnWriter(conn net.Conn, writeTimeout time.Duration) *connWriter {
 	go func() {
 		defer w.wg.Done()
 		defer close(w.dead)
-		enc := gob.NewEncoder(conn)
 		for {
 			select {
 			case <-w.stop:
@@ -258,7 +328,7 @@ func startConnWriter(conn net.Conn, writeTimeout time.Duration) *connWriter {
 				if writeTimeout > 0 {
 					_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 				}
-				if err := enc.Encode(msg); err != nil {
+				if err := wire.writeMsg(msg); err != nil {
 					// Unblock the decode loop: a one-sided write failure
 					// must not leave the client hanging on a read.
 					_ = conn.Close()
@@ -301,23 +371,23 @@ func (w *connWriter) close() {
 // transport error is returned for the caller (Run) to decide whether to
 // reconnect.
 func (c *Client) RunConn(conn net.Conn) error {
-	dec := gob.NewDecoder(conn)
+	wire := newClientWire(conn, c.cfg.Codec)
 
 	m, err := model.New(c.cfg.Model)
 	if err != nil {
 		return fmt.Errorf("transport: model: %w", err)
 	}
 
-	// Without heartbeats the encoder is driven synchronously from the
+	// Without heartbeats the wire is driven synchronously from the
 	// protocol loop, preserving the strict write-then-read operation order
 	// that deterministic fault-injection schedules count on. With
-	// heartbeats enabled, a single-writer goroutine owns the encoder so
-	// keepalives can go out while this loop is blocked in local training —
-	// concurrency by message passing, never a lock around the blocking
-	// encode.
+	// heartbeats enabled, a single-writer goroutine owns the wire's write
+	// side so keepalives can go out while this loop is blocked in local
+	// training — concurrency by message passing, never a lock around the
+	// blocking encode.
 	var send func(*ClientMsg) error
 	if c.cfg.HeartbeatInterval > 0 {
-		w := startConnWriter(conn, c.cfg.WriteTimeout)
+		w := startConnWriter(conn, wire, c.cfg.WriteTimeout)
 		defer w.close()
 		send = w.send
 
@@ -340,12 +410,11 @@ func (c *Client) RunConn(conn net.Conn) error {
 			}
 		}()
 	} else {
-		enc := gob.NewEncoder(conn)
 		send = func(msg *ClientMsg) error {
 			if c.cfg.WriteTimeout > 0 {
 				_ = conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 			}
-			return enc.Encode(msg)
+			return wire.writeMsg(msg)
 		}
 	}
 
@@ -353,6 +422,7 @@ func (c *Client) RunConn(conn net.Conn) error {
 		ClientID:   c.cfg.ID,
 		NumSamples: c.cfg.Data.Len(),
 		ModelDim:   m.NumParams(),
+		Codec:      c.cfg.Codec,
 	}}
 	if err := send(hello); err != nil {
 		return fmt.Errorf("transport: hello: %w", err)
@@ -361,7 +431,7 @@ func (c *Client) RunConn(conn net.Conn) error {
 	for {
 		var msg ServerMsg
 		//lint:ignore netdeadline the protocol read blocks on the server's task schedule by design; lease heartbeats (not deadlines) bound liveness here
-		if err := dec.Decode(&msg); err != nil {
+		if err := wire.readMsg(&msg); err != nil {
 			return fmt.Errorf("transport: receive: %w", err)
 		}
 		if len(msg.Shards) > 0 && msg.ShardVersion > c.shardVersion {

@@ -36,10 +36,10 @@ func FuzzDecodeClientMsg(f *testing.F) {
 		ClientMsg{Heartbeat: true},
 	))
 	full := fuzzSeed(f, ClientMsg{Update: &UpdateMsg{BaseVersion: 1, Delta: []float64{1, 2, 3}}})
-	f.Add(full[:len(full)/2])         // truncated mid-message
-	f.Add(full[1:])                   // missing type preamble
-	f.Add([]byte{})                   // empty stream
-	f.Add([]byte{0xff, 0xff, 0xff})   // junk length prefix
+	f.Add(full[:len(full)/2])          // truncated mid-message
+	f.Add(full[1:])                    // missing type preamble
+	f.Add([]byte{})                    // empty stream
+	f.Add([]byte{0xff, 0xff, 0xff})    // junk length prefix
 	f.Add(bytes.Repeat([]byte{7}, 64)) // repetitive garbage
 
 	f.Fuzz(func(t *testing.T, data []byte) {

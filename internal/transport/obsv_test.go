@@ -101,7 +101,7 @@ func TestObsvFaultyAttackDeployment(t *testing.T) {
 		numClients = 10
 		malicious  = 2 // client IDs 0 and 1 run the GD attack
 		flaky      = 3
-		goal       = 6 // >= core MinBatch (2*K) so batches are clustered, not wholesale
+		goal       = 6  // >= core MinBatch (2*K) so batches are clustered, not wholesale
 		rounds     = 40 // high ceiling: the drain ends the run, not Rounds
 	)
 
@@ -123,8 +123,8 @@ func TestObsvFaultyAttackDeployment(t *testing.T) {
 		// makes every round a watchdog-flushed partial batch on a loaded
 		// CI machine, and partial batches below the filter's MinBatch are
 		// accepted wholesale — the run would never reject anything.
-		RoundTimeout:    2 * time.Second,
-		Obsv:            hub,
+		RoundTimeout: 2 * time.Second,
+		Obsv:         hub,
 	}, filter, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -208,6 +208,12 @@ func (h *ReplHello) Validate() error {
 //afl:hotpath
 func (u *UpstreamConn) ReadReplica() (*ReplicaMsg, error) {
 	u.armRead()
+	if err := u.ensureSniffed(); err != nil {
+		return nil, err
+	}
+	if u.bin != nil {
+		return u.bin.readReplicaMsg()
+	}
 	u.lim.reset()
 	var msg ReplicaMsg
 	if err := u.dec.Decode(&msg); err != nil {
@@ -220,7 +226,13 @@ func (u *UpstreamConn) ReadReplica() (*ReplicaMsg, error) {
 //
 //afl:hotpath
 func (u *UpstreamConn) WritePrimary(msg *PrimaryMsg) error {
+	if u.sniffPending {
+		return errWriteBeforeSniff
+	}
 	u.armWrite()
+	if u.bin != nil {
+		return u.bin.writePrimaryMsg(msg)
+	}
 	return u.enc.Encode(msg)
 }
 
@@ -229,6 +241,13 @@ func (u *UpstreamConn) WritePrimary(msg *PrimaryMsg) error {
 //afl:hotpath
 func (u *UpstreamConn) ReadPrimary() (*PrimaryMsg, error) {
 	u.armRead()
+	if err := u.ensureSniffed(); err != nil {
+		return nil, err
+	}
+	if u.bin != nil {
+		//lint:ignore hotalloc the binary decode materializes one log record's delta per push; the standby applies it to its shadow state and drops the slice
+		return u.bin.readPrimaryMsg()
+	}
 	u.lim.reset()
 	var msg PrimaryMsg
 	if err := u.dec.Decode(&msg); err != nil {
@@ -241,6 +260,12 @@ func (u *UpstreamConn) ReadPrimary() (*PrimaryMsg, error) {
 //
 //afl:hotpath
 func (u *UpstreamConn) WriteReplica(msg *ReplicaMsg) error {
+	if u.sniffPending {
+		return errWriteBeforeSniff
+	}
 	u.armWrite()
+	if u.bin != nil {
+		return u.bin.writeReplicaMsg(msg)
+	}
 	return u.enc.Encode(msg)
 }

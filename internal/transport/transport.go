@@ -35,7 +35,6 @@
 package transport
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"log"
@@ -60,6 +59,13 @@ type Hello struct {
 	// rejected at Hello time with a NackMalformed instead of letting the
 	// client train a round it can never submit.
 	ModelDim int
+	// Codec declares the wire codec this client speaks (see Codec). The
+	// connection's framing is negotiated by the binary preamble before
+	// the Hello is readable, so this field is the declarative record of
+	// that choice: the server cross-checks it against the sniffed framing
+	// and refuses a mismatch with NackMalformed. Legacy clients leave it
+	// zero (CodecGob), which matches their preamble-less gob stream.
+	Codec Codec
 }
 
 // NackCode classifies why the server refused an update.
@@ -318,6 +324,13 @@ type Server struct {
 	filter   fl.Filter
 	combiner fl.Combiner
 
+	// arena recycles update-delta vectors and Update structs across the
+	// receive -> buffer -> filter -> round-commit pipeline. Deltas
+	// decoded from the binary wire are arena-backed; ownership transfers
+	// through receiveUpdate and Buffer.Add, and the round that retires an
+	// update returns its memory here (see maybeAggregate).
+	arena *fl.Arena
+
 	mu           sync.Mutex
 	global       []float64
 	version      int
@@ -436,6 +449,7 @@ func NewServer(cfg ServerConfig, filter fl.Filter, combiner fl.Combiner) (*Serve
 		cfg:      cfg,
 		filter:   filter,
 		combiner: combiner,
+		arena:    fl.NewArena(len(cfg.InitialParams)),
 		global:   vecmath.Clone(cfg.InitialParams),
 		buffer:   buffer,
 		sessions: make(map[int]*clientSession),
@@ -651,36 +665,47 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	defer s.untrackConn(conn)
 
-	lim := newLimitReader(conn, s.cfg.MaxMessageBytes)
-	dec := gob.NewDecoder(lim)
-	enc := gob.NewEncoder(conn)
-
-	var hello ClientMsg
+	// The first byte of the stream picks the codec (see sniffWire): the
+	// binary preamble's 0x00 or a gob varint. Both reads run under the
+	// same read deadline as the Hello they precede.
 	s.armRead(conn)
-	lim.reset()
-	if err := dec.Decode(&hello); err != nil || hello.Hello == nil {
-		if hello.Hello == nil && s.isDraining() {
+	wire, err := s.sniffWire(conn)
+	if err != nil {
+		// Nothing was negotiated, so there is no codec to say Goodbye in.
+		return
+	}
+
+	hello, err := wire.readMsg()
+	if err != nil || hello.hello == nil {
+		if hello.hello == nil && s.isDraining() {
 			// The read was nudged awake by a starting drain (or the
 			// stream broke mid-drain): say Goodbye so the client stops
 			// retrying against a server on its way out.
-			s.farewell(conn, enc, dec, lim)
+			s.farewell(conn, wire)
 		}
 		return
 	}
-	if !s.admitHello(hello.Hello) {
-		// The advertised model dimension cannot match this deployment:
+	if hello.hello.Codec != wire.codec() || !s.admitHello(hello.hello) {
+		// The advertised model dimension cannot match this deployment
+		// (or the declared codec contradicts the negotiated framing):
 		// refuse at Hello time instead of letting the client train a
 		// round it can never submit.
+		if hello.hello.Codec != wire.codec() {
+			s.mu.Lock()
+			s.stats.DroppedMalformed++
+			s.stats.NacksSent++
+			s.mu.Unlock()
+		}
 		s.obs.noteNack(NackMalformed)
-		s.send(conn, enc, &ServerMsg{Nack: NackMalformed})
+		s.send(conn, wire, &ServerMsg{Nack: NackMalformed})
 		return
 	}
-	sess := s.register(hello.Hello, conn)
+	sess := s.register(hello.hello, conn)
 	defer s.release(sess, conn)
 	if s.isDraining() {
 		// A client connecting (or reconnecting) into a drain gets a
 		// polite redirect instead of silence.
-		s.farewell(conn, enc, dec, lim)
+		s.farewell(conn, wire)
 		return
 	}
 
@@ -689,14 +714,13 @@ func (s *Server) handle(conn net.Conn) {
 	sentShard := -1
 
 	// Send the initial task.
-	if !s.sendTask(conn, enc, &sentShard) {
+	if !s.sendTask(conn, wire, &sentShard) {
 		if s.isDraining() {
-			s.linger(conn, dec, lim)
+			s.linger(conn, wire)
 		}
 		return
 	}
 	for {
-		var msg ClientMsg
 		s.armRead(conn)
 		// Checked between arming and decoding on purpose: a drain that
 		// begins before this check is seen here, and one that begins
@@ -704,38 +728,38 @@ func (s *Server) handle(conn net.Conn) {
 		// live connection), so a handler can never sit out a drain
 		// blocked in Decode waiting for a client that is busy training.
 		if s.isDraining() {
-			s.farewell(conn, enc, dec, lim)
+			s.farewell(conn, wire)
 			return
 		}
-		lim.reset()
-		if err := dec.Decode(&msg); err != nil {
-			if lim.tripped() {
+		msg, err := wire.readMsg()
+		if err != nil {
+			if wire.oversize() {
 				s.mu.Lock()
 				s.stats.DroppedOversize++
 				s.mu.Unlock()
 				return
 			}
 			if s.isDraining() {
-				s.farewell(conn, enc, dec, lim)
+				s.farewell(conn, wire)
 			}
 			return
 		}
-		if msg.Heartbeat {
+		if msg.heartbeat {
 			if !s.heartbeat(sess) {
-				s.farewell(conn, enc, dec, lim)
+				s.farewell(conn, wire)
 				return
 			}
-			if !s.send(conn, enc, &ServerMsg{Pong: true}) {
+			if !s.send(conn, wire, &ServerMsg{Pong: true}) {
 				return
 			}
 			continue
 		}
-		if msg.Update == nil {
+		if !msg.hasUpdate {
 			continue
 		}
-		verdict := s.receiveUpdate(sess, msg.Update)
+		verdict := s.receiveUpdate(sess, msg.baseVersion, msg.delta)
 		if verdict.goodbye {
-			s.farewell(conn, enc, dec, lim)
+			s.farewell(conn, wire)
 			return
 		}
 		if verdict.nack != 0 {
@@ -743,17 +767,17 @@ func (s *Server) handle(conn net.Conn) {
 			// The refusal and the current model travel in one envelope:
 			// the client backs off for RetryAfter, then resumes from the
 			// fresh task, keeping the protocol strictly request-reply.
-			if !s.sendTaskNack(conn, enc, verdict.nack, verdict.retryAfter, &sentShard) {
+			if !s.sendTaskNack(conn, wire, verdict.nack, verdict.retryAfter, &sentShard) {
 				if s.isDraining() {
-					s.linger(conn, dec, lim)
+					s.linger(conn, wire)
 				}
 				return
 			}
 			continue
 		}
-		if !s.sendTask(conn, enc, &sentShard) {
+		if !s.sendTask(conn, wire, &sentShard) {
 			if s.isDraining() {
-				s.linger(conn, dec, lim)
+				s.linger(conn, wire)
 			}
 			return
 		}
@@ -800,11 +824,11 @@ func (s *Server) heartbeat(sess *clientSession) bool {
 
 // send transmits one server message under the write deadline, reporting
 // whether the connection is still usable. Never called with s.mu held.
-func (s *Server) send(conn net.Conn, enc *gob.Encoder, msg *ServerMsg) bool {
+func (s *Server) send(conn net.Conn, wire serverWire, msg *ServerMsg) bool {
 	if s.cfg.WriteTimeout > 0 {
 		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	}
-	return enc.Encode(msg) == nil
+	return wire.writeMsg(msg) == nil
 }
 
 // armRead refreshes the read deadline before a blocking decode.
@@ -827,13 +851,13 @@ const drainLinger = 5 * time.Second
 // answers the client's next request, so in-flight requests are decoded
 // and discarded here rather than replied to twice. The current shard list
 // (if any) rides along so a redirected client knows where "elsewhere" is.
-func (s *Server) farewell(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim *limitReader) {
+func (s *Server) farewell(conn net.Conn, wire serverWire) {
 	s.mu.Lock()
 	shards := append([]string(nil), s.shardAddrs...)
 	sv := s.shardVersion
 	s.mu.Unlock()
-	if s.send(conn, enc, &ServerMsg{Goodbye: true, Shards: shards, ShardVersion: sv}) {
-		s.linger(conn, dec, lim)
+	if s.send(conn, wire, &ServerMsg{Goodbye: true, Shards: shards, ShardVersion: sv}) {
+		s.linger(conn, wire)
 	}
 }
 
@@ -841,13 +865,16 @@ func (s *Server) farewell(conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, lim
 // until the peer closes (typically right after reading a Goodbye already
 // on the wire), the linger budget runs out, or drain teardown closes the
 // socket.
-func (s *Server) linger(conn net.Conn, dec *gob.Decoder, lim *limitReader) {
+func (s *Server) linger(conn net.Conn, wire serverWire) {
 	_ = conn.SetReadDeadline(time.Now().Add(drainLinger))
 	for {
-		lim.reset()
-		var msg ClientMsg
-		if err := dec.Decode(&msg); err != nil {
+		msg, err := wire.readMsg()
+		if err != nil {
 			return
+		}
+		// Discarded request: recycle an update's arena-backed delta.
+		if msg.hasUpdate {
+			s.arena.PutVec(msg.delta)
 		}
 	}
 }
@@ -855,14 +882,14 @@ func (s *Server) linger(conn net.Conn, dec *gob.Decoder, lim *limitReader) {
 // sendTask transmits the latest model, or Done/Goodbye when training
 // finished. It reports whether the connection should stay open. sentShard
 // is the handler's shard-push cursor (see shardPushLocked).
-func (s *Server) sendTask(conn net.Conn, enc *gob.Encoder, sentShard *int) bool {
-	return s.sendTaskNack(conn, enc, 0, 0, sentShard)
+func (s *Server) sendTask(conn net.Conn, wire serverWire, sentShard *int) bool {
+	return s.sendTaskNack(conn, wire, 0, 0, sentShard)
 }
 
 // sendTaskNack transmits an optional NACK together with the latest model
 // in one envelope (or Done/Goodbye when the deployment ended). It reports
 // whether the connection should stay open.
-func (s *Server) sendTaskNack(conn net.Conn, enc *gob.Encoder, nack NackCode, retryAfter time.Duration, sentShard *int) bool {
+func (s *Server) sendTaskNack(conn net.Conn, wire serverWire, nack NackCode, retryAfter time.Duration, sentShard *int) bool {
 	s.mu.Lock()
 	finished := s.finished
 	draining := s.draining
@@ -870,10 +897,10 @@ func (s *Server) sendTaskNack(conn net.Conn, enc *gob.Encoder, nack NackCode, re
 	shards, sv := s.shardPushLocked(sentShard)
 	s.mu.Unlock()
 	if finished || draining {
-		s.send(conn, enc, &ServerMsg{Done: finished && !draining, Goodbye: draining, Shards: shards, ShardVersion: sv})
+		s.send(conn, wire, &ServerMsg{Done: finished && !draining, Goodbye: draining, Shards: shards, ShardVersion: sv})
 		return false
 	}
-	return s.send(conn, enc, &ServerMsg{Task: &task, Nack: nack, RetryAfter: retryAfter, Shards: shards, ShardVersion: sv})
+	return s.send(conn, wire, &ServerMsg{Task: &task, Nack: nack, RetryAfter: retryAfter, Shards: shards, ShardVersion: sv})
 }
 
 // forceMode distinguishes why an aggregation round was forced below the
@@ -982,6 +1009,21 @@ func (s *Server) maybeAggregate(force forceMode) {
 		}
 		if snap != nil {
 			s.writeSnapshot(snap)
+		}
+
+		// The round retired these updates, so their memory returns to the
+		// arena: rejected ones were only read (the breaker bookkeeping and
+		// the filter copy what they keep), and accepted ones are recycled
+		// unless OnRoundCommitted took ownership of them (hierarchical
+		// edges forward them upstream). Deferred updates went back into
+		// the buffer and stay alive.
+		for _, u := range rejected {
+			s.arena.PutUpdate(u)
+		}
+		if s.cfg.OnRoundCommitted == nil {
+			for _, u := range accepted {
+				s.arena.PutUpdate(u)
+			}
 		}
 
 		s.mu.Lock()
